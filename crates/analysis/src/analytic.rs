@@ -1,0 +1,175 @@
+//! Closed-form expressions from the paper's Section III, plus the exact
+//! binomial tail they bound.
+
+use crate::model::AttackModel;
+
+/// The paper's bound (Section III-b): the probability of attacking at least
+/// a fraction `x` of `N` resolvers is `p_attack ^ M` with `M = ceil(x N)`.
+///
+/// This is the probability of the *cheapest* successful outcome (exactly the
+/// required resolvers compromised); the exact success probability is the
+/// binomial tail computed by [`attack_probability_exact`], which the bound
+/// approximates well for small `p_attack`.
+pub fn attack_probability_paper(model: &AttackModel) -> f64 {
+    let m = model.min_compromised_resolvers();
+    if m == 0 {
+        return 1.0;
+    }
+    model.p_attack.clamp(0.0, 1.0).powi(m as i32)
+}
+
+/// Exact probability that at least `M = ceil(x N)` of `N` independently
+/// compromised resolvers (each with probability `p_attack`) are compromised:
+/// the upper tail of a Binomial(N, p) distribution.
+pub fn attack_probability_exact(model: &AttackModel) -> f64 {
+    let n = model.resolvers;
+    let m = model.min_compromised_resolvers();
+    if m == 0 {
+        return 1.0;
+    }
+    let p = model.p_attack.clamp(0.0, 1.0);
+    (m..=n).map(|k| binomial_pmf(n, k, p)).sum::<f64>().min(1.0)
+}
+
+/// Probability mass of exactly `k` successes out of `n` trials with success
+/// probability `p`.
+pub fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    // Handle the degenerate probabilities exactly (log space would produce
+    // 0 * -inf = NaN for them).
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    // Work in log space to stay stable for large n.
+    let log_pmf = ln_choose(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
+    log_pmf.exp()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Required fraction of resolvers the attacker must control to own a
+/// fraction `y` of the pool (Section III-a): `x >= y`, independent of `K`.
+pub fn required_resolver_fraction(required_pool_fraction: f64) -> f64 {
+    required_pool_fraction.clamp(0.0, 1.0)
+}
+
+/// The "asymptotic advantage" of Section III-b: how many additional
+/// resolvers multiply the attacker's cost by `10^orders` assuming the paper
+/// bound `p^M`.
+pub fn resolvers_for_security_gain(p_attack: f64, orders_of_magnitude: f64) -> usize {
+    let p = p_attack.clamp(1e-12, 1.0 - 1e-12);
+    // p^dM <= 10^-orders  =>  dM >= orders * ln(10) / -ln(p)
+    // A tiny tolerance keeps exact ratios (e.g. p = 0.1) from rounding up
+    // because of floating-point noise.
+    (orders_of_magnitude * std::f64::consts::LN_10 / -p.ln() - 1e-9).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bound_three_resolvers_majority() {
+        // Section III-b: with 3 resolvers and x >= 2/3, success needs 2
+        // compromises, so the probability is p^2.
+        let model = AttackModel::figure1_example(0.1);
+        assert!((attack_probability_paper(&model) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_probability_dominates_the_paper_bound() {
+        for &n in &[3usize, 5, 7, 9, 15] {
+            for &p in &[0.01, 0.05, 0.1, 0.3, 0.5] {
+                let model = AttackModel::new(n, p, 0.5);
+                let exact = attack_probability_exact(&model);
+                let bound = attack_probability_paper(&model);
+                assert!(
+                    exact + 1e-12 >= bound,
+                    "exact {exact} must be >= single-outcome bound {bound} (n={n}, p={p})"
+                );
+                assert!(exact <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_probability_decreases_with_more_resolvers() {
+        let p = 0.2;
+        let mut last = 1.0;
+        for n in [3usize, 7, 11, 15, 31] {
+            let model = AttackModel::new(n, p, 0.5);
+            let prob = attack_probability_exact(&model);
+            assert!(
+                prob < last,
+                "probability should shrink with N: n={n} prob={prob} last={last}"
+            );
+            last = prob;
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(5usize, 0.3), (12, 0.07), (20, 0.9)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_edge_cases() {
+        assert_eq!(binomial_pmf(5, 6, 0.5), 0.0);
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+        assert!((binomial_pmf(2, 1, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_choose_matches_small_cases() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 0).exp() - 1.0).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn required_fraction_is_y() {
+        assert_eq!(required_resolver_fraction(0.5), 0.5);
+        assert_eq!(required_resolver_fraction(2.0), 1.0);
+        assert_eq!(required_resolver_fraction(-0.2), 0.0);
+    }
+
+    #[test]
+    fn security_gain_like_key_size() {
+        // With p = 0.1, each extra compromised resolver buys one order of
+        // magnitude.
+        assert_eq!(resolvers_for_security_gain(0.1, 3.0), 3);
+        // Smaller p needs fewer resolvers for the same gain.
+        assert!(resolvers_for_security_gain(0.01, 6.0) <= 3);
+        // p close to 1 needs many.
+        assert!(resolvers_for_security_gain(0.9, 1.0) >= 20);
+    }
+
+    #[test]
+    fn zero_required_fraction_means_trivial_attack() {
+        let model = AttackModel::new(0, 0.5, 0.5);
+        assert_eq!(attack_probability_paper(&model), 1.0);
+        assert_eq!(attack_probability_exact(&model), 1.0);
+    }
+}

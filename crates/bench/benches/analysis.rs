@@ -1,0 +1,27 @@
+//! Benchmarks of the security-analysis machinery (exact binomial tails and
+//! Monte-Carlo throughput), which the larger sweeps rely on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdoh_analysis::{
+    attack_probability_exact, attack_probability_paper, estimate_resolver_compromise, AttackModel,
+};
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let model = AttackModel::new(31, 0.2, 0.5);
+    c.bench_function("analysis/paper_bound", |b| {
+        b.iter(|| attack_probability_paper(black_box(&model)))
+    });
+    c.bench_function("analysis/exact_tail_n31", |b| {
+        b.iter(|| attack_probability_exact(black_box(&model)))
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let model = AttackModel::new(15, 0.2, 0.5);
+    c.bench_function("analysis/monte_carlo_10k_trials", |b| {
+        b.iter(|| estimate_resolver_compromise(black_box(&model), 10_000, 7))
+    });
+}
+
+criterion_group!(benches, bench_closed_forms, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks of the NTP/Chronos application layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdoh_netsim::{SimAddr, SimNet};
+use sdoh_ntp::{
+    register_pool, ChronosClient, ChronosConfig, LocalClock, NtpClient, NtpPacket, NtpTimestamp,
+};
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let packet = NtpPacket::client_request(NtpTimestamp::from_seconds_f64(3_900_000_123.5));
+    let wire = packet.encode();
+    c.bench_function("ntp/packet_encode", |b| b.iter(|| black_box(&packet).encode()));
+    c.bench_function("ntp/packet_decode", |b| {
+        b.iter(|| NtpPacket::decode(black_box(&wire)).unwrap())
+    });
+}
+
+fn bench_chronos_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntp/chronos_update");
+    group.sample_size(30);
+    for &pool_size in &[12usize, 24, 48] {
+        let net = SimNet::new(9);
+        let addrs: Vec<SimAddr> = (0..pool_size)
+            .map(|i| SimAddr::v4(203, 0, (113 + i / 250) as u8, (i % 250 + 1) as u8, 123))
+            .collect();
+        register_pool(&net, &addrs, 0, 0.0, 9);
+        let pool: Vec<std::net::IpAddr> = addrs.iter().map(|a| a.ip).collect();
+        group.bench_function(format!("pool_{pool_size}"), |b| {
+            b.iter(|| {
+                let mut clock = LocalClock::new(net.clock(), 0.0);
+                let mut chronos = ChronosClient::new(
+                    ChronosConfig::default(),
+                    NtpClient::new(SimAddr::v4(10, 0, 0, 1, 123)),
+                    9,
+                )
+                .unwrap();
+                chronos.update(&net, &mut clock, &pool).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_codec, bench_chronos_round);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks of the DNS wire-format hot paths: message encode/decode,
+//! name compression and the base64url codec used by DoH GET.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdoh_dns_wire::{base64url, Message, MessageBuilder, RrType};
+
+fn pool_response(addresses: u8) -> Message {
+    let query = Message::query(0x5555, "pool.ntpns.org".parse().unwrap(), RrType::A);
+    let mut builder = MessageBuilder::response_to(&query).authoritative(true);
+    for i in 0..addresses {
+        builder = builder.answer_address(300, format!("203.0.113.{}", i + 1).parse().unwrap());
+    }
+    builder.build()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_wire/encode");
+    for &n in &[1u8, 8, 32] {
+        let message = pool_response(n);
+        group.bench_function(format!("{n}_answers"), |b| {
+            b.iter(|| black_box(&message).encode().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_wire/decode");
+    for &n in &[1u8, 8, 32] {
+        let wire = pool_response(n).encode().unwrap();
+        group.bench_function(format!("{n}_answers"), |b| {
+            b.iter(|| Message::decode(black_box(&wire)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_base64url(c: &mut Criterion) {
+    let wire = pool_response(8).encode().unwrap();
+    let encoded = base64url::encode(&wire);
+    c.bench_function("dns_wire/base64url_encode", |b| {
+        b.iter(|| base64url::encode(black_box(&wire)))
+    });
+    c.bench_function("dns_wire/base64url_decode", |b| {
+        b.iter(|| base64url::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_base64url);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks of the HTTP/2 + HPACK + secure-channel transport that carries
+//! DoH exchanges.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdoh_doh::h2::{hpack, ClientConnection, ServerConnection};
+use sdoh_doh::http::{Request, Response};
+use sdoh_doh::secure::{self, SecretKey};
+
+fn bench_hpack(c: &mut Criterion) {
+    let headers: Vec<(String, String)> = vec![
+        (":method".into(), "GET".into()),
+        (":scheme".into(), "https".into()),
+        (":authority".into(), "dns.google".into()),
+        (":path".into(), "/dns-query?dns=AAABAAABAAAAAAAAA2ZvbwNiYXIAAAEAAQ".into()),
+        ("accept".into(), "application/dns-message".into()),
+    ];
+    let block = hpack::encode(&headers);
+    c.bench_function("h2/hpack_encode", |b| b.iter(|| hpack::encode(black_box(&headers))));
+    c.bench_function("h2/hpack_decode", |b| {
+        b.iter(|| hpack::decode(black_box(&block)).unwrap())
+    });
+}
+
+fn bench_request_response_exchange(c: &mut Criterion) {
+    c.bench_function("h2/get_exchange", |b| {
+        b.iter(|| {
+            let mut client = ClientConnection::new();
+            let mut server = ServerConnection::new();
+            let request = Request::get("dns.google", "/dns-query?dns=AAAB")
+                .with_header("accept", "application/dns-message");
+            let sid = client.send_request(&request);
+            let requests = server.receive(&client.take_output()).unwrap();
+            let (rid, _req) = &requests[0];
+            server.send_response(*rid, &Response::ok("application/dns-message", vec![0u8; 64]));
+            let responses = client.receive(&server.take_output()).unwrap();
+            assert_eq!(responses[0].0, sid);
+        })
+    });
+}
+
+fn bench_secure_channel(c: &mut Criterion) {
+    let key = SecretKey::derive(1, "dns.google");
+    let payload = vec![0xAAu8; 512];
+    let sealed = secure::seal(&key, secure::SEQ_CLIENT, &payload);
+    c.bench_function("secure/seal_512B", |b| {
+        b.iter(|| secure::seal(black_box(&key), secure::SEQ_CLIENT, black_box(&payload)))
+    });
+    c.bench_function("secure/open_512B", |b| {
+        b.iter(|| secure::open(black_box(&key), secure::SEQ_CLIENT, black_box(&sealed)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_hpack, bench_request_response_exchange, bench_secure_channel);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Benchmarks of the core contribution: Algorithm 1 and the majority vote,
+//! both over in-memory answer lists (pure algorithm cost) and end to end
+//! over the full simulated DoH stack.
+
+use std::net::IpAddr;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdoh_core::{majority_vote, AddressSource, PoolConfig, SecurePoolGenerator, StaticSource};
+use sdoh_dns_server::ClientExchanger;
+use sdoh_netsim::{SimAddr, SimNet};
+use secure_doh::scenario::{Scenario, ScenarioConfig, CLIENT_ADDR};
+
+fn answer_lists(resolvers: usize, addresses: usize) -> Vec<Vec<IpAddr>> {
+    (0..resolvers)
+        .map(|r| {
+            (0..addresses)
+                .map(|a| {
+                    IpAddr::V4(std::net::Ipv4Addr::new(
+                        203,
+                        0,
+                        113,
+                        ((r * addresses + a) % 250 + 1) as u8,
+                    ))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_algorithm1_pure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/algorithm1_static");
+    for &n in &[3usize, 7, 15] {
+        let sources: Vec<Box<dyn AddressSource>> = answer_lists(n, 16)
+            .into_iter()
+            .enumerate()
+            .map(|(i, list)| {
+                Box::new(StaticSource::answering(format!("r{i}"), list)) as Box<dyn AddressSource>
+            })
+            .collect();
+        let generator = SecurePoolGenerator::new(PoolConfig::algorithm1(), sources).unwrap();
+        let net = SimNet::new(1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+                generator
+                    .generate(&mut exchanger, &"pool.ntpns.org".parse().unwrap())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_majority_vote(c: &mut Criterion) {
+    let lists = answer_lists(15, 32);
+    c.bench_function("pool/majority_vote_15x32", |b| {
+        b.iter(|| majority_vote(black_box(&lists), 15, 0.5))
+    });
+}
+
+fn bench_end_to_end_doh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/end_to_end_doh");
+    group.sample_size(20);
+    for &n in &[3usize, 5] {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed: 1,
+            resolvers: n,
+            ntp_servers: 8,
+            ..ScenarioConfig::default()
+        });
+        let generator = scenario.pool_generator(PoolConfig::algorithm1()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+                generator
+                    .generate(&mut exchanger, &scenario.pool_domain)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1_pure,
+    bench_majority_vote,
+    bench_end_to_end_doh
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! E3: attack success probability (Section III-b).
+fn main() {
+    for table in sdoh_bench::attack_probability::run(20_000, 7) {
+        println!("{table}");
+    }
+}

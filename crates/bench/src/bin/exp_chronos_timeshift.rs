@@ -1,0 +1,4 @@
+//! E5: achieved clock shift with and without secure pool generation.
+fn main() {
+    println!("{}", sdoh_bench::chronos_timeshift::run(1000.0, 5));
+}

@@ -1,0 +1,4 @@
+//! E10: dual-stack (A/AAAA) policies (footnote 1).
+fn main() {
+    println!("{}", sdoh_bench::dualstack::run());
+}

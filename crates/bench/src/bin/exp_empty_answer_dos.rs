@@ -1,0 +1,4 @@
+//! E7: the empty-answer DoS cost of truncation (footnote 2).
+fn main() {
+    println!("{}", sdoh_bench::empty_answer::run(&[3, 5, 7], 9));
+}

@@ -1,0 +1,6 @@
+//! E1: regenerate the Figure 1 end-to-end flow.
+fn main() {
+    for table in sdoh_bench::fig1::run(42) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,5 @@
+//! E9: Algorithm 1 vs. the majority-vote resolver mode.
+fn main() {
+    println!("{}", sdoh_bench::majority::run(3, 17));
+    println!("{}", sdoh_bench::majority::run(5, 19));
+}

@@ -1,0 +1,7 @@
+//! E4: off-path DNS attack against plain vs. distributed DoH pool generation.
+fn main() {
+    println!(
+        "{}",
+        sdoh_bench::offpath::run(&[0.1, 0.25, 0.5, 0.75, 1.0], 40, 11)
+    );
+}

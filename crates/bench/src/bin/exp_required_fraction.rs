@@ -1,0 +1,4 @@
+//! E2: required fraction of compromised resolvers (Section III-a).
+fn main() {
+    println!("{}", sdoh_bench::required_fraction::run(&[3, 5, 7, 15], 4, 0.5));
+}

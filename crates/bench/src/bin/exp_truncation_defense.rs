@@ -1,0 +1,4 @@
+//! E6: answer-inflation attack vs. the truncation defence (footnote 2).
+fn main() {
+    println!("{}", sdoh_bench::truncation::run(&[2, 4, 8, 16, 32], 3));
+}

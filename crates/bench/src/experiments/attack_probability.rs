@@ -1,0 +1,58 @@
+//! E3 — Section III-b: the probability of a successful attack is
+//! `p_attack^M`, exponentially small in the number of resolvers.
+
+use sdoh_analysis::{
+    resolvers_for_security_gain, sweep_attack_probability, sweep_resolver_count, sweep_table,
+    Table,
+};
+
+/// Regenerates the attack-probability series: sweep over the number of
+/// resolvers and over `p_attack`, comparing the paper's bound, the exact
+/// binomial tail and a Monte-Carlo simulation.
+pub fn run(trials: u64, seed: u64) -> Vec<Table> {
+    let by_n = sweep_resolver_count(&[1, 3, 5, 7, 9, 15, 31], 0.2, 2.0 / 3.0, trials, seed);
+    let by_p = sweep_attack_probability(
+        3,
+        &[0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9],
+        2.0 / 3.0,
+        trials,
+        seed + 1,
+    );
+
+    let mut gain = Table::new(
+        "E3c: resolvers needed per factor-1000 security gain (\"key size\" analogy)",
+        &["p_attack", "extra resolvers for 10^-3"],
+    );
+    for p in [0.01, 0.1, 0.3, 0.5, 0.9] {
+        gain.push_row([
+            format!("{p:.2}"),
+            resolvers_for_security_gain(p, 3.0).to_string(),
+        ]);
+    }
+
+    vec![
+        sweep_table(
+            "E3a: attack probability vs. number of resolvers (p_attack = 0.2, x = 2/3)",
+            &by_n,
+        ),
+        sweep_table(
+            "E3b: attack probability vs. p_attack (N = 3, x = 2/3; paper: p^2)",
+            &by_p,
+        ),
+        gain,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_tables_with_expected_shapes() {
+        let tables = run(2_000, 3);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), 7);
+        assert_eq!(tables[1].len(), 8);
+        assert_eq!(tables[2].len(), 5);
+    }
+}

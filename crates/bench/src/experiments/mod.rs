@@ -1,0 +1,49 @@
+//! One module per experiment of the index in `DESIGN.md`.
+
+pub mod attack_probability;
+pub mod chronos_timeshift;
+pub mod dualstack;
+pub mod empty_answer;
+pub mod fig1;
+pub mod majority;
+pub mod offpath;
+pub mod overhead;
+pub mod required_fraction;
+pub mod truncation;
+
+use std::net::IpAddr;
+
+use sdoh_netsim::{OffPathSpoofer, SimAddr, SpoofStrategy};
+use secure_doh::wire::{Message, MessageBuilder, Name};
+
+/// Builds the off-path spoofing adversary used by the attack experiments:
+/// it targets plain-DNS queries towards the given victims, forges answers
+/// for address queries under `target_domain` and points them at
+/// `attacker_addresses`, succeeding with probability `p` per query.
+pub fn pool_spoofer(
+    p: f64,
+    victims: Vec<SimAddr>,
+    target_domain: Name,
+    attacker_addresses: Vec<IpAddr>,
+) -> OffPathSpoofer {
+    OffPathSpoofer::new(SpoofStrategy::FixedProbability(p), move |query_bytes, _rng| {
+        let query = Message::decode(query_bytes).ok()?;
+        let question = query.question()?;
+        if !question.rtype.is_address() || !question.name.is_subdomain_of(&target_domain) {
+            return None;
+        }
+        let mut builder = MessageBuilder::response_to(&query).recursion_available(true);
+        for addr in &attacker_addresses {
+            builder = builder.answer_address(300, *addr);
+        }
+        builder.build().encode().ok()
+    })
+    .with_targets(victims)
+}
+
+/// Attacker address block shared by the experiments.
+pub fn attacker_addresses(count: usize) -> Vec<IpAddr> {
+    (1..=count)
+        .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(198, 18, (i / 250) as u8, (i % 250) as u8)))
+        .collect()
+}

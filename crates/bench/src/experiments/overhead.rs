@@ -1,0 +1,98 @@
+//! E8 — the cost of the design: messages, bytes and (virtual) latency of
+//! pool generation as the number of DoH resolvers grows, against the
+//! single-query plain-DNS baseline.
+
+use sdoh_analysis::Table;
+use sdoh_core::PoolConfig;
+use sdoh_dns_server::{ClientExchanger, StubResolver};
+use secure_doh::scenario::{Scenario, ScenarioConfig, CLIENT_ADDR, ISP_RESOLVER};
+
+/// Measures one pool generation per resolver count and reports transport
+/// metrics plus elapsed virtual time.
+pub fn run(resolver_counts: &[usize], seed: u64) -> Table {
+    let mut table = Table::new(
+        "E8: pool-generation overhead vs. number of DoH resolvers",
+        &[
+            "configuration",
+            "requests",
+            "bytes sent",
+            "bytes received",
+            "virtual latency (ms)",
+            "pool slots",
+        ],
+    );
+
+    // Baseline: one plain DNS lookup through the ISP resolver.
+    {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed,
+            resolvers: 1,
+            ntp_servers: 8,
+            ..ScenarioConfig::default()
+        });
+        let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+        let start = scenario.net.now();
+        let addresses = StubResolver::new(ISP_RESOLVER)
+            .lookup_ipv4(&mut exchanger, &scenario.pool_domain)
+            .unwrap_or_default();
+        let elapsed = scenario.net.clock().elapsed_since(start);
+        let metrics = scenario.net.metrics();
+        table.push_row([
+            "plain DNS (baseline)".to_string(),
+            metrics.requests.to_string(),
+            metrics.bytes_sent.to_string(),
+            metrics.bytes_received.to_string(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1000.0),
+            addresses.len().to_string(),
+        ]);
+    }
+
+    for &n in resolver_counts {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed: seed + n as u64,
+            resolvers: n,
+            ntp_servers: 8,
+            ..ScenarioConfig::default()
+        });
+        let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+        // Exclude scenario setup traffic from the measurement.
+        scenario.net.reset_metrics();
+        let start = scenario.net.now();
+        let report = scenario
+            .pool_generator(PoolConfig::algorithm1())
+            .expect("generator")
+            .generate(&mut exchanger, &scenario.pool_domain)
+            .expect("generation");
+        let elapsed = scenario.net.clock().elapsed_since(start);
+        let metrics = scenario.net.metrics();
+        table.push_row([
+            format!("distributed DoH, N={n}"),
+            metrics.requests.to_string(),
+            metrics.bytes_sent.to_string(),
+            metrics.bytes_received.to_string(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1000.0),
+            report.pool.len().to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_grows_with_resolver_count() {
+        let table = run(&[1, 3, 5], 31);
+        assert_eq!(table.len(), 4);
+        let rows = table.rows();
+        let requests: Vec<u64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        // More resolvers means more requests.
+        assert!(requests[3] > requests[2]);
+        assert!(requests[2] > requests[1]);
+        // The pool grows linearly with N (8 addresses each).
+        assert_eq!(rows[1][5], "8");
+        assert_eq!(rows[2][5], "24");
+        assert_eq!(rows[3][5], "40");
+    }
+}

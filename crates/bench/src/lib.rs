@@ -1,0 +1,14 @@
+//! Experiment harness regenerating every figure and quantitative claim of
+//! *"Secure Consensus Generation with Distributed DoH"*.
+//!
+//! Each module in [`experiments`] corresponds to one row of the experiment
+//! index in `DESIGN.md` (E1–E10) and returns [`sdoh_analysis::Table`]s that
+//! the `exp_*` binaries print as markdown; `EXPERIMENTS.md` records the
+//! resulting numbers next to the paper's claims.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::*;

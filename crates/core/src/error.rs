@@ -1,0 +1,71 @@
+//! Error types for secure pool generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating a server address pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// No resolvers are configured.
+    NoResolvers,
+    /// Fewer resolvers answered than the configuration requires.
+    NotEnoughResponses {
+        /// Resolvers that returned a usable answer.
+        answered: usize,
+        /// Minimum required by the configuration.
+        required: usize,
+    },
+    /// Every resolver answered but the combined pool is empty (for example
+    /// because one compromised resolver returned an empty list and
+    /// truncation reduced everything to zero — the DoS cost the paper
+    /// acknowledges in footnote 2).
+    EmptyPool,
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::NoResolvers => write!(f, "no DoH resolvers configured"),
+            PoolError::NotEnoughResponses { answered, required } => write!(
+                f,
+                "only {answered} resolvers answered, {required} required"
+            ),
+            PoolError::EmptyPool => write!(f, "the combined address pool is empty"),
+            PoolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for PoolError {}
+
+/// Result alias for pool generation.
+pub type PoolResult<T> = Result<T, PoolError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases = [
+            PoolError::NoResolvers,
+            PoolError::NotEnoughResponses {
+                answered: 1,
+                required: 3,
+            },
+            PoolError::EmptyPool,
+            PoolError::InvalidConfig("x out of range".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_an_error_trait_object() {
+        let e: Box<dyn Error> = Box::new(PoolError::EmptyPool);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,491 @@
+//! The secure server-pool generation procedure (Algorithm 1 of the paper)
+//! and its variants.
+
+use std::net::IpAddr;
+
+use sdoh_dns_server::Exchanger;
+use sdoh_dns_wire::{Name, RrType};
+use sdoh_doh::{DohMethod, ResolverDirectory};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CombinationMode, DualStackPolicy, FailurePolicy, PoolConfig};
+use crate::error::{PoolError, PoolResult};
+use crate::majority::majority_vote;
+use crate::pool::AddressPool;
+use crate::source::{AddressSource, DohSource};
+
+/// Outcome of querying one resolver during pool generation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceOutcome {
+    /// The resolver answered with this many addresses (possibly zero).
+    Answered(usize),
+    /// The resolver failed; the string describes why.
+    Failed(String),
+}
+
+impl SourceOutcome {
+    /// Returns `true` for the `Answered` variant.
+    pub fn is_answered(&self) -> bool {
+        matches!(self, SourceOutcome::Answered(_))
+    }
+}
+
+/// A full record of one pool-generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationReport {
+    /// The generated pool.
+    pub pool: AddressPool,
+    /// The combination mode that was used.
+    pub mode: CombinationMode,
+    /// Per-resolver outcomes, in configuration order: `(name, outcome)`.
+    pub sources: Vec<(String, SourceOutcome)>,
+    /// The truncation length applied per queried record type
+    /// (`("A", len)` / `("AAAA", len)` / `("A+AAAA", len)`); empty for the
+    /// majority-vote mode.
+    pub truncate_lengths: Vec<(String, usize)>,
+}
+
+impl GenerationReport {
+    /// Number of resolvers that produced a usable answer.
+    pub fn answered(&self) -> usize {
+        self.sources.iter().filter(|(_, o)| o.is_answered()).count()
+    }
+
+    /// Number of resolvers that failed.
+    pub fn failed(&self) -> usize {
+        self.sources.len() - self.answered()
+    }
+
+    /// Returns the pool, or [`PoolError::EmptyPool`] when generation
+    /// produced no usable addresses (e.g. the empty-answer DoS of
+    /// footnote 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::EmptyPool`] when the pool has no entries.
+    pub fn require_non_empty(&self) -> PoolResult<&AddressPool> {
+        if self.pool.is_empty() {
+            Err(PoolError::EmptyPool)
+        } else {
+            Ok(&self.pool)
+        }
+    }
+}
+
+/// The secure pool generator: a set of distributed DoH resolvers plus a
+/// combination policy.
+pub struct SecurePoolGenerator {
+    config: PoolConfig,
+    sources: Vec<Box<dyn AddressSource>>,
+}
+
+impl SecurePoolGenerator {
+    /// Creates a generator from a configuration and a set of sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::NoResolvers`] for an empty source list and
+    /// configuration validation errors.
+    pub fn new(config: PoolConfig, sources: Vec<Box<dyn AddressSource>>) -> PoolResult<Self> {
+        config.validate()?;
+        if sources.is_empty() {
+            return Err(PoolError::NoResolvers);
+        }
+        Ok(SecurePoolGenerator { config, sources })
+    }
+
+    /// Convenience constructor: use the first `n` resolvers of a directory
+    /// over DoH with the given method.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SecurePoolGenerator::new`].
+    pub fn from_directory(
+        config: PoolConfig,
+        directory: &ResolverDirectory,
+        n: usize,
+        method: DohMethod,
+    ) -> PoolResult<Self> {
+        let sources: Vec<Box<dyn AddressSource>> = directory
+            .take(n)
+            .into_iter()
+            .map(|info| Box::new(DohSource::new(info).method(method)) as Box<dyn AddressSource>)
+            .collect();
+        SecurePoolGenerator::new(config, sources)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Number of configured resolvers (`N` in the paper's analysis).
+    pub fn resolver_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Runs pool generation for `domain` according to the configured
+    /// dual-stack policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::NotEnoughResponses`] when fewer resolvers than
+    /// `min_responses` produced usable answers.
+    pub fn generate(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        domain: &Name,
+    ) -> PoolResult<GenerationReport> {
+        match self.config.dual_stack {
+            DualStackPolicy::Ipv4Only => self.generate_for_types(exchanger, domain, &[RrType::A]),
+            DualStackPolicy::Ipv6Only => {
+                self.generate_for_types(exchanger, domain, &[RrType::Aaaa])
+            }
+            DualStackPolicy::Union => {
+                self.generate_for_types(exchanger, domain, &[RrType::A, RrType::Aaaa])
+            }
+            DualStackPolicy::PerFamily => {
+                let v4 = self.generate_for_types(exchanger, domain, &[RrType::A])?;
+                let v6 = self.generate_for_types(exchanger, domain, &[RrType::Aaaa])?;
+                let mut pool = v4.pool.clone();
+                pool.extend_from(&v6.pool);
+                let mut truncate_lengths = v4.truncate_lengths.clone();
+                truncate_lengths.extend(v6.truncate_lengths.clone());
+                Ok(GenerationReport {
+                    pool,
+                    mode: self.config.mode,
+                    sources: v4.sources.clone(),
+                    truncate_lengths,
+                })
+            }
+        }
+    }
+
+    /// Runs one generation pass where each resolver's answer list is the
+    /// concatenation of its answers for the given record types.
+    fn generate_for_types(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        domain: &Name,
+        rtypes: &[RrType],
+    ) -> PoolResult<GenerationReport> {
+        let mut outcomes: Vec<(String, SourceOutcome)> = Vec::new();
+        let mut answers: Vec<(String, Vec<IpAddr>)> = Vec::new();
+
+        for source in &self.sources {
+            let name = source.source_name();
+            let mut combined: Vec<IpAddr> = Vec::new();
+            let mut failure: Option<String> = None;
+            for &rtype in rtypes {
+                match source.fetch(exchanger, domain, rtype) {
+                    Ok(addresses) => combined.extend(addresses),
+                    Err(err) => {
+                        failure = Some(err.to_string());
+                        break;
+                    }
+                }
+            }
+            match failure {
+                None => {
+                    outcomes.push((name.clone(), SourceOutcome::Answered(combined.len())));
+                    answers.push((name, combined));
+                }
+                Some(err) => {
+                    outcomes.push((name.clone(), SourceOutcome::Failed(err)));
+                    if self.config.failure_policy == FailurePolicy::TreatAsEmpty {
+                        answers.push((name, Vec::new()));
+                    }
+                }
+            }
+        }
+
+        let usable = answers.len();
+        if usable < self.config.min_responses {
+            return Err(PoolError::NotEnoughResponses {
+                answered: usable,
+                required: self.config.min_responses,
+            });
+        }
+
+        let type_label = rtypes
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("+");
+
+        let (pool, truncate_lengths) = match self.config.mode {
+            CombinationMode::TruncateAndCombine => {
+                let truncate = answers.iter().map(|(_, l)| l.len()).min().unwrap_or(0);
+                let mut pool = AddressPool::new();
+                for (name, list) in &answers {
+                    for &addr in list.iter().take(truncate) {
+                        pool.push(addr, name.clone());
+                    }
+                }
+                (pool, vec![(type_label, truncate)])
+            }
+            CombinationMode::CombineWithoutTruncation => {
+                let mut pool = AddressPool::new();
+                for (name, list) in &answers {
+                    for &addr in list {
+                        pool.push(addr, name.clone());
+                    }
+                }
+                let max = answers.iter().map(|(_, l)| l.len()).max().unwrap_or(0);
+                (pool, vec![(type_label, max)])
+            }
+            CombinationMode::MajorityVote => {
+                let lists: Vec<Vec<IpAddr>> =
+                    answers.iter().map(|(_, l)| l.clone()).collect();
+                let winners =
+                    majority_vote(&lists, usable, self.config.majority_threshold);
+                let mut pool = AddressPool::new();
+                for (addr, support) in winners {
+                    pool.push(addr, format!("majority({support}/{usable})"));
+                }
+                (pool, Vec::new())
+            }
+        };
+
+        Ok(GenerationReport {
+            pool,
+            mode: self.config.mode,
+            sources: outcomes,
+            truncate_lengths,
+        })
+    }
+}
+
+impl std::fmt::Debug for SecurePoolGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecurePoolGenerator")
+            .field("config", &self.config)
+            .field("resolvers", &self.sources.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::StaticSource;
+    use sdoh_dns_server::ClientExchanger;
+    use sdoh_netsim::{SimAddr, SimNet};
+
+    fn ip(last: u8) -> IpAddr {
+        format!("203.0.113.{last}").parse().unwrap()
+    }
+
+    fn evil(last: u8) -> IpAddr {
+        format!("198.18.0.{last}").parse().unwrap()
+    }
+
+    fn boxed(source: StaticSource) -> Box<dyn AddressSource> {
+        Box::new(source)
+    }
+
+    fn run(
+        config: PoolConfig,
+        sources: Vec<Box<dyn AddressSource>>,
+    ) -> PoolResult<GenerationReport> {
+        let net = SimNet::new(1);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let generator = SecurePoolGenerator::new(config, sources)?;
+        generator.generate(&mut exchanger, &"pool.ntp.org".parse().unwrap())
+    }
+
+    #[test]
+    fn algorithm1_truncates_to_shortest_and_combines() {
+        // Resolver lists of length 3, 2, 4 -> truncate to 2, pool of 6.
+        let sources = vec![
+            boxed(StaticSource::answering("r1", vec![ip(1), ip(2), ip(3)])),
+            boxed(StaticSource::answering("r2", vec![ip(4), ip(5)])),
+            boxed(StaticSource::answering("r3", vec![ip(6), ip(7), ip(8), ip(9)])),
+        ];
+        let report = run(PoolConfig::algorithm1(), sources).unwrap();
+        assert_eq!(report.pool.len(), 6);
+        assert_eq!(report.truncate_lengths, vec![("A".to_string(), 2)]);
+        assert_eq!(report.pool.slots_from("r1"), 2);
+        assert_eq!(report.pool.slots_from("r2"), 2);
+        assert_eq!(report.pool.slots_from("r3"), 2);
+        // Order preserved within each resolver's contribution.
+        assert_eq!(report.pool.addresses()[..2], [ip(1), ip(2)]);
+        assert_eq!(report.answered(), 3);
+        assert_eq!(report.failed(), 0);
+    }
+
+    #[test]
+    fn truncation_caps_an_inflating_attacker() {
+        // The attacker controls r3 and inflates its answer with 16 addresses.
+        let attacker_list: Vec<IpAddr> = (1..=16).map(evil).collect();
+        let sources = vec![
+            boxed(StaticSource::answering("r1", vec![ip(1), ip(2), ip(3)])),
+            boxed(StaticSource::answering("r2", vec![ip(4), ip(5), ip(6)])),
+            boxed(StaticSource::answering("r3", attacker_list.clone())),
+        ];
+        let report = run(PoolConfig::algorithm1(), sources).unwrap();
+        // Truncated to 3 per resolver: the attacker controls exactly 1/3.
+        assert_eq!(report.pool.len(), 9);
+        let malicious_fraction =
+            1.0 - report.pool.benign_fraction(|a| !attacker_list.contains(&a));
+        assert!((malicious_fraction - 1.0 / 3.0).abs() < 1e-12);
+
+        // Ablation: without truncation the attacker owns the pool majority.
+        let sources = vec![
+            boxed(StaticSource::answering("r1", vec![ip(1), ip(2), ip(3)])),
+            boxed(StaticSource::answering("r2", vec![ip(4), ip(5), ip(6)])),
+            boxed(StaticSource::answering("r3", attacker_list.clone())),
+        ];
+        let report = run(
+            PoolConfig::default().with_mode(CombinationMode::CombineWithoutTruncation),
+            sources,
+        )
+        .unwrap();
+        let malicious_fraction =
+            1.0 - report.pool.benign_fraction(|a| !attacker_list.contains(&a));
+        assert!(malicious_fraction > 0.5);
+    }
+
+    #[test]
+    fn empty_answer_truncates_everything_to_zero() {
+        let sources = vec![
+            boxed(StaticSource::answering("r1", vec![ip(1), ip(2)])),
+            boxed(StaticSource::answering("r2", vec![])),
+            boxed(StaticSource::answering("r3", vec![ip(3), ip(4)])),
+        ];
+        let report = run(PoolConfig::algorithm1(), sources).unwrap();
+        assert!(report.pool.is_empty());
+        assert_eq!(report.require_non_empty(), Err(PoolError::EmptyPool));
+        assert_eq!(report.truncate_lengths, vec![("A".to_string(), 0)]);
+    }
+
+    #[test]
+    fn failed_resolver_skipped_or_counted_empty() {
+        let make = || {
+            vec![
+                boxed(StaticSource::answering("r1", vec![ip(1), ip(2)])),
+                boxed(StaticSource::failing("r2")),
+                boxed(StaticSource::answering("r3", vec![ip(3), ip(4)])),
+            ]
+        };
+        // Default: skip the failed resolver, pool built from the other two.
+        let report = run(PoolConfig::algorithm1(), make()).unwrap();
+        assert_eq!(report.pool.len(), 4);
+        assert_eq!(report.answered(), 2);
+        assert_eq!(report.failed(), 1);
+
+        // TreatAsEmpty: the failure truncates the pool to zero.
+        let report = run(
+            PoolConfig::algorithm1().with_failure_policy(FailurePolicy::TreatAsEmpty),
+            make(),
+        )
+        .unwrap();
+        assert!(report.pool.is_empty());
+    }
+
+    #[test]
+    fn min_responses_is_enforced() {
+        let sources = vec![
+            boxed(StaticSource::answering("r1", vec![ip(1)])),
+            boxed(StaticSource::failing("r2")),
+            boxed(StaticSource::failing("r3")),
+        ];
+        let err = run(PoolConfig::algorithm1().with_min_responses(2), sources).unwrap_err();
+        assert_eq!(
+            err,
+            PoolError::NotEnoughResponses {
+                answered: 1,
+                required: 2
+            }
+        );
+    }
+
+    #[test]
+    fn majority_vote_filters_unpopular_addresses() {
+        let sources = vec![
+            boxed(StaticSource::answering("r1", vec![ip(1), ip(2), evil(1)])),
+            boxed(StaticSource::answering("r2", vec![ip(1), ip(2)])),
+            boxed(StaticSource::answering("r3", vec![ip(1), ip(3)])),
+        ];
+        let report = run(PoolConfig::majority_resolver(), sources).unwrap();
+        let addrs = report.pool.addresses();
+        assert!(addrs.contains(&ip(1)));
+        assert!(addrs.contains(&ip(2)));
+        assert!(!addrs.contains(&ip(3)));
+        assert!(!addrs.contains(&evil(1)));
+        assert!(report.truncate_lengths.is_empty());
+    }
+
+    #[test]
+    fn dual_stack_policies() {
+        let make = || {
+            vec![
+                boxed(StaticSource::answering(
+                    "r1",
+                    vec![ip(1), "2001:db8::1".parse().unwrap()],
+                )),
+                boxed(StaticSource::answering(
+                    "r2",
+                    vec![ip(2), ip(3), "2001:db8::2".parse().unwrap()],
+                )),
+            ]
+        };
+        let v4 = run(PoolConfig::algorithm1(), make()).unwrap();
+        assert!(v4.pool.addresses().iter().all(|a| a.is_ipv4()));
+
+        let v6 = run(
+            PoolConfig::algorithm1().with_dual_stack(DualStackPolicy::Ipv6Only),
+            make(),
+        )
+        .unwrap();
+        assert!(v6.pool.addresses().iter().all(|a| a.is_ipv6()));
+        assert_eq!(v6.pool.len(), 2);
+
+        let union = run(
+            PoolConfig::algorithm1().with_dual_stack(DualStackPolicy::Union),
+            make(),
+        )
+        .unwrap();
+        // Per-resolver combined lists have lengths 2 and 3 -> truncate to 2.
+        assert_eq!(union.pool.len(), 4);
+        assert_eq!(union.truncate_lengths, vec![("A+AAAA".to_string(), 2)]);
+
+        let per_family = run(
+            PoolConfig::algorithm1().with_dual_stack(DualStackPolicy::PerFamily),
+            make(),
+        )
+        .unwrap();
+        // A truncates to 1 (2 resolvers -> 2 slots), AAAA truncates to 1 (2 slots).
+        assert_eq!(per_family.pool.len(), 4);
+        assert_eq!(per_family.truncate_lengths.len(), 2);
+    }
+
+    #[test]
+    fn constructor_errors() {
+        assert!(matches!(
+            SecurePoolGenerator::new(PoolConfig::algorithm1(), vec![]),
+            Err(PoolError::NoResolvers)
+        ));
+        let bad_config = PoolConfig::algorithm1().with_benign_fraction(2.0);
+        assert!(SecurePoolGenerator::new(
+            bad_config,
+            vec![boxed(StaticSource::answering("r", vec![ip(1)]))]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_directory_builds_doh_sources() {
+        let directory = sdoh_doh::ResolverDirectory::well_known(5);
+        let generator = SecurePoolGenerator::from_directory(
+            PoolConfig::algorithm1(),
+            &directory,
+            3,
+            DohMethod::Get,
+        )
+        .unwrap();
+        assert_eq!(generator.resolver_count(), 3);
+        assert!(format!("{generator:?}").contains("resolvers"));
+        assert_eq!(generator.config().min_responses, 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Secure server-pool generation with distributed DoH resolvers — the core
+//! contribution of *"Secure Consensus Generation with Distributed DoH"*
+//! (Jeitner, Shulman, Waidner; DSN-S 2020).
+//!
+//! Applications that need a pool of servers with an honest majority
+//! (Chronos-enhanced NTP, cryptocurrency bootstrapping, …) traditionally
+//! obtain it with a single plain DNS query — a single point of failure an
+//! off-path attacker can poison. This crate implements the paper's
+//! alternative:
+//!
+//! * query the pool domain through **N distributed DoH resolvers** over
+//!   authenticated channels ([`SecurePoolGenerator`], [`DohSource`]),
+//! * combine the answers with **Algorithm 1** — truncate every list to the
+//!   shortest list's length and concatenate
+//!   ([`CombinationMode::TruncateAndCombine`]) — so that each resolver
+//!   controls an equal share of the pool,
+//! * or filter with a **majority vote** ([`CombinationMode::MajorityVote`])
+//!   and expose the result through a standard-compatible DNS front end
+//!   ([`SecurePoolResolver`]),
+//! * handle dual-stack lookups per the paper's footnote 1
+//!   ([`DualStackPolicy`]),
+//! * and check the guarantee — "the pool contains a fraction of at least
+//!   `x` benign servers" — against experiment ground truth
+//!   ([`check_guarantee`]).
+//!
+//! # Example: Algorithm 1 over three resolvers
+//!
+//! ```
+//! use sdoh_core::{AddressSource, PoolConfig, SecurePoolGenerator, StaticSource};
+//! use sdoh_dns_server::ClientExchanger;
+//! use sdoh_netsim::{SimAddr, SimNet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sources: Vec<Box<dyn AddressSource>> = vec![
+//!     Box::new(StaticSource::answering("dns.google", vec!["203.0.113.1".parse()?])),
+//!     Box::new(StaticSource::answering("cloudflare-dns.com", vec!["203.0.113.2".parse()?])),
+//!     Box::new(StaticSource::answering("dns.quad9.net", vec!["203.0.113.1".parse()?])),
+//! ];
+//! let generator = SecurePoolGenerator::new(PoolConfig::algorithm1(), sources)?;
+//!
+//! let net = SimNet::new(1);
+//! let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+//! let report = generator.generate(&mut exchanger, &"pool.ntp.org".parse()?)?;
+//! assert_eq!(report.pool.len(), 3, "one slot per resolver after truncation");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod error;
+mod generator;
+mod guarantee;
+mod lookup;
+mod majority;
+mod pool;
+mod source;
+
+pub use config::{CombinationMode, DualStackPolicy, FailurePolicy, PoolConfig};
+pub use error::{PoolError, PoolResult};
+pub use generator::{GenerationReport, SecurePoolGenerator, SourceOutcome};
+pub use guarantee::{attacker_controls_fraction, check_guarantee, GroundTruth, GuaranteeCheck};
+pub use lookup::SecurePoolResolver;
+pub use majority::{majority_vote, support_counts};
+pub use pool::{AddressPool, PoolEntry};
+pub use source::{AddressSource, DohSource, FetchError, PlainDnsSource, StaticSource};

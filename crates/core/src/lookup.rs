@@ -1,0 +1,223 @@
+//! The standard-compatible DNS front end ("majority DNS resolver").
+//!
+//! The paper proposes deploying the mechanism "without changing the DNS
+//! infrastructure, offering a standard-compatible DNS-resolver interface".
+//! [`SecurePoolResolver`] is that interface: it answers ordinary A/AAAA
+//! queries from unmodified stub resolvers by running distributed DoH pool
+//! generation underneath and returning the combined (or majority-filtered)
+//! addresses as a plain DNS response.
+
+use sdoh_dns_server::{Exchanger, QueryHandler};
+use sdoh_dns_wire::{Message, MessageBuilder, Rcode, Record, RrType};
+
+use crate::generator::SecurePoolGenerator;
+
+/// A DNS query handler backed by secure pool generation.
+pub struct SecurePoolResolver {
+    generator: SecurePoolGenerator,
+    answer_ttl: u32,
+    queries: u64,
+    failures: u64,
+}
+
+impl SecurePoolResolver {
+    /// Wraps a generator as a DNS front end.
+    pub fn new(generator: SecurePoolGenerator) -> Self {
+        SecurePoolResolver {
+            generator,
+            answer_ttl: 60,
+            queries: 0,
+            failures: 0,
+        }
+    }
+
+    /// Sets the TTL attached to synthesised answer records.
+    pub fn answer_ttl(mut self, ttl: u32) -> Self {
+        self.answer_ttl = ttl;
+        self
+    }
+
+    /// Access to the underlying generator.
+    pub fn generator(&self) -> &SecurePoolGenerator {
+        &self.generator
+    }
+
+    /// Number of address queries served.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Number of queries that could not be answered (pool generation
+    /// failed).
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+}
+
+impl QueryHandler for SecurePoolResolver {
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        let question = match query.question() {
+            Some(q) => q.clone(),
+            None => return Message::error_response(query, Rcode::FormErr),
+        };
+        // The operation mode only supports address lookups (Section II).
+        if !question.rtype.is_address() {
+            return Message::error_response(query, Rcode::NotImp);
+        }
+        self.queries += 1;
+        match self.generator.generate(exchanger, &question.name) {
+            Ok(report) => {
+                let mut builder =
+                    MessageBuilder::response_to(query).recursion_available(true);
+                for entry in report.pool.iter() {
+                    // Only return addresses of the queried family even when
+                    // the generator is configured for dual-stack union.
+                    let matches_family = match question.rtype {
+                        RrType::A => entry.address.is_ipv4(),
+                        RrType::Aaaa => entry.address.is_ipv6(),
+                        _ => false,
+                    };
+                    if matches_family {
+                        builder = builder.answer(Record::address(
+                            question.name.clone(),
+                            self.answer_ttl,
+                            entry.address,
+                        ));
+                    }
+                }
+                builder.build()
+            }
+            Err(_) => {
+                self.failures += 1;
+                Message::error_response(query, Rcode::ServFail)
+            }
+        }
+    }
+
+    fn handler_name(&self) -> &str {
+        "secure-pool-resolver"
+    }
+}
+
+impl std::fmt::Debug for SecurePoolResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecurePoolResolver")
+            .field("generator", &self.generator)
+            .field("queries", &self.queries)
+            .field("failures", &self.failures)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use crate::source::{AddressSource, StaticSource};
+    use sdoh_dns_server::{ClientExchanger, DnsClient, Do53Service, StubResolver};
+    use sdoh_netsim::{SimAddr, SimNet};
+    use std::net::IpAddr;
+
+    fn ip(last: u8) -> IpAddr {
+        format!("203.0.113.{last}").parse().unwrap()
+    }
+
+    fn resolver_with_static_sources(config: PoolConfig) -> SecurePoolResolver {
+        let sources: Vec<Box<dyn AddressSource>> = vec![
+            Box::new(StaticSource::answering("r1", vec![ip(1), ip(2)])),
+            Box::new(StaticSource::answering("r2", vec![ip(2), ip(3)])),
+            Box::new(StaticSource::answering("r3", vec![ip(2), ip(1)])),
+        ];
+        SecurePoolResolver::new(SecurePoolGenerator::new(config, sources).unwrap())
+    }
+
+    #[test]
+    fn answers_a_queries_with_combined_pool() {
+        let net = SimNet::new(70);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver_with_static_sources(PoolConfig::algorithm1());
+        let query = Message::query(1, "pool.ntp.org".parse().unwrap(), RrType::A);
+        let response = resolver.handle_query(&mut exchanger, &query);
+        // 3 resolvers x 2 addresses each.
+        assert_eq!(response.answer_addresses().len(), 6);
+        assert!(response.header.recursion_available);
+        assert_eq!(resolver.queries(), 1);
+        assert_eq!(resolver.failures(), 0);
+    }
+
+    #[test]
+    fn majority_mode_filters_addresses() {
+        let net = SimNet::new(71);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver_with_static_sources(PoolConfig::majority_resolver());
+        let query = Message::query(2, "pool.ntp.org".parse().unwrap(), RrType::A);
+        let response = resolver.handle_query(&mut exchanger, &query);
+        let addrs = response.answer_addresses();
+        assert!(addrs.contains(&ip(1)), "2/3 resolvers returned .1");
+        assert!(addrs.contains(&ip(2)), "3/3 resolvers returned .2");
+        assert!(!addrs.contains(&ip(3)), "1/3 resolvers returned .3");
+    }
+
+    #[test]
+    fn non_address_queries_get_notimp() {
+        let net = SimNet::new(72);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver_with_static_sources(PoolConfig::algorithm1());
+        let query = Message::query(3, "pool.ntp.org".parse().unwrap(), RrType::Txt);
+        let response = resolver.handle_query(&mut exchanger, &query);
+        assert_eq!(response.header.rcode, Rcode::NotImp);
+        assert_eq!(resolver.queries(), 0);
+    }
+
+    #[test]
+    fn generation_failure_becomes_servfail() {
+        let net = SimNet::new(73);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let sources: Vec<Box<dyn AddressSource>> = vec![
+            Box::new(StaticSource::failing("dead1")),
+            Box::new(StaticSource::failing("dead2")),
+        ];
+        let generator = SecurePoolGenerator::new(
+            PoolConfig::algorithm1().with_min_responses(2),
+            sources,
+        )
+        .unwrap();
+        let mut resolver = SecurePoolResolver::new(generator);
+        let query = Message::query(4, "pool.ntp.org".parse().unwrap(), RrType::A);
+        let response = resolver.handle_query(&mut exchanger, &query);
+        assert_eq!(response.header.rcode, Rcode::ServFail);
+        assert_eq!(resolver.failures(), 1);
+    }
+
+    #[test]
+    fn works_behind_a_standard_stub_resolver() {
+        // Backward compatibility: an unmodified stub resolver pointed at the
+        // majority resolver on port 53 just works.
+        let net = SimNet::new(74);
+        let frontend_addr = SimAddr::v4(10, 0, 0, 53, 53);
+        let resolver = resolver_with_static_sources(PoolConfig::algorithm1()).answer_ttl(120);
+        net.register(frontend_addr, Do53Service::new(resolver));
+
+        let stub = StubResolver::new(frontend_addr);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let addrs = stub
+            .lookup_ipv4(&mut exchanger, &"pool.ntp.org".parse().unwrap())
+            .unwrap();
+        assert_eq!(addrs.len(), 6);
+
+        // The answer TTL is the configured one.
+        let client = DnsClient::new(frontend_addr);
+        let response = client
+            .query(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::A)
+            .unwrap();
+        assert!(response.answers.iter().all(|r| r.ttl == 120));
+    }
+
+    #[test]
+    fn debug_and_accessors() {
+        let resolver = resolver_with_static_sources(PoolConfig::algorithm1());
+        assert!(format!("{resolver:?}").contains("SecurePoolResolver"));
+        assert_eq!(resolver.generator().resolver_count(), 3);
+        assert_eq!(resolver.handler_name(), "secure-pool-resolver");
+    }
+}

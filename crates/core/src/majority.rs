@@ -1,0 +1,107 @@
+//! Majority voting over per-resolver address lists (paper Section II).
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+/// Counts, for every address, how many of the given answer lists contain it
+/// (presence per list, not multiplicity within a list).
+pub fn support_counts(lists: &[Vec<IpAddr>]) -> BTreeMap<IpAddr, usize> {
+    let mut counts: BTreeMap<IpAddr, usize> = BTreeMap::new();
+    for list in lists {
+        let mut seen = Vec::new();
+        for &addr in list {
+            if !seen.contains(&addr) {
+                seen.push(addr);
+                *counts.entry(addr).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Returns the addresses supported by strictly more than `threshold` of the
+/// `total` resolvers, in ascending address order with their support counts.
+///
+/// With `threshold = 0.5` this is the classic majority vote the paper
+/// describes: "the majority DNS resolver only includes an address in the
+/// final response, if it is given by a majority of the DoH resolvers".
+pub fn majority_vote(
+    lists: &[Vec<IpAddr>],
+    total: usize,
+    threshold: f64,
+) -> Vec<(IpAddr, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let needed = (threshold * total as f64).floor() as usize;
+    support_counts(lists)
+        .into_iter()
+        .filter(|(_, support)| *support > needed)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> IpAddr {
+        format!("203.0.113.{last}").parse().unwrap()
+    }
+
+    #[test]
+    fn support_counts_presence_not_multiplicity() {
+        let lists = vec![
+            vec![ip(1), ip(1), ip(2)],
+            vec![ip(1), ip(3)],
+            vec![ip(2), ip(1)],
+        ];
+        let counts = support_counts(&lists);
+        assert_eq!(counts[&ip(1)], 3, "duplicates within a list count once");
+        assert_eq!(counts[&ip(2)], 2);
+        assert_eq!(counts[&ip(3)], 1);
+    }
+
+    #[test]
+    fn strict_majority_with_three_resolvers() {
+        let lists = vec![
+            vec![ip(1), ip(2)],
+            vec![ip(1), ip(3)],
+            vec![ip(1), ip(2)],
+        ];
+        let winners = majority_vote(&lists, 3, 0.5);
+        let addresses: Vec<IpAddr> = winners.iter().map(|(a, _)| *a).collect();
+        assert!(addresses.contains(&ip(1)), "3/3 support");
+        assert!(addresses.contains(&ip(2)), "2/3 support is a strict majority");
+        assert!(!addresses.contains(&ip(3)), "1/3 support is not");
+    }
+
+    #[test]
+    fn exactly_half_is_not_a_majority() {
+        let lists = vec![vec![ip(1)], vec![ip(1)], vec![ip(2)], vec![ip(3)]];
+        let winners = majority_vote(&lists, 4, 0.5);
+        let addresses: Vec<IpAddr> = winners.iter().map(|(a, _)| *a).collect();
+        assert!(!addresses.contains(&ip(1)), "2 of 4 is not strictly more than half");
+    }
+
+    #[test]
+    fn higher_threshold_is_stricter() {
+        let lists = vec![
+            vec![ip(1), ip(2)],
+            vec![ip(1), ip(2)],
+            vec![ip(1)],
+        ];
+        let half = majority_vote(&lists, 3, 0.5);
+        let two_thirds = majority_vote(&lists, 3, 2.0 / 3.0);
+        assert_eq!(half.len(), 2);
+        assert_eq!(two_thirds.len(), 1);
+        assert_eq!(two_thirds[0].0, ip(1));
+        assert_eq!(two_thirds[0].1, 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(majority_vote(&[], 0, 0.5).is_empty());
+        assert!(majority_vote(&[vec![]], 1, 0.5).is_empty());
+        assert!(support_counts(&[]).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Address sources: the per-resolver lookup abstraction Algorithm 1 fans
+//! out over.
+
+use std::net::IpAddr;
+
+use sdoh_dns_server::{DnsClient, Exchanger};
+use sdoh_dns_wire::{Name, Rcode, RrType};
+use sdoh_doh::{DohClient, DohMethod, ResolverInfo};
+use sdoh_netsim::SimAddr;
+
+/// Why one resolver failed to produce an address list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The transport failed (timeout, unreachable, partition).
+    Transport(String),
+    /// The resolver answered with an error response code.
+    ErrorResponse(String),
+    /// The answer could not be parsed or validated.
+    Protocol(String),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            FetchError::ErrorResponse(msg) => write!(f, "error response: {msg}"),
+            FetchError::Protocol(msg) => write!(f, "protocol failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// A single source of address lists — one DoH resolver, one plain resolver,
+/// or a test stub.
+pub trait AddressSource {
+    /// A stable, human-readable identifier (used for provenance in the
+    /// generated pool).
+    fn source_name(&self) -> String;
+
+    /// Looks up the address records of `rtype` (A or AAAA) for `domain`,
+    /// returning them in answer order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when the lookup fails; an *empty list* is not
+    /// an error (it is the empty-answer case Algorithm 1 must handle).
+    fn fetch(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        domain: &Name,
+        rtype: RrType,
+    ) -> Result<Vec<IpAddr>, FetchError>;
+}
+
+/// An [`AddressSource`] backed by a DoH resolver (the paper's design).
+#[derive(Debug, Clone)]
+pub struct DohSource {
+    client: DohClient,
+    name: String,
+}
+
+impl DohSource {
+    /// Creates a source for the given public resolver using the GET method.
+    pub fn new(info: ResolverInfo) -> Self {
+        DohSource {
+            name: info.name.clone(),
+            client: DohClient::new(info),
+        }
+    }
+
+    /// Selects the RFC 8484 method used for queries.
+    pub fn method(mut self, method: DohMethod) -> Self {
+        self.client = self.client.method(method);
+        self
+    }
+}
+
+impl AddressSource for DohSource {
+    fn source_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fetch(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        domain: &Name,
+        rtype: RrType,
+    ) -> Result<Vec<IpAddr>, FetchError> {
+        let response = self
+            .client
+            .query(exchanger, domain, rtype)
+            .map_err(|e| match e {
+                sdoh_doh::DohError::Network(err) => FetchError::Transport(err.to_string()),
+                sdoh_doh::DohError::HttpStatus(code) => {
+                    FetchError::ErrorResponse(format!("http status {code}"))
+                }
+                other => FetchError::Protocol(other.to_string()),
+            })?;
+        if response.header.rcode != Rcode::NoError && response.header.rcode != Rcode::NxDomain {
+            return Err(FetchError::ErrorResponse(
+                response.header.rcode.to_string(),
+            ));
+        }
+        Ok(sdoh_dns_wire::addresses_of_type(&response, rtype))
+    }
+}
+
+/// An [`AddressSource`] backed by a classic plain-DNS resolver: the
+/// baseline configuration the paper's attacks defeat.
+#[derive(Debug, Clone)]
+pub struct PlainDnsSource {
+    client: DnsClient,
+    name: String,
+}
+
+impl PlainDnsSource {
+    /// Creates a plain-DNS source querying `resolver`.
+    pub fn new(name: impl Into<String>, resolver: SimAddr) -> Self {
+        PlainDnsSource {
+            client: DnsClient::new(resolver),
+            name: name.into(),
+        }
+    }
+}
+
+impl AddressSource for PlainDnsSource {
+    fn source_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fetch(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        domain: &Name,
+        rtype: RrType,
+    ) -> Result<Vec<IpAddr>, FetchError> {
+        let response = self
+            .client
+            .query(exchanger, domain, rtype)
+            .map_err(|e| match e {
+                sdoh_dns_server::ResolveError::Network(err) => {
+                    FetchError::Transport(err.to_string())
+                }
+                sdoh_dns_server::ResolveError::ErrorResponse(rcode) => {
+                    FetchError::ErrorResponse(rcode.to_string())
+                }
+                other => FetchError::Protocol(other.to_string()),
+            })?;
+        Ok(sdoh_dns_wire::addresses_of_type(&response, rtype))
+    }
+}
+
+/// A source with a fixed answer, used in unit tests and analytical
+/// experiments where the DNS/DoH transport is not the variable under study.
+#[derive(Debug, Clone)]
+pub struct StaticSource {
+    name: String,
+    v4: Vec<IpAddr>,
+    v6: Vec<IpAddr>,
+    fail: bool,
+}
+
+impl StaticSource {
+    /// A source that always returns the given IPv4 addresses.
+    pub fn answering(name: impl Into<String>, addresses: Vec<IpAddr>) -> Self {
+        let (v4, v6) = addresses.into_iter().partition(|a| a.is_ipv4());
+        StaticSource {
+            name: name.into(),
+            v4,
+            v6,
+            fail: false,
+        }
+    }
+
+    /// A source that always fails with a transport error.
+    pub fn failing(name: impl Into<String>) -> Self {
+        StaticSource {
+            name: name.into(),
+            v4: Vec::new(),
+            v6: Vec::new(),
+            fail: true,
+        }
+    }
+}
+
+impl AddressSource for StaticSource {
+    fn source_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fetch(
+        &self,
+        _exchanger: &mut dyn Exchanger,
+        _domain: &Name,
+        rtype: RrType,
+    ) -> Result<Vec<IpAddr>, FetchError> {
+        if self.fail {
+            return Err(FetchError::Transport("static source configured to fail".into()));
+        }
+        Ok(match rtype {
+            RrType::Aaaa => self.v6.clone(),
+            _ => self.v4.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdoh_dns_server::{Authority, Catalog, ClientExchanger, Do53Service, Zone};
+    use sdoh_doh::{DohServerService, ResolverDirectory};
+    use sdoh_netsim::SimNet;
+
+    fn pool_zone_catalog() -> Catalog {
+        let mut zone = Zone::new("ntp.org".parse().unwrap());
+        for i in 1..=3u8 {
+            zone.add_address(
+                "pool.ntp.org".parse().unwrap(),
+                format!("203.0.113.{i}").parse().unwrap(),
+            );
+        }
+        zone.add_address(
+            "pool.ntp.org".parse().unwrap(),
+            "2001:db8::5".parse().unwrap(),
+        );
+        let mut catalog = Catalog::new();
+        catalog.add_zone(zone);
+        catalog
+    }
+
+    #[test]
+    fn doh_source_fetches_addresses() {
+        let net = SimNet::new(61);
+        let info = ResolverDirectory::well_known(61).resolvers()[0].clone();
+        net.register(
+            info.addr,
+            DohServerService::new(info.clone(), Authority::new(pool_zone_catalog())),
+        );
+        let source = DohSource::new(info).method(DohMethod::Post);
+        assert_eq!(source.source_name(), "dns.google");
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 50000));
+        let v4 = source
+            .fetch(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::A)
+            .unwrap();
+        assert_eq!(v4.len(), 3);
+        let v6 = source
+            .fetch(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::Aaaa)
+            .unwrap();
+        assert_eq!(v6.len(), 1);
+    }
+
+    #[test]
+    fn doh_source_reports_transport_failure() {
+        let net = SimNet::new(62);
+        let info = ResolverDirectory::well_known(62).resolvers()[0].clone();
+        let source = DohSource::new(info);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 50000));
+        let err = source
+            .fetch(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::A)
+            .unwrap_err();
+        assert!(matches!(err, FetchError::Transport(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn plain_source_fetches_addresses() {
+        let net = SimNet::new(63);
+        let resolver_addr = SimAddr::v4(10, 0, 0, 53, 53);
+        net.register(
+            resolver_addr,
+            Do53Service::new(Authority::new(pool_zone_catalog())),
+        );
+        let source = PlainDnsSource::new("isp-resolver", resolver_addr);
+        assert_eq!(source.source_name(), "isp-resolver");
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let addrs = source
+            .fetch(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::A)
+            .unwrap();
+        assert_eq!(addrs.len(), 3);
+    }
+
+    #[test]
+    fn static_source_modes() {
+        let net = SimNet::new(64);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let source = StaticSource::answering(
+            "stub",
+            vec![
+                "198.51.100.1".parse().unwrap(),
+                "2001:db8::9".parse().unwrap(),
+            ],
+        );
+        assert_eq!(
+            source
+                .fetch(&mut exchanger, &"x.test".parse().unwrap(), RrType::A)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            source
+                .fetch(&mut exchanger, &"x.test".parse().unwrap(), RrType::Aaaa)
+                .unwrap()
+                .len(),
+            1
+        );
+        let failing = StaticSource::failing("dead");
+        assert!(failing
+            .fetch(&mut exchanger, &"x.test".parse().unwrap(), RrType::A)
+            .is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! A TTL-respecting resolver cache driven by the simulation clock.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use sdoh_dns_wire::{Message, Name, Rcode, Record, RrType};
+use sdoh_netsim::{SimClock, SimInstant};
+
+/// A cached answer: either a set of records or a negative result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// Records from the answer section (empty for negative entries).
+    pub records: Vec<Record>,
+    /// Response code of the original answer.
+    pub rcode: Rcode,
+}
+
+impl CachedAnswer {
+    /// Returns `true` when this entry represents NXDOMAIN or NODATA.
+    pub fn is_negative(&self) -> bool {
+        self.records.is_empty() || self.rcode != Rcode::NoError
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    answer: CachedAnswer,
+    expires_at: SimInstant,
+}
+
+/// A bounded, TTL-respecting DNS cache keyed by `(name, type)`.
+#[derive(Debug, Clone)]
+pub struct DnsCache {
+    clock: SimClock,
+    entries: HashMap<(Name, RrType), Entry>,
+    capacity: usize,
+    /// TTL used for negative entries when the response carries no SOA.
+    negative_ttl: Duration,
+    hits: u64,
+    misses: u64,
+}
+
+impl DnsCache {
+    /// Creates a cache bound to the given clock with the given capacity.
+    pub fn new(clock: SimClock, capacity: usize) -> Self {
+        DnsCache {
+            clock,
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            negative_ttl: Duration::from_secs(60),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of (possibly expired) entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up a fresh entry for `(name, rtype)`.
+    pub fn get(&mut self, name: &Name, rtype: RrType) -> Option<CachedAnswer> {
+        let now = self.clock.now();
+        let key = (name.clone(), rtype);
+        match self.entries.get(&key) {
+            Some(entry) if entry.expires_at > now => {
+                self.hits += 1;
+                Some(entry.answer.clone())
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the answer section of `response` under `(name, rtype)`.
+    ///
+    /// The entry lives for the minimum answer TTL; negative answers use the
+    /// SOA minimum when present, or the configured negative TTL.
+    pub fn insert_response(&mut self, name: &Name, rtype: RrType, response: &Message) {
+        let records: Vec<Record> = response.answers.clone();
+        let ttl = if records.is_empty() {
+            response
+                .authorities
+                .iter()
+                .find_map(|r| match &r.rdata {
+                    sdoh_dns_wire::RData::Soa(soa) => {
+                        Some(Duration::from_secs(u64::from(soa.minimum.min(r.ttl))))
+                    }
+                    _ => None,
+                })
+                .unwrap_or(self.negative_ttl)
+        } else {
+            let min_ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+            Duration::from_secs(u64::from(min_ttl))
+        };
+        self.insert_with_ttl(
+            name.clone(),
+            rtype,
+            CachedAnswer {
+                records,
+                rcode: response.header.rcode,
+            },
+            ttl,
+        );
+    }
+
+    /// Stores an answer with an explicit TTL.
+    pub fn insert_with_ttl(
+        &mut self,
+        name: Name,
+        rtype: RrType,
+        answer: CachedAnswer,
+        ttl: Duration,
+    ) {
+        if ttl.is_zero() {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&(name.clone(), rtype))
+        {
+            self.evict_one();
+        }
+        let expires_at = self.clock.now().saturating_add(ttl);
+        self.entries
+            .insert((name, rtype), Entry { answer, expires_at });
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Removes expired entries and returns how many were dropped.
+    pub fn purge_expired(&mut self) -> usize {
+        let now = self.clock.now();
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        before - self.entries.len()
+    }
+
+    fn evict_one(&mut self) {
+        // Evict the entry closest to expiry (cheap approximation of LRU that
+        // does not need per-access bookkeeping).
+        if let Some(key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.expires_at)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdoh_dns_wire::{MessageBuilder, RData};
+
+    fn response_with_addresses(name: &Name, ttl: u32, count: u8) -> Message {
+        let query = Message::query(1, name.clone(), RrType::A);
+        let mut builder = MessageBuilder::response_to(&query);
+        for i in 0..count {
+            builder = builder.answer(Record::new(
+                name.clone(),
+                ttl,
+                RData::A(std::net::Ipv4Addr::new(203, 0, 113, i + 1)),
+            ));
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn insert_and_hit() {
+        let clock = SimClock::new();
+        let mut cache = DnsCache::new(clock.clone(), 16);
+        let name: Name = "pool.ntp.org".parse().unwrap();
+        cache.insert_response(&name, RrType::A, &response_with_addresses(&name, 300, 3));
+        let hit = cache.get(&name, RrType::A).unwrap();
+        assert_eq!(hit.records.len(), 3);
+        assert!(!hit.is_negative());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn expires_after_ttl() {
+        let clock = SimClock::new();
+        let mut cache = DnsCache::new(clock.clone(), 16);
+        let name: Name = "pool.ntp.org".parse().unwrap();
+        cache.insert_response(&name, RrType::A, &response_with_addresses(&name, 10, 1));
+        clock.advance(Duration::from_secs(9));
+        assert!(cache.get(&name, RrType::A).is_some());
+        clock.advance(Duration::from_secs(2));
+        assert!(cache.get(&name, RrType::A).is_none());
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn negative_entries_use_soa_minimum() {
+        let clock = SimClock::new();
+        let mut cache = DnsCache::new(clock.clone(), 16);
+        let name: Name = "missing.ntp.org".parse().unwrap();
+        let query = Message::query(2, name.clone(), RrType::A);
+        let mut response = Message::error_response(&query, Rcode::NxDomain);
+        response.add_authority(Record::new(
+            "ntp.org".parse().unwrap(),
+            30,
+            RData::Soa(sdoh_dns_wire::Soa::new(
+                "ns.ntp.org".parse().unwrap(),
+                "host.ntp.org".parse().unwrap(),
+                1,
+            )),
+        ));
+        cache.insert_response(&name, RrType::A, &response);
+        let hit = cache.get(&name, RrType::A).unwrap();
+        assert!(hit.is_negative());
+        assert_eq!(hit.rcode, Rcode::NxDomain);
+        // SOA record TTL (30s) bounds the negative TTL (SOA minimum is 300).
+        clock.advance(Duration::from_secs(31));
+        assert!(cache.get(&name, RrType::A).is_none());
+    }
+
+    #[test]
+    fn zero_ttl_is_not_cached() {
+        let clock = SimClock::new();
+        let mut cache = DnsCache::new(clock, 16);
+        let name: Name = "zero.ntp.org".parse().unwrap();
+        cache.insert_response(&name, RrType::A, &response_with_addresses(&name, 0, 1));
+        assert!(cache.get(&name, RrType::A).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let clock = SimClock::new();
+        let mut cache = DnsCache::new(clock, 4);
+        for i in 0..10 {
+            let name: Name = format!("host{i}.example").parse().unwrap();
+            cache.insert_response(&name, RrType::A, &response_with_addresses(&name, 300, 1));
+        }
+        assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn purge_and_clear() {
+        let clock = SimClock::new();
+        let mut cache = DnsCache::new(clock.clone(), 16);
+        for i in 0..4 {
+            let name: Name = format!("host{i}.example").parse().unwrap();
+            cache.insert_response(
+                &name,
+                RrType::A,
+                &response_with_addresses(&name, 10 * (i + 1), 1),
+            );
+        }
+        clock.advance(Duration::from_secs(15));
+        let purged = cache.purge_expired();
+        assert_eq!(purged, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_types_are_distinct_keys() {
+        let clock = SimClock::new();
+        let mut cache = DnsCache::new(clock, 16);
+        let name: Name = "dual.example".parse().unwrap();
+        cache.insert_response(&name, RrType::A, &response_with_addresses(&name, 300, 1));
+        assert!(cache.get(&name, RrType::A).is_some());
+        assert!(cache.get(&name, RrType::Aaaa).is_none());
+    }
+}

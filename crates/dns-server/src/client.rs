@@ -1,0 +1,199 @@
+//! A low-level DNS client: sends one query to one server and validates the
+//! response the way a standard stub or recursive resolver would.
+
+use std::time::Duration;
+
+use sdoh_dns_wire::{Message, Name, Rcode, RrType};
+use sdoh_netsim::{ChannelKind, SimAddr};
+
+use crate::error::{ResolveError, ResolveResult};
+use crate::exchange::Exchanger;
+
+/// Default query timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// A classic ("Do53") DNS client talking to a single server address.
+///
+/// The client performs the checks a real resolver performs on a response:
+/// the transaction id must match, the message must be a response, and the
+/// question section must echo the query. These are exactly the checks an
+/// off-path attacker must defeat by guessing.
+#[derive(Debug, Clone)]
+pub struct DnsClient {
+    server: SimAddr,
+    channel: ChannelKind,
+    timeout: Duration,
+    recursion_desired: bool,
+}
+
+impl DnsClient {
+    /// Creates a client for the given server using a plain (UDP-like)
+    /// channel.
+    pub fn new(server: SimAddr) -> Self {
+        DnsClient {
+            server,
+            channel: ChannelKind::Plain,
+            timeout: DEFAULT_TIMEOUT,
+            recursion_desired: true,
+        }
+    }
+
+    /// Sets the channel kind used for queries.
+    pub fn channel(mut self, channel: ChannelKind) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Sets the query timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets whether queries request recursion (RD bit).
+    pub fn recursion_desired(mut self, rd: bool) -> Self {
+        self.recursion_desired = rd;
+        self
+    }
+
+    /// The server this client queries.
+    pub fn server(&self) -> SimAddr {
+        self.server
+    }
+
+    /// Sends a single query and returns the validated response message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError::Network`] for transport failures,
+    /// [`ResolveError::Mismatched`] when the response does not match the
+    /// query, and [`ResolveError::ErrorResponse`] for SERVFAIL/REFUSED/
+    /// NOTIMP answers. NXDOMAIN and NODATA are *not* errors: the caller
+    /// inspects the returned message.
+    pub fn query(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        name: &Name,
+        rtype: RrType,
+    ) -> ResolveResult<Message> {
+        let mut query = Message::query(exchanger.next_id(), name.clone(), rtype);
+        query.header.recursion_desired = self.recursion_desired;
+        let wire = query.encode()?;
+        let reply_bytes = exchanger.exchange(self.server, self.channel, &wire, self.timeout)?;
+        let response = Message::decode(&reply_bytes)?;
+        if !response.answers_query(&query) {
+            return Err(ResolveError::Mismatched);
+        }
+        match response.header.rcode {
+            Rcode::NoError | Rcode::NxDomain => Ok(response),
+            other => Err(ResolveError::ErrorResponse(other)),
+        }
+    }
+
+    /// Sends an A query and returns the addresses in the answer section.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DnsClient::query`].
+    pub fn query_addresses(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        name: &Name,
+    ) -> ResolveResult<Vec<std::net::IpAddr>> {
+        Ok(self.query(exchanger, name, RrType::A)?.answer_addresses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::Authority;
+    use crate::catalog::Catalog;
+    use crate::exchange::ClientExchanger;
+    use crate::service::Do53Service;
+    use crate::zone::Zone;
+    use sdoh_netsim::SimNet;
+
+    fn pool_authority() -> Authority {
+        let mut zone = Zone::new("ntp.org".parse().unwrap());
+        for i in 1..=4u8 {
+            zone.add_address(
+                "pool.ntp.org".parse().unwrap(),
+                format!("203.0.113.{i}").parse().unwrap(),
+            );
+        }
+        let mut catalog = Catalog::new();
+        catalog.add_zone(zone);
+        Authority::new(catalog)
+    }
+
+    #[test]
+    fn query_roundtrip_over_simnet() {
+        let net = SimNet::new(42);
+        let server = SimAddr::v4(198, 51, 100, 53, 53);
+        net.register(server, Do53Service::new(pool_authority()));
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+
+        let client = DnsClient::new(server);
+        let response = client
+            .query(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::A)
+            .unwrap();
+        assert_eq!(response.answer_addresses().len(), 4);
+
+        let addrs = client
+            .query_addresses(&mut exchanger, &"pool.ntp.org".parse().unwrap())
+            .unwrap();
+        assert_eq!(addrs.len(), 4);
+    }
+
+    #[test]
+    fn refused_is_an_error() {
+        let net = SimNet::new(43);
+        let server = SimAddr::v4(198, 51, 100, 53, 53);
+        net.register(server, Do53Service::new(pool_authority()));
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+
+        let client = DnsClient::new(server);
+        let err = client
+            .query(&mut exchanger, &"www.example.com".parse().unwrap(), RrType::A)
+            .unwrap_err();
+        assert_eq!(err, ResolveError::ErrorResponse(Rcode::Refused));
+    }
+
+    #[test]
+    fn nxdomain_is_not_an_error() {
+        let net = SimNet::new(44);
+        let server = SimAddr::v4(198, 51, 100, 53, 53);
+        net.register(server, Do53Service::new(pool_authority()));
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+
+        let client = DnsClient::new(server);
+        let response = client
+            .query(&mut exchanger, &"nope.ntp.org".parse().unwrap(), RrType::A)
+            .unwrap();
+        assert_eq!(response.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn unreachable_server_is_a_network_error() {
+        let net = SimNet::new(45);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let client = DnsClient::new(SimAddr::v4(192, 0, 2, 99, 53)).timeout(Duration::from_secs(1));
+        let err = client
+            .query(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::A)
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::Network(_)));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let client = DnsClient::new(SimAddr::v4(1, 1, 1, 1, 53))
+            .channel(ChannelKind::Secure)
+            .timeout(Duration::from_millis(500))
+            .recursion_desired(false);
+        assert_eq!(client.server(), SimAddr::v4(1, 1, 1, 1, 53));
+        assert_eq!(client.timeout, Duration::from_millis(500));
+        assert!(!client.recursion_desired);
+        assert_eq!(client.channel, ChannelKind::Secure);
+    }
+}

@@ -1,0 +1,146 @@
+//! Error types for DNS serving and resolution.
+
+use std::error::Error;
+use std::fmt;
+
+use sdoh_dns_wire::{Rcode, WireError};
+use sdoh_netsim::NetError;
+
+/// Errors produced while resolving a name or serving zone data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The transport failed (timeout, unreachable endpoint, partition).
+    Network(NetError),
+    /// A message could not be encoded or decoded.
+    Wire(WireError),
+    /// The upstream server answered with a non-success response code.
+    ErrorResponse(Rcode),
+    /// The response did not match the query (wrong id or question), which a
+    /// validating client rejects.
+    Mismatched,
+    /// Resolution required more steps than the configured limit (e.g. a
+    /// delegation or CNAME loop).
+    TooManyIterations,
+    /// A zone or configuration problem made the request unanswerable.
+    Configuration(String),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Network(e) => write!(f, "network error: {e}"),
+            ResolveError::Wire(e) => write!(f, "wire format error: {e}"),
+            ResolveError::ErrorResponse(rcode) => write!(f, "upstream answered {rcode}"),
+            ResolveError::Mismatched => write!(f, "response does not match query"),
+            ResolveError::TooManyIterations => write!(f, "too many resolution steps"),
+            ResolveError::Configuration(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl Error for ResolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ResolveError::Network(e) => Some(e),
+            ResolveError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for ResolveError {
+    fn from(e: NetError) -> Self {
+        ResolveError::Network(e)
+    }
+}
+
+impl From<WireError> for ResolveError {
+    fn from(e: WireError) -> Self {
+        ResolveError::Wire(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type ResolveResult<T> = Result<T, ResolveError>;
+
+/// Errors produced while parsing zone file text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneFileError {
+    /// A line could not be parsed.
+    Syntax {
+        /// Line number (1-based).
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A record's owner name is outside the zone origin.
+    OutOfZone {
+        /// Line number (1-based).
+        line: usize,
+        /// The offending owner name.
+        name: String,
+    },
+    /// The zone has no SOA record.
+    MissingSoa,
+}
+
+impl fmt::Display for ZoneFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneFileError::Syntax { line, message } => {
+                write!(f, "zone file syntax error on line {line}: {message}")
+            }
+            ZoneFileError::OutOfZone { line, name } => {
+                write!(f, "record on line {line} is out of zone: {name}")
+            }
+            ZoneFileError::MissingSoa => write!(f, "zone has no SOA record"),
+        }
+    }
+}
+
+impl Error for ZoneFileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<ResolveError> = vec![
+            ResolveError::Network(NetError::Timeout),
+            ResolveError::Wire(WireError::EmptyLabel),
+            ResolveError::ErrorResponse(Rcode::ServFail),
+            ResolveError::Mismatched,
+            ResolveError::TooManyIterations,
+            ResolveError::Configuration("no roots".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e = ResolveError::Network(NetError::Timeout);
+        assert!(e.source().is_some());
+        assert!(ResolveError::Mismatched.source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: ResolveError = NetError::Timeout.into();
+        assert_eq!(e, ResolveError::Network(NetError::Timeout));
+        let e: ResolveError = WireError::EmptyLabel.into();
+        assert_eq!(e, ResolveError::Wire(WireError::EmptyLabel));
+    }
+
+    #[test]
+    fn zone_file_errors_display() {
+        let e = ZoneFileError::Syntax {
+            line: 3,
+            message: "bad record".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(!ZoneFileError::MissingSoa.to_string().is_empty());
+    }
+}

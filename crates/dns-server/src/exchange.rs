@@ -1,0 +1,140 @@
+//! The [`Exchanger`] abstraction: how a resolver component sends a request
+//! payload and waits for the response, independent of whether it runs
+//! "outside" the simulation (driven by an experiment) or "inside" a service
+//! handler (driven by another query).
+
+use std::time::Duration;
+
+use sdoh_netsim::{ChannelKind, Ctx, NetResult, SimAddr, SimNet};
+
+/// Anything able to perform a request/response exchange with an endpoint.
+pub trait Exchanger {
+    /// Sends `payload` to `dst` over a channel of kind `channel` and returns
+    /// the response payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors (timeouts, unreachable endpoints,
+    /// partitions).
+    fn exchange(
+        &mut self,
+        dst: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> NetResult<Vec<u8>>;
+
+    /// Draws a fresh 16-bit identifier from the simulation randomness.
+    fn next_id(&mut self) -> u16;
+}
+
+/// An [`Exchanger`] for code running outside any service: an experiment
+/// driver or an example binary acting as "the application host".
+#[derive(Debug, Clone, Copy)]
+pub struct ClientExchanger<'a> {
+    net: &'a SimNet,
+    source: SimAddr,
+}
+
+impl<'a> ClientExchanger<'a> {
+    /// Creates an exchanger that sends from `source`.
+    pub fn new(net: &'a SimNet, source: SimAddr) -> Self {
+        ClientExchanger { net, source }
+    }
+
+    /// The configured source address.
+    pub fn source(&self) -> SimAddr {
+        self.source
+    }
+}
+
+impl Exchanger for ClientExchanger<'_> {
+    fn exchange(
+        &mut self,
+        dst: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> NetResult<Vec<u8>> {
+        self.net.transact(self.source, dst, channel, payload, timeout)
+    }
+
+    fn next_id(&mut self) -> u16 {
+        self.net.random_id()
+    }
+}
+
+impl Exchanger for Ctx<'_> {
+    fn exchange(
+        &mut self,
+        dst: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> NetResult<Vec<u8>> {
+        self.call(dst, channel, payload, timeout)
+    }
+
+    fn next_id(&mut self) -> u16 {
+        self.random_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdoh_netsim::{FnService, ServiceResponse};
+
+    #[test]
+    fn client_exchanger_roundtrips() {
+        let net = SimNet::new(5);
+        let server = SimAddr::v4(192, 0, 2, 1, 53);
+        net.register(
+            server,
+            FnService::new("echo", |_ctx, _from, _ch, p: &[u8]| {
+                ServiceResponse::Reply(p.to_vec())
+            }),
+        );
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        assert_eq!(exchanger.source().port, 40000);
+        let reply = exchanger
+            .exchange(server, ChannelKind::Plain, b"ping", Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(reply, b"ping");
+        let _ = exchanger.next_id();
+    }
+
+    #[test]
+    fn ctx_exchanger_used_from_within_service() {
+        let net = SimNet::new(6);
+        let backend = SimAddr::v4(192, 0, 2, 2, 53);
+        let frontend = SimAddr::v4(192, 0, 2, 3, 53);
+        net.register(
+            backend,
+            FnService::new("echo", |_ctx, _from, _ch, p: &[u8]| {
+                ServiceResponse::Reply(p.to_vec())
+            }),
+        );
+        net.register(
+            frontend,
+            FnService::new("fwd", move |ctx: &mut Ctx<'_>, _from, ch, p: &[u8]| {
+                let mut payload = p.to_vec();
+                payload.extend_from_slice(b"-forwarded");
+                match ctx.exchange(backend, ch, &payload, Duration::from_secs(1)) {
+                    Ok(reply) => ServiceResponse::Reply(reply),
+                    Err(_) => ServiceResponse::NoReply,
+                }
+            }),
+        );
+        let reply = net
+            .transact(
+                SimAddr::v4(10, 0, 0, 1, 40000),
+                frontend,
+                ChannelKind::Plain,
+                b"hi",
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(reply, b"hi-forwarded");
+    }
+}

@@ -1,0 +1,176 @@
+//! A forwarding resolver: relays recursive queries to an upstream resolver
+//! and caches the answers.
+
+use std::time::Duration;
+
+use sdoh_dns_wire::{Message, MessageBuilder, Rcode};
+use sdoh_netsim::{ChannelKind, SimAddr, SimClock};
+
+use crate::cache::DnsCache;
+use crate::client::DnsClient;
+use crate::error::ResolveError;
+use crate::exchange::Exchanger;
+use crate::handler::QueryHandler;
+
+/// A resolver that forwards every query to a single upstream resolver.
+#[derive(Debug)]
+pub struct ForwardingResolver {
+    upstream: SimAddr,
+    channel: ChannelKind,
+    timeout: Duration,
+    cache: DnsCache,
+}
+
+impl ForwardingResolver {
+    /// Creates a forwarder towards `upstream` with a cache driven by `clock`.
+    pub fn new(upstream: SimAddr, clock: SimClock) -> Self {
+        ForwardingResolver {
+            upstream,
+            channel: ChannelKind::Plain,
+            timeout: Duration::from_secs(3),
+            cache: DnsCache::new(clock, 1024),
+        }
+    }
+
+    /// Sets the channel used towards the upstream resolver.
+    pub fn channel(mut self, channel: ChannelKind) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Sets the upstream query timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The upstream resolver address.
+    pub fn upstream(&self) -> SimAddr {
+        self.upstream
+    }
+
+    /// Read access to the cache.
+    pub fn cache(&self) -> &DnsCache {
+        &self.cache
+    }
+}
+
+impl QueryHandler for ForwardingResolver {
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        let question = match query.question() {
+            Some(q) => q.clone(),
+            None => return Message::error_response(query, Rcode::FormErr),
+        };
+
+        if let Some(cached) = self.cache.get(&question.name, question.rtype) {
+            let mut builder = MessageBuilder::response_to(query)
+                .recursion_available(true)
+                .rcode(cached.rcode);
+            for record in cached.records {
+                builder = builder.answer(record);
+            }
+            return builder.build();
+        }
+
+        let client = DnsClient::new(self.upstream)
+            .channel(self.channel)
+            .timeout(self.timeout)
+            .recursion_desired(true);
+        match client.query(exchanger, &question.name, question.rtype) {
+            Ok(upstream_response) => {
+                self.cache
+                    .insert_response(&question.name, question.rtype, &upstream_response);
+                let mut response = Message::response_to(query);
+                response.header.recursion_available = true;
+                response.header.rcode = upstream_response.header.rcode;
+                response.answers = upstream_response.answers;
+                response.authorities = upstream_response.authorities;
+                response
+            }
+            Err(ResolveError::ErrorResponse(rcode)) => Message::error_response(query, rcode),
+            Err(_) => Message::error_response(query, Rcode::ServFail),
+        }
+    }
+
+    fn handler_name(&self) -> &str {
+        "forwarding-resolver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::Authority;
+    use crate::catalog::Catalog;
+    use crate::client::DnsClient;
+    use crate::exchange::ClientExchanger;
+    use crate::service::Do53Service;
+    use crate::zone::Zone;
+    use sdoh_dns_wire::RrType;
+    use sdoh_netsim::SimNet;
+
+    fn setup() -> (SimNet, SimAddr, SimAddr) {
+        let net = SimNet::new(77);
+        let authority_addr = SimAddr::v4(198, 51, 100, 10, 53);
+        let forwarder_addr = SimAddr::v4(10, 0, 0, 53, 53);
+
+        let mut zone = Zone::new("corp.example".parse().unwrap());
+        zone.add_address(
+            "intranet.corp.example".parse().unwrap(),
+            "192.0.2.10".parse().unwrap(),
+        );
+        let mut catalog = Catalog::new();
+        catalog.add_zone(zone);
+        net.register(authority_addr, Do53Service::new(Authority::new(catalog)));
+
+        let forwarder = ForwardingResolver::new(authority_addr, net.clock());
+        net.register(forwarder_addr, Do53Service::new(forwarder));
+        (net, forwarder_addr, authority_addr)
+    }
+
+    #[test]
+    fn forwards_and_caches() {
+        let (net, forwarder_addr, _) = setup();
+        let client = DnsClient::new(forwarder_addr);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let name = "intranet.corp.example".parse().unwrap();
+
+        let first = client.query(&mut exchanger, &name, RrType::A).unwrap();
+        assert_eq!(first.answer_addresses().len(), 1);
+        let requests_after_first = net.metrics().requests;
+
+        let second = client.query(&mut exchanger, &name, RrType::A).unwrap();
+        assert_eq!(second.answer_addresses().len(), 1);
+        // Only the client→forwarder request is added; no upstream query.
+        assert_eq!(net.metrics().requests, requests_after_first + 1);
+    }
+
+    #[test]
+    fn upstream_failure_becomes_servfail() {
+        let net = SimNet::new(78);
+        let forwarder_addr = SimAddr::v4(10, 0, 0, 53, 53);
+        let missing_upstream = SimAddr::v4(203, 0, 113, 254, 53);
+        let forwarder = ForwardingResolver::new(missing_upstream, net.clock())
+            .timeout(Duration::from_millis(200));
+        net.register(forwarder_addr, Do53Service::new(forwarder));
+
+        let client = DnsClient::new(forwarder_addr);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let err = client
+            .query(&mut exchanger, &"x.test".parse().unwrap(), RrType::A)
+            .unwrap_err();
+        assert_eq!(err, ResolveError::ErrorResponse(Rcode::ServFail));
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let net = SimNet::new(79);
+        let upstream = SimAddr::v4(9, 9, 9, 9, 53);
+        let fwd = ForwardingResolver::new(upstream, net.clock())
+            .channel(ChannelKind::Secure)
+            .timeout(Duration::from_millis(100));
+        assert_eq!(fwd.upstream(), upstream);
+        assert_eq!(fwd.cache().len(), 0);
+        assert_eq!(fwd.handler_name(), "forwarding-resolver");
+    }
+}

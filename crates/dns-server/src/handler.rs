@@ -1,0 +1,123 @@
+//! The [`QueryHandler`] trait: anything that can turn a DNS query message
+//! into a response message, possibly by querying other servers.
+
+use sdoh_dns_wire::Message;
+
+use crate::authority::Authority;
+use crate::exchange::Exchanger;
+
+/// A DNS query-answering component.
+///
+/// Authoritative servers answer from zone data, recursive resolvers answer
+/// by iterating over the delegation tree, forwarders answer by asking an
+/// upstream resolver, and compromised resolvers answer with whatever the
+/// attacker configured.
+pub trait QueryHandler {
+    /// Produces a response for `query`, using `exchanger` for any upstream
+    /// queries this handler needs to make.
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message;
+
+    /// Human-readable name used in diagnostics.
+    fn handler_name(&self) -> &str {
+        "query-handler"
+    }
+}
+
+impl<H: QueryHandler + ?Sized> QueryHandler for Box<H> {
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        (**self).handle_query(exchanger, query)
+    }
+
+    fn handler_name(&self) -> &str {
+        (**self).handler_name()
+    }
+}
+
+impl QueryHandler for Authority {
+    fn handle_query(&mut self, _exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        self.answer(query)
+    }
+
+    fn handler_name(&self) -> &str {
+        "authority"
+    }
+}
+
+/// A handler built from a closure, convenient for tests and for modelling
+/// arbitrarily misbehaving servers.
+pub struct FnHandler<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnHandler<F>
+where
+    F: FnMut(&mut dyn Exchanger, &Message) -> Message,
+{
+    /// Creates a handler from a closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnHandler { name: name.into(), f }
+    }
+}
+
+impl<F> QueryHandler for FnHandler<F>
+where
+    F: FnMut(&mut dyn Exchanger, &Message) -> Message,
+{
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        (self.f)(exchanger, query)
+    }
+
+    fn handler_name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<F> std::fmt::Debug for FnHandler<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnHandler").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::exchange::ClientExchanger;
+    use crate::zone::Zone;
+    use sdoh_dns_wire::{Rcode, RrType};
+    use sdoh_netsim::{SimAddr, SimNet};
+
+    #[test]
+    fn authority_is_a_query_handler() {
+        let mut catalog = Catalog::new();
+        let mut zone = Zone::new("example.org".parse().unwrap());
+        zone.add_address(
+            "www.example.org".parse().unwrap(),
+            "192.0.2.80".parse().unwrap(),
+        );
+        catalog.add_zone(zone);
+        let mut authority = Authority::new(catalog);
+        assert_eq!(authority.handler_name(), "authority");
+
+        let net = SimNet::new(1);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 1000));
+        let query = Message::query(9, "www.example.org".parse().unwrap(), RrType::A);
+        let response = authority.handle_query(&mut exchanger, &query);
+        assert_eq!(response.answer_addresses().len(), 1);
+    }
+
+    #[test]
+    fn fn_handler_wraps_closures() {
+        let mut handler = FnHandler::new("servfail", |_ex: &mut dyn Exchanger, q: &Message| {
+            Message::error_response(q, Rcode::ServFail)
+        });
+        assert_eq!(handler.handler_name(), "servfail");
+        let net = SimNet::new(2);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 1000));
+        let query = Message::query(1, "x.test".parse().unwrap(), RrType::A);
+        let response = handler.handle_query(&mut exchanger, &query);
+        assert_eq!(response.header.rcode, Rcode::ServFail);
+        assert!(!format!("{handler:?}").is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! DNS serving and resolution engines for the *Secure Consensus Generation
+//! with Distributed DoH* reproduction.
+//!
+//! This crate provides every DNS component of the paper's Figure 1 that is
+//! not the DoH transport itself:
+//!
+//! * authoritative zones ([`Zone`], [`Catalog`], [`Authority`]) and a
+//!   zone-file parser ([`parse_zone`]) — the `c/d/e.ntpns.org` name servers,
+//! * an iterative [`RecursiveResolver`] with a TTL-respecting [`DnsCache`] —
+//!   the engine behind each public DoH resolver,
+//! * a [`ForwardingResolver`] and a [`StubResolver`] — the plain-DNS
+//!   baseline the paper improves on,
+//! * compromised-resolver behaviours ([`PoisonedResolver`], [`PoisonMode`])
+//!   used by the attack experiments,
+//! * adapters ([`Do53Service`], [`QueryHandler`], [`Exchanger`]) that plug
+//!   all of the above into the deterministic network simulator.
+//!
+//! # Example: serving and resolving a pool domain
+//!
+//! ```
+//! use sdoh_dns_server::{Authority, Catalog, ClientExchanger, DnsClient, Do53Service, Zone};
+//! use sdoh_dns_wire::RrType;
+//! use sdoh_netsim::{SimAddr, SimNet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = SimNet::new(1);
+//! let server = SimAddr::v4(198, 51, 100, 53, 53);
+//!
+//! let mut zone = Zone::new("ntp.org".parse()?);
+//! zone.add_address("pool.ntp.org".parse()?, "203.0.113.1".parse().unwrap());
+//! let mut catalog = Catalog::new();
+//! catalog.add_zone(zone);
+//! net.register(server, Do53Service::new(Authority::new(catalog)));
+//!
+//! let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+//! let response = DnsClient::new(server)
+//!     .query(&mut exchanger, &"pool.ntp.org".parse()?, RrType::A)?;
+//! assert_eq!(response.answer_addresses().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod authority;
+mod cache;
+mod catalog;
+mod client;
+mod error;
+mod exchange;
+mod forwarder;
+mod handler;
+mod poison;
+mod recursive;
+mod service;
+mod stub;
+mod zone;
+mod zonefile;
+
+pub use authority::Authority;
+pub use cache::{CachedAnswer, DnsCache};
+pub use catalog::Catalog;
+pub use client::{DnsClient, DEFAULT_TIMEOUT};
+pub use error::{ResolveError, ResolveResult, ZoneFileError};
+pub use exchange::{ClientExchanger, Exchanger};
+pub use forwarder::ForwardingResolver;
+pub use handler::{FnHandler, QueryHandler};
+pub use poison::{PoisonConfig, PoisonMode, PoisonedResolver};
+pub use recursive::{RecursiveConfig, RecursiveResolver};
+pub use service::Do53Service;
+pub use stub::StubResolver;
+pub use zone::{Zone, ZoneLookup};
+pub use zonefile::parse_zone;

@@ -1,0 +1,484 @@
+//! An iterative ("recursive") resolver engine: starts at root hints, follows
+//! referrals and CNAMEs, and caches what it learns.
+//!
+//! This is the engine running inside each simulated public DoH resolver
+//! (dns.google, cloudflare-dns.com, dns.quad9.net in the paper's Figure 1):
+//! it receives recursive queries from clients and issues non-recursive
+//! queries to authoritative servers.
+
+use std::time::Duration;
+
+use sdoh_dns_wire::{Message, MessageBuilder, Name, RData, Rcode, Record, RrType};
+use sdoh_netsim::{ChannelKind, SimAddr, SimClock};
+
+use crate::cache::DnsCache;
+use crate::client::DnsClient;
+use crate::error::{ResolveError, ResolveResult};
+use crate::exchange::Exchanger;
+use crate::handler::QueryHandler;
+
+/// Limit on referral hops, CNAME links and nested NS-address resolutions for
+/// a single query.
+const MAX_STEPS: usize = 24;
+
+/// Configuration for a [`RecursiveResolver`].
+#[derive(Debug, Clone)]
+pub struct RecursiveConfig {
+    /// Addresses of the root name servers (root hints).
+    pub root_hints: Vec<SimAddr>,
+    /// Channel used for upstream (non-recursive) queries. Authoritative
+    /// traffic is plain UDP in the real DNS, and that is the default.
+    pub upstream_channel: ChannelKind,
+    /// Timeout for each upstream query.
+    pub upstream_timeout: Duration,
+    /// Capacity of the resolver cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for RecursiveConfig {
+    fn default() -> Self {
+        RecursiveConfig {
+            root_hints: Vec::new(),
+            upstream_channel: ChannelKind::Plain,
+            upstream_timeout: Duration::from_secs(2),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// An iterative resolver with a cache.
+#[derive(Debug)]
+pub struct RecursiveResolver {
+    config: RecursiveConfig,
+    cache: DnsCache,
+}
+
+impl RecursiveResolver {
+    /// Creates a resolver with the given configuration, using `clock` for
+    /// cache TTL accounting.
+    pub fn new(config: RecursiveConfig, clock: SimClock) -> Self {
+        let cache = DnsCache::new(clock, config.cache_capacity);
+        RecursiveResolver { config, cache }
+    }
+
+    /// Read access to the cache (e.g. for inspecting hit rates).
+    pub fn cache(&self) -> &DnsCache {
+        &self.cache
+    }
+
+    /// Resolves `name`/`rtype`, following referrals from the root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError::Configuration`] when no root hints are
+    /// configured, [`ResolveError::TooManyIterations`] on referral or CNAME
+    /// loops, and transport/upstream errors otherwise.
+    pub fn resolve(
+        &mut self,
+        exchanger: &mut dyn Exchanger,
+        name: &Name,
+        rtype: RrType,
+    ) -> ResolveResult<Message> {
+        if self.config.root_hints.is_empty() {
+            return Err(ResolveError::Configuration(
+                "no root hints configured".into(),
+            ));
+        }
+        if let Some(cached) = self.cache.get(name, rtype) {
+            let query = Message::query(0, name.clone(), rtype);
+            let mut builder = MessageBuilder::response_to(&query)
+                .recursion_available(true)
+                .rcode(cached.rcode);
+            for record in cached.records {
+                builder = builder.answer(record);
+            }
+            return Ok(builder.build());
+        }
+
+        let mut answer_records: Vec<Record> = Vec::new();
+        let mut current_name = name.clone();
+        let mut servers = self.config.root_hints.clone();
+        let mut steps = 0usize;
+
+        loop {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return Err(ResolveError::TooManyIterations);
+            }
+
+            let response = self.query_first_responsive(exchanger, &servers, &current_name, rtype)?;
+
+            if response.header.rcode == Rcode::NxDomain {
+                let mut result = response.clone();
+                result.answers = answer_records;
+                result.answers.extend(response.answers.clone());
+                self.cache.insert_response(name, rtype, &result);
+                return Ok(result);
+            }
+
+            // Any addresses (or requested records) for the current name?
+            let direct: Vec<Record> = response
+                .answers
+                .iter()
+                .filter(|r| r.name == current_name && r.rtype() == rtype)
+                .cloned()
+                .collect();
+            if !direct.is_empty() {
+                answer_records.extend(response.answers.iter().cloned());
+                let query = Message::query(0, name.clone(), rtype);
+                let mut builder = MessageBuilder::response_to(&query).recursion_available(true);
+                for record in dedup_records(answer_records) {
+                    builder = builder.answer(record);
+                }
+                let result = builder.build();
+                self.cache.insert_response(name, rtype, &result);
+                return Ok(result);
+            }
+
+            // CNAME for the current name?
+            if let Some(cname) = response
+                .answers
+                .iter()
+                .find(|r| r.name == current_name && r.rtype() == RrType::Cname)
+            {
+                answer_records.push(cname.clone());
+                if let RData::Cname(target) = &cname.rdata {
+                    current_name = target.clone();
+                    servers = self.config.root_hints.clone();
+                    continue;
+                }
+            }
+
+            // Referral?
+            let ns_records: Vec<&Record> = response
+                .authorities
+                .iter()
+                .filter(|r| r.rtype() == RrType::Ns)
+                .collect();
+            if !ns_records.is_empty() {
+                let glue: Vec<SimAddr> = response
+                    .additionals
+                    .iter()
+                    .filter_map(Record::ip_addr)
+                    .map(|ip| SimAddr::new(ip, sdoh_netsim::ports::DNS))
+                    .collect();
+                if !glue.is_empty() {
+                    servers = glue;
+                    continue;
+                }
+                // No glue: resolve the first NS target's address.
+                let ns_name = ns_records
+                    .iter()
+                    .find_map(|r| r.rdata.target_name().cloned());
+                match ns_name {
+                    Some(ns_name) => {
+                        let ns_answer = self.resolve(exchanger, &ns_name, RrType::A)?;
+                        let addrs: Vec<SimAddr> = ns_answer
+                            .answer_addresses()
+                            .into_iter()
+                            .map(|ip| SimAddr::new(ip, sdoh_netsim::ports::DNS))
+                            .collect();
+                        if addrs.is_empty() {
+                            return Err(ResolveError::TooManyIterations);
+                        }
+                        servers = addrs;
+                        continue;
+                    }
+                    None => return Err(ResolveError::TooManyIterations),
+                }
+            }
+
+            // NODATA: nothing more to follow.
+            let query = Message::query(0, name.clone(), rtype);
+            let mut builder = MessageBuilder::response_to(&query).recursion_available(true);
+            for record in dedup_records(answer_records) {
+                builder = builder.answer(record);
+            }
+            let result = builder.build();
+            self.cache.insert_response(name, rtype, &result);
+            return Ok(result);
+        }
+    }
+
+    fn query_first_responsive(
+        &self,
+        exchanger: &mut dyn Exchanger,
+        servers: &[SimAddr],
+        name: &Name,
+        rtype: RrType,
+    ) -> ResolveResult<Message> {
+        let mut last_err = ResolveError::Configuration("empty server list".into());
+        for &server in servers {
+            let client = DnsClient::new(server)
+                .channel(self.config.upstream_channel)
+                .timeout(self.config.upstream_timeout)
+                .recursion_desired(false);
+            match client.query(exchanger, name, rtype) {
+                Ok(response) => return Ok(response),
+                Err(err) => last_err = err,
+            }
+        }
+        Err(last_err)
+    }
+}
+
+fn dedup_records(records: Vec<Record>) -> Vec<Record> {
+    let mut seen = Vec::new();
+    for r in records {
+        if !seen.contains(&r) {
+            seen.push(r);
+        }
+    }
+    seen
+}
+
+impl QueryHandler for RecursiveResolver {
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        let question = match query.question() {
+            Some(q) => q.clone(),
+            None => return Message::error_response(query, Rcode::FormErr),
+        };
+        if !query.header.recursion_desired {
+            // A pure recursive resolver refuses iterative queries.
+            return Message::error_response(query, Rcode::Refused);
+        }
+        match self.resolve(exchanger, &question.name, question.rtype) {
+            Ok(mut resolved) => {
+                // Re-stamp the response onto the incoming query (id, question).
+                let mut response = Message::response_to(query);
+                response.header.recursion_available = true;
+                response.header.rcode = resolved.header.rcode;
+                response.answers = std::mem::take(&mut resolved.answers);
+                response.authorities = std::mem::take(&mut resolved.authorities);
+                response
+            }
+            Err(ResolveError::ErrorResponse(rcode)) => Message::error_response(query, rcode),
+            Err(_) => Message::error_response(query, Rcode::ServFail),
+        }
+    }
+
+    fn handler_name(&self) -> &str {
+        "recursive-resolver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::Authority;
+    use crate::catalog::Catalog;
+    use crate::exchange::ClientExchanger;
+    use crate::service::Do53Service;
+    use crate::zone::Zone;
+    use crate::zonefile::parse_zone;
+    use sdoh_netsim::SimNet;
+
+    /// Builds a miniature DNS hierarchy:
+    ///  - a root server delegating `org.` to an org server,
+    ///  - an org server delegating `ntpns.org.` to three pool name servers,
+    ///  - pool servers answering `pool.ntpns.org` with four addresses.
+    fn build_hierarchy(net: &SimNet) -> Vec<SimAddr> {
+        let root_addr = SimAddr::v4(198, 41, 0, 4, 53);
+        let org_addr = SimAddr::v4(199, 19, 56, 1, 53);
+        let ntpns_addr = SimAddr::v4(198, 51, 100, 3, 53);
+
+        // Root zone: delegate org.
+        let mut root_zone = Zone::new(Name::root());
+        root_zone.add_record(Record::new(
+            "org".parse().unwrap(),
+            86400,
+            RData::Ns("a0.org-servers.net".parse().unwrap()),
+        ));
+        root_zone.add_record(Record::new(
+            "a0.org-servers.net".parse().unwrap(),
+            86400,
+            RData::A("199.19.56.1".parse().unwrap()),
+        ));
+        let mut root_catalog = Catalog::new();
+        root_catalog.add_zone(root_zone);
+        net.register(root_addr, Do53Service::new(Authority::new(root_catalog)));
+
+        // org zone: delegate ntpns.org.
+        let mut org_zone = Zone::new("org".parse().unwrap());
+        org_zone.add_record(Record::new(
+            "ntpns.org".parse().unwrap(),
+            86400,
+            RData::Ns("c.ntpns.org".parse().unwrap()),
+        ));
+        org_zone.add_record(Record::new(
+            "c.ntpns.org".parse().unwrap(),
+            86400,
+            RData::A("198.51.100.3".parse().unwrap()),
+        ));
+        let mut org_catalog = Catalog::new();
+        org_catalog.add_zone(org_zone);
+        net.register(org_addr, Do53Service::new(Authority::new(org_catalog)));
+
+        // ntpns.org zone with the pool records.
+        let text = r#"
+$TTL 300
+@    IN SOA ns1 hostmaster 1 7200 900 1209600 300
+@    IN NS  c.ntpns.org.
+c    IN A   198.51.100.3
+pool IN A 203.0.113.1
+pool IN A 203.0.113.2
+pool IN A 203.0.113.3
+pool IN A 203.0.113.4
+alias IN CNAME pool
+"#;
+        let zone = parse_zone(&"ntpns.org".parse().unwrap(), text).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.add_zone(zone);
+        net.register(ntpns_addr, Do53Service::new(Authority::new(catalog)));
+
+        vec![root_addr]
+    }
+
+    #[test]
+    fn resolves_through_delegations() {
+        let net = SimNet::new(100);
+        let roots = build_hierarchy(&net);
+        let mut resolver = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: roots,
+                ..RecursiveConfig::default()
+            },
+            net.clock(),
+        );
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(8, 8, 8, 8, 33000));
+        let response = resolver
+            .resolve(&mut exchanger, &"pool.ntpns.org".parse().unwrap(), RrType::A)
+            .unwrap();
+        assert_eq!(response.answer_addresses().len(), 4);
+    }
+
+    #[test]
+    fn follows_cnames() {
+        let net = SimNet::new(101);
+        let roots = build_hierarchy(&net);
+        let mut resolver = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: roots,
+                ..RecursiveConfig::default()
+            },
+            net.clock(),
+        );
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(8, 8, 8, 8, 33000));
+        let response = resolver
+            .resolve(
+                &mut exchanger,
+                &"alias.ntpns.org".parse().unwrap(),
+                RrType::A,
+            )
+            .unwrap();
+        assert_eq!(response.answer_addresses().len(), 4);
+        assert!(response
+            .answers
+            .iter()
+            .any(|r| r.rtype() == RrType::Cname));
+    }
+
+    #[test]
+    fn caches_results() {
+        let net = SimNet::new(102);
+        let roots = build_hierarchy(&net);
+        let mut resolver = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: roots,
+                ..RecursiveConfig::default()
+            },
+            net.clock(),
+        );
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(8, 8, 8, 8, 33000));
+        let name: Name = "pool.ntpns.org".parse().unwrap();
+        resolver.resolve(&mut exchanger, &name, RrType::A).unwrap();
+        let requests_before = net.metrics().requests;
+        let response = resolver.resolve(&mut exchanger, &name, RrType::A).unwrap();
+        assert_eq!(response.answer_addresses().len(), 4);
+        assert_eq!(
+            net.metrics().requests,
+            requests_before,
+            "second resolution is served from cache"
+        );
+        assert!(resolver.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn nxdomain_propagates() {
+        let net = SimNet::new(103);
+        let roots = build_hierarchy(&net);
+        let mut resolver = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: roots,
+                ..RecursiveConfig::default()
+            },
+            net.clock(),
+        );
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(8, 8, 8, 8, 33000));
+        let response = resolver
+            .resolve(
+                &mut exchanger,
+                &"missing.ntpns.org".parse().unwrap(),
+                RrType::A,
+            )
+            .unwrap();
+        assert_eq!(response.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn no_roots_is_a_configuration_error() {
+        let net = SimNet::new(104);
+        let mut resolver =
+            RecursiveResolver::new(RecursiveConfig::default(), net.clock());
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(8, 8, 8, 8, 33000));
+        let err = resolver
+            .resolve(&mut exchanger, &"x.test".parse().unwrap(), RrType::A)
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::Configuration(_)));
+    }
+
+    #[test]
+    fn acts_as_query_handler_for_stub_clients() {
+        let net = SimNet::new(105);
+        let roots = build_hierarchy(&net);
+        let resolver = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: roots,
+                ..RecursiveConfig::default()
+            },
+            net.clock(),
+        );
+        let resolver_addr = SimAddr::v4(8, 8, 8, 8, 53);
+        net.register(resolver_addr, Do53Service::new(resolver));
+
+        let client = DnsClient::new(resolver_addr);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let response = client
+            .query(&mut exchanger, &"pool.ntpns.org".parse().unwrap(), RrType::A)
+            .unwrap();
+        assert_eq!(response.answer_addresses().len(), 4);
+        assert!(response.header.recursion_available);
+    }
+
+    #[test]
+    fn refuses_non_recursive_queries() {
+        let net = SimNet::new(106);
+        let roots = build_hierarchy(&net);
+        let resolver = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: roots,
+                ..RecursiveConfig::default()
+            },
+            net.clock(),
+        );
+        let resolver_addr = SimAddr::v4(8, 8, 8, 8, 53);
+        net.register(resolver_addr, Do53Service::new(resolver));
+
+        let client = DnsClient::new(resolver_addr).recursion_desired(false);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let err = client
+            .query(&mut exchanger, &"pool.ntpns.org".parse().unwrap(), RrType::A)
+            .unwrap_err();
+        assert_eq!(err, ResolveError::ErrorResponse(Rcode::Refused));
+    }
+}

@@ -1,0 +1,171 @@
+//! Adapters exposing [`QueryHandler`]s as simulated network services
+//! (classic DNS over the plain datagram channel, "Do53").
+
+use sdoh_dns_wire::{Message, Rcode};
+use sdoh_netsim::{ChannelKind, Ctx, Service, ServiceResponse, SimAddr};
+
+use crate::handler::QueryHandler;
+
+/// A classic DNS service: decodes query bytes, hands the message to a
+/// [`QueryHandler`] and encodes the response.
+#[derive(Debug)]
+pub struct Do53Service<H> {
+    handler: H,
+    /// When `true` the service drops malformed queries instead of answering
+    /// FORMERR (some real servers behave this way).
+    drop_malformed: bool,
+}
+
+impl<H: QueryHandler> Do53Service<H> {
+    /// Creates a DNS service around the given handler.
+    pub fn new(handler: H) -> Self {
+        Do53Service {
+            handler,
+            drop_malformed: false,
+        }
+    }
+
+    /// Configures the service to silently drop malformed queries.
+    pub fn dropping_malformed(mut self) -> Self {
+        self.drop_malformed = true;
+        self
+    }
+
+    /// Access to the wrapped handler.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutable access to the wrapped handler.
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+}
+
+impl<H: QueryHandler> Service for Do53Service<H> {
+    fn handle(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        _from: SimAddr,
+        _channel: ChannelKind,
+        payload: &[u8],
+    ) -> ServiceResponse {
+        let query = match Message::decode(payload) {
+            Ok(q) => q,
+            Err(_) if self.drop_malformed => return ServiceResponse::NoReply,
+            Err(_) => {
+                // Best effort FORMERR with an empty question section.
+                let mut response = Message::new();
+                response.header.response = true;
+                response.header.rcode = Rcode::FormErr;
+                return match response.encode() {
+                    Ok(bytes) => ServiceResponse::Reply(bytes),
+                    Err(_) => ServiceResponse::NoReply,
+                };
+            }
+        };
+        let response = self.handler.handle_query(ctx, &query);
+        match response.encode() {
+            Ok(bytes) => ServiceResponse::Reply(bytes),
+            Err(_) => {
+                let fallback = Message::error_response(&query, Rcode::ServFail);
+                match fallback.encode() {
+                    Ok(bytes) => ServiceResponse::Reply(bytes),
+                    Err(_) => ServiceResponse::NoReply,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "do53"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::Authority;
+    use crate::catalog::Catalog;
+    use crate::zone::Zone;
+    use sdoh_dns_wire::RrType;
+    use sdoh_netsim::SimNet;
+    use std::time::Duration;
+
+    fn service() -> Do53Service<Authority> {
+        let mut zone = Zone::new("example.org".parse().unwrap());
+        zone.add_address(
+            "www.example.org".parse().unwrap(),
+            "192.0.2.80".parse().unwrap(),
+        );
+        let mut catalog = Catalog::new();
+        catalog.add_zone(zone);
+        Do53Service::new(Authority::new(catalog))
+    }
+
+    #[test]
+    fn answers_well_formed_queries() {
+        let net = SimNet::new(7);
+        let addr = SimAddr::v4(198, 51, 100, 53, 53);
+        net.register(addr, service());
+        let query = Message::query(3, "www.example.org".parse().unwrap(), RrType::A);
+        let reply = net
+            .transact(
+                SimAddr::v4(10, 0, 0, 1, 40000),
+                addr,
+                ChannelKind::Plain,
+                &query.encode().unwrap(),
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        let response = Message::decode(&reply).unwrap();
+        assert_eq!(response.answer_addresses().len(), 1);
+        assert!(response.answers_query(&query));
+    }
+
+    #[test]
+    fn malformed_query_gets_formerr() {
+        let net = SimNet::new(8);
+        let addr = SimAddr::v4(198, 51, 100, 53, 53);
+        net.register(addr, service());
+        let reply = net
+            .transact(
+                SimAddr::v4(10, 0, 0, 1, 40000),
+                addr,
+                ChannelKind::Plain,
+                b"garbage",
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        let response = Message::decode(&reply).unwrap();
+        assert_eq!(response.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn malformed_query_dropped_when_configured() {
+        let net = SimNet::new(9);
+        let addr = SimAddr::v4(198, 51, 100, 53, 53);
+        net.register(addr, service().dropping_malformed());
+        let err = net
+            .transact(
+                SimAddr::v4(10, 0, 0, 1, 40000),
+                addr,
+                ChannelKind::Plain,
+                b"garbage",
+                Duration::from_secs(1),
+            )
+            .unwrap_err();
+        assert_eq!(err, sdoh_netsim::NetError::Timeout);
+    }
+
+    #[test]
+    fn handler_accessors() {
+        let mut svc = service();
+        assert_eq!(svc.handler().catalog().len(), 1);
+        svc.handler_mut()
+            .catalog_mut()
+            .add_zone(Zone::new("new.test".parse().unwrap()));
+        assert_eq!(svc.handler().catalog().len(), 2);
+        assert_eq!(Service::name(&svc), "do53");
+    }
+}

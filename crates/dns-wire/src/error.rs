@@ -1,0 +1,139 @@
+//! Error types for DNS wire-format encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding or decoding DNS wire format data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A domain-name label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A domain name exceeded 255 octets on the wire.
+    NameTooLong(usize),
+    /// A label contained a character that is not permitted in presentation format.
+    InvalidLabelCharacter(char),
+    /// The input buffer ended before a complete item could be decoded.
+    UnexpectedEof {
+        /// What was being decoded when the buffer ran out.
+        expected: &'static str,
+    },
+    /// A compression pointer pointed forward or formed a loop.
+    BadCompressionPointer(usize),
+    /// Too many compression pointers were followed for a single name.
+    CompressionLoop,
+    /// The rdata length field did not match the decoded rdata.
+    RdataLengthMismatch {
+        /// Length declared in the RDLENGTH field.
+        declared: usize,
+        /// Length actually consumed by the decoder.
+        consumed: usize,
+    },
+    /// An rdata payload was larger than 65535 octets and cannot be encoded.
+    RdataTooLong(usize),
+    /// A message exceeded the 65535-octet limit.
+    MessageTooLong(usize),
+    /// A character-string (e.g. in TXT rdata) exceeded 255 octets.
+    CharacterStringTooLong(usize),
+    /// Trailing bytes remained after the message was fully decoded.
+    TrailingBytes(usize),
+    /// The label was empty where a non-empty label was required.
+    EmptyLabel,
+    /// Invalid base64url input for the DoH GET encoding.
+    InvalidBase64(usize),
+    /// An EDNS OPT record was malformed.
+    InvalidOpt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::LabelTooLong(len) => {
+                write!(f, "label is {len} octets, maximum is 63")
+            }
+            WireError::NameTooLong(len) => {
+                write!(f, "name is {len} octets on the wire, maximum is 255")
+            }
+            WireError::InvalidLabelCharacter(c) => {
+                write!(f, "invalid character {c:?} in domain name label")
+            }
+            WireError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input while decoding {expected}")
+            }
+            WireError::BadCompressionPointer(off) => {
+                write!(f, "compression pointer to invalid offset {off}")
+            }
+            WireError::CompressionLoop => write!(f, "compression pointer loop detected"),
+            WireError::RdataLengthMismatch { declared, consumed } => write!(
+                f,
+                "rdata length mismatch: declared {declared}, consumed {consumed}"
+            ),
+            WireError::RdataTooLong(len) => {
+                write!(f, "rdata is {len} octets, maximum is 65535")
+            }
+            WireError::MessageTooLong(len) => {
+                write!(f, "message is {len} octets, maximum is 65535")
+            }
+            WireError::CharacterStringTooLong(len) => {
+                write!(f, "character string is {len} octets, maximum is 255")
+            }
+            WireError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after end of message")
+            }
+            WireError::EmptyLabel => write!(f, "empty label inside a domain name"),
+            WireError::InvalidBase64(pos) => {
+                write!(f, "invalid base64url input at position {pos}")
+            }
+            WireError::InvalidOpt(what) => write!(f, "malformed OPT record: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Convenience alias used throughout the crate.
+pub type WireResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let cases: Vec<WireError> = vec![
+            WireError::LabelTooLong(70),
+            WireError::NameTooLong(300),
+            WireError::InvalidLabelCharacter(' '),
+            WireError::UnexpectedEof { expected: "header" },
+            WireError::BadCompressionPointer(9999),
+            WireError::CompressionLoop,
+            WireError::RdataLengthMismatch {
+                declared: 4,
+                consumed: 6,
+            },
+            WireError::RdataTooLong(70000),
+            WireError::MessageTooLong(70000),
+            WireError::CharacterStringTooLong(300),
+            WireError::TrailingBytes(3),
+            WireError::EmptyLabel,
+            WireError::InvalidBase64(2),
+            WireError::InvalidOpt("bad option length"),
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(WireError::CompressionLoop);
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::EmptyLabel, WireError::EmptyLabel);
+        assert_ne!(WireError::EmptyLabel, WireError::CompressionLoop);
+    }
+}

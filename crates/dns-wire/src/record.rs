@@ -1,0 +1,205 @@
+//! Resource records: a name, type, class, TTL and rdata.
+
+use std::fmt;
+use std::net::IpAddr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{WireError, WireResult};
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::rrtype::{RrClass, RrType};
+use crate::wire::{WireReader, WireWriter};
+
+/// A DNS resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name of the record.
+    pub name: Name,
+    /// Class of the record. For OPT pseudo-records this field carries the
+    /// requestor's UDP payload size instead.
+    pub rclass: RrClass,
+    /// Time to live in seconds. For OPT pseudo-records this field carries
+    /// the extended rcode and flags instead.
+    pub ttl: u32,
+    /// Decoded record data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Creates a record in the IN class.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        Record {
+            name,
+            rclass: RrClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// Creates an address record (A or AAAA depending on the address family).
+    pub fn address(name: Name, ttl: u32, addr: IpAddr) -> Self {
+        Record::new(name, ttl, RData::from_ip(addr))
+    }
+
+    /// The record type, derived from the rdata.
+    pub fn rtype(&self) -> RrType {
+        self.rdata.rtype()
+    }
+
+    /// Returns the IP address carried by this record, if it is an address
+    /// record.
+    pub fn ip_addr(&self) -> Option<IpAddr> {
+        self.rdata.ip_addr()
+    }
+
+    /// Encodes the record including the RDLENGTH field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::RdataTooLong`] when the rdata exceeds 65535
+    /// octets.
+    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.put_name(&self.name)?;
+        w.put_u16(self.rtype().code());
+        w.put_u16(self.rclass.code());
+        w.put_u32(self.ttl);
+        let len_offset = w.len();
+        w.put_u16(0); // placeholder for RDLENGTH
+        let rdata_start = w.len();
+        self.rdata.encode(w)?;
+        let rdata_len = w.len() - rdata_start;
+        if rdata_len > u16::MAX as usize {
+            return Err(WireError::RdataTooLong(rdata_len));
+        }
+        w.patch_u16(len_offset, rdata_len as u16);
+        Ok(())
+    }
+
+    /// Decodes one record from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the record is truncated or its rdata is
+    /// malformed.
+    pub fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let name = r.read_name()?;
+        let rtype = RrType::from(r.read_u16()?);
+        let rclass = RrClass::from(r.read_u16()?);
+        let ttl = r.read_u32()?;
+        let rdlength = r.read_u16()? as usize;
+        if r.remaining() < rdlength {
+            return Err(WireError::UnexpectedEof { expected: "rdata" });
+        }
+        let rdata = RData::decode(r, rtype, rdlength)?;
+        Ok(Record {
+            name,
+            rclass,
+            ttl,
+            rdata,
+        })
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.name,
+            self.ttl,
+            self.rclass,
+            self.rtype(),
+            self.rdata
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn roundtrip(rec: &Record) -> Record {
+        let mut w = WireWriter::new();
+        rec.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        let decoded = Record::decode(&mut r).unwrap();
+        assert!(r.is_at_end());
+        decoded
+    }
+
+    #[test]
+    fn a_record_roundtrip() {
+        let rec = Record::new(
+            "a.pool.ntp.org".parse().unwrap(),
+            3600,
+            RData::A(Ipv4Addr::new(203, 0, 113, 7)),
+        );
+        assert_eq!(roundtrip(&rec), rec);
+        assert_eq!(rec.rtype(), RrType::A);
+        assert_eq!(
+            rec.ip_addr(),
+            Some(IpAddr::V4(Ipv4Addr::new(203, 0, 113, 7)))
+        );
+    }
+
+    #[test]
+    fn aaaa_record_via_address_ctor() {
+        let addr: Ipv6Addr = "2001:db8::42".parse().unwrap();
+        let rec = Record::address("b.pool.ntp.org".parse().unwrap(), 60, IpAddr::V6(addr));
+        assert_eq!(rec.rtype(), RrType::Aaaa);
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn ns_record_roundtrip_with_compression_context() {
+        let rec = Record::new(
+            "ntpns.org".parse().unwrap(),
+            86400,
+            RData::Ns("c.ntpns.org".parse().unwrap()),
+        );
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let rec = Record::new(
+            "x.example".parse().unwrap(),
+            300,
+            RData::A(Ipv4Addr::LOCALHOST),
+        );
+        let s = rec.to_string();
+        assert!(s.contains("x.example."));
+        assert!(s.contains("300"));
+        assert!(s.contains("A"));
+        assert!(s.contains("127.0.0.1"));
+    }
+
+    #[test]
+    fn rdlength_declared_larger_than_remaining_fails() {
+        let rec = Record::new(
+            "x.example".parse().unwrap(),
+            300,
+            RData::A(Ipv4Addr::LOCALHOST),
+        );
+        let mut w = WireWriter::new();
+        rec.encode(&mut w).unwrap();
+        let mut bytes = w.finish().to_vec();
+        let len = bytes.len();
+        bytes.truncate(len - 2); // chop off part of the rdata
+        let mut r = WireReader::new(&bytes);
+        assert!(Record::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn txt_record_roundtrip() {
+        let rec = Record::new(
+            "info.example".parse().unwrap(),
+            120,
+            RData::Txt(vec![b"secure pool generation".to_vec()]),
+        );
+        assert_eq!(roundtrip(&rec), rec);
+    }
+}

@@ -1,0 +1,502 @@
+//! Low-level wire readers and writers with RFC 1035 name compression.
+
+use std::collections::HashMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::{WireError, WireResult};
+use crate::name::Name;
+
+/// Maximum number of compression pointers followed for a single name before
+/// the decoder gives up and reports a loop.
+const MAX_POINTER_HOPS: usize = 64;
+
+/// Incremental encoder for DNS wire format with name compression.
+///
+/// The writer records the offset of every name it emits so that later
+/// occurrences of the same suffix are replaced by a compression pointer
+/// (RFC 1035 §4.1.4).
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+    /// Map from lowercased dotted suffix to the offset of its first occurrence.
+    compression: HashMap<String, u16>,
+    /// When `false`, names are always written uncompressed (needed e.g. for
+    /// computing canonical forms).
+    compress: bool,
+}
+
+impl WireWriter {
+    /// Creates a writer with name compression enabled.
+    pub fn new() -> Self {
+        WireWriter {
+            buf: BytesMut::with_capacity(512),
+            compression: HashMap::new(),
+            compress: true,
+        }
+    }
+
+    /// Creates a writer that never emits compression pointers.
+    pub fn uncompressed() -> Self {
+        WireWriter {
+            compress: false,
+            ..WireWriter::new()
+        }
+    }
+
+    /// Current length of the encoded output in octets.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single octet.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a 16-bit value in network byte order.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Appends a 32-bit value in network byte order.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Appends raw octets.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Overwrites a previously written 16-bit value at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 2` is beyond the current length; this is a
+    /// programming error in the encoder, not an input error.
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        assert!(offset + 2 <= self.buf.len(), "patch_u16 out of range");
+        self.buf[offset] = (v >> 8) as u8;
+        self.buf[offset + 1] = (v & 0xff) as u8;
+    }
+
+    /// Appends a character-string: one length octet followed by up to 255
+    /// octets of data (RFC 1035 §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::CharacterStringTooLong`] when `s` exceeds 255
+    /// octets.
+    pub fn put_character_string(&mut self, s: &[u8]) -> WireResult<()> {
+        if s.len() > 255 {
+            return Err(WireError::CharacterStringTooLong(s.len()));
+        }
+        self.buf.put_u8(s.len() as u8);
+        self.buf.put_slice(s);
+        Ok(())
+    }
+
+    /// Appends a domain name, emitting a compression pointer when an equal
+    /// suffix has been written before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::NameTooLong`] if the name exceeds wire limits.
+    pub fn put_name(&mut self, name: &Name) -> WireResult<()> {
+        if name.wire_len() > crate::name::MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(name.wire_len()));
+        }
+        let labels: Vec<&[u8]> = name.labels().collect();
+        for i in 0..labels.len() {
+            let suffix_key = suffix_key(&labels[i..]);
+            if self.compress {
+                if let Some(&offset) = self.compression.get(&suffix_key) {
+                    // Pointers can only address the first 0x3FFF octets.
+                    self.buf.put_u16(0xC000 | offset);
+                    return Ok(());
+                }
+            }
+            let here = self.buf.len();
+            if self.compress && here <= 0x3FFF {
+                self.compression.insert(suffix_key, here as u16);
+            }
+            let label = labels[i];
+            self.buf.put_u8(label.len() as u8);
+            self.buf.put_slice(label);
+        }
+        self.buf.put_u8(0);
+        Ok(())
+    }
+
+    /// Finishes encoding and returns the wire bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Returns a copy of the bytes written so far without consuming the writer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+fn suffix_key(labels: &[&[u8]]) -> String {
+    let mut key = String::new();
+    for (i, l) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push('.');
+        }
+        for &b in l.iter() {
+            key.push((b as char).to_ascii_lowercase());
+        }
+    }
+    key
+}
+
+/// Cursor-based decoder for DNS wire format.
+///
+/// The reader keeps the whole message around so that compression pointers can
+/// be followed.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over a full DNS message.
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader { data, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    /// Returns `true` when the cursor has reached the end of the input.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Moves the cursor to an absolute offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `offset` is beyond the end of the message.
+    pub fn seek(&mut self, offset: usize) -> WireResult<()> {
+        if offset > self.data.len() {
+            return Err(WireError::BadCompressionPointer(offset));
+        }
+        self.pos = offset;
+        Ok(())
+    }
+
+    /// Reads one octet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] when the input is exhausted.
+    pub fn read_u8(&mut self) -> WireResult<u8> {
+        if self.remaining() < 1 {
+            return Err(WireError::UnexpectedEof { expected: "u8" });
+        }
+        let v = self.data[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads a 16-bit value in network byte order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] when fewer than two octets remain.
+    pub fn read_u16(&mut self) -> WireResult<u16> {
+        if self.remaining() < 2 {
+            return Err(WireError::UnexpectedEof { expected: "u16" });
+        }
+        let v = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Reads a 32-bit value in network byte order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] when fewer than four octets remain.
+    pub fn read_u32(&mut self) -> WireResult<u32> {
+        if self.remaining() < 4 {
+            return Err(WireError::UnexpectedEof { expected: "u32" });
+        }
+        let v = u32::from_be_bytes([
+            self.data[self.pos],
+            self.data[self.pos + 1],
+            self.data[self.pos + 2],
+            self.data[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Reads exactly `len` octets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] when fewer than `len` octets remain.
+    pub fn read_bytes(&mut self, len: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(WireError::UnexpectedEof { expected: "bytes" });
+        }
+        let out = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads a character-string (length octet followed by data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if the declared length overruns
+    /// the input.
+    pub fn read_character_string(&mut self) -> WireResult<Vec<u8>> {
+        let len = self.read_u8()? as usize;
+        Ok(self.read_bytes(len)?.to_vec())
+    }
+
+    /// Reads a (possibly compressed) domain name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for truncated names, invalid pointers or pointer loops.
+    pub fn read_name(&mut self) -> WireResult<Name> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut hops = 0usize;
+        let mut pos = self.pos;
+        let mut followed_pointer = false;
+        let mut end_pos = self.pos;
+
+        loop {
+            if pos >= self.data.len() {
+                return Err(WireError::UnexpectedEof { expected: "name" });
+            }
+            let len = self.data[pos];
+            match len {
+                0 => {
+                    pos += 1;
+                    if !followed_pointer {
+                        end_pos = pos;
+                    }
+                    break;
+                }
+                l if l & 0xC0 == 0xC0 => {
+                    if pos + 1 >= self.data.len() {
+                        return Err(WireError::UnexpectedEof {
+                            expected: "compression pointer",
+                        });
+                    }
+                    let target =
+                        (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
+                    if !followed_pointer {
+                        end_pos = pos + 2;
+                        followed_pointer = true;
+                    }
+                    if target >= pos {
+                        return Err(WireError::BadCompressionPointer(target));
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::CompressionLoop);
+                    }
+                    pos = target;
+                }
+                l if l & 0xC0 != 0 => {
+                    // 0x40 / 0x80 label types are not supported.
+                    return Err(WireError::InvalidOpt("unsupported label type"));
+                }
+                l => {
+                    let l = l as usize;
+                    if pos + 1 + l > self.data.len() {
+                        return Err(WireError::UnexpectedEof { expected: "label" });
+                    }
+                    labels.push(self.data[pos + 1..pos + 1 + l].to_vec());
+                    pos += 1 + l;
+                    if !followed_pointer {
+                        end_pos = pos;
+                    }
+                }
+            }
+        }
+
+        self.pos = end_pos;
+        if labels.is_empty() {
+            return Ok(Name::root());
+        }
+        Name::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEADBEEF);
+        w.put_slice(b"xyz");
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert_eq!(r.read_u16().unwrap(), 0x1234);
+        assert_eq!(r.read_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bytes(3).unwrap(), b"xyz");
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn eof_errors() {
+        let mut r = WireReader::new(&[0x01]);
+        assert!(r.read_u16().is_err());
+        assert_eq!(r.read_u8().unwrap(), 1);
+        assert!(r.read_u8().is_err());
+        assert!(r.read_u32().is_err());
+        assert!(r.read_bytes(1).is_err());
+    }
+
+    #[test]
+    fn name_roundtrip_uncompressed() {
+        let name: Name = "www.example.org".parse().unwrap();
+        let mut w = WireWriter::uncompressed();
+        w.put_name(&name).unwrap();
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), name.wire_len());
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), name);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn root_name_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_name(&Name::root()).unwrap();
+        let bytes = w.finish();
+        assert_eq!(&bytes[..], &[0u8]);
+        let mut r = WireReader::new(&bytes);
+        assert!(r.read_name().unwrap().is_root());
+    }
+
+    #[test]
+    fn compression_reuses_suffix() {
+        let a: Name = "a.example.org".parse().unwrap();
+        let b: Name = "b.example.org".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.put_name(&a).unwrap();
+        let after_first = w.len();
+        w.put_name(&b).unwrap();
+        let bytes = w.finish();
+        // Second name: 1 + 1 ("b") + 2 (pointer) = 4 octets.
+        assert_eq!(bytes.len() - after_first, 4);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), a);
+        assert_eq!(r.read_name().unwrap(), b);
+    }
+
+    #[test]
+    fn compression_is_case_insensitive() {
+        let a: Name = "host.EXAMPLE.org".parse().unwrap();
+        let b: Name = "other.example.ORG".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.put_name(&a).unwrap();
+        w.put_name(&b).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), a);
+        assert_eq!(r.read_name().unwrap(), b);
+    }
+
+    #[test]
+    fn identical_name_compresses_to_pointer_only() {
+        let a: Name = "ntp.example.org".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.put_name(&a).unwrap();
+        let first = w.len();
+        w.put_name(&a).unwrap();
+        assert_eq!(w.len() - first, 2);
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Pointer at offset 0 pointing to offset 4 (>= its own position).
+        let data = [0xC0, 0x04, 0x00, 0x00, 0x00];
+        let mut r = WireReader::new(&data);
+        assert!(matches!(
+            r.read_name(),
+            Err(WireError::BadCompressionPointer(4))
+        ));
+    }
+
+    #[test]
+    fn truncated_label_rejected() {
+        let data = [0x05, b'a', b'b'];
+        let mut r = WireReader::new(&data);
+        assert!(r.read_name().is_err());
+    }
+
+    #[test]
+    fn truncated_pointer_rejected() {
+        let data = [0x01, b'a', 0xC0];
+        let mut r = WireReader::new(&data);
+        assert!(r.read_name().is_err());
+    }
+
+    #[test]
+    fn unsupported_label_type_rejected() {
+        let data = [0x41, b'a', 0x00];
+        let mut r = WireReader::new(&data);
+        assert!(r.read_name().is_err());
+    }
+
+    #[test]
+    fn character_string_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_character_string(b"hello world").unwrap();
+        assert!(w.put_character_string(&[0u8; 256]).is_err());
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_character_string().unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn patch_u16_overwrites() {
+        let mut w = WireWriter::new();
+        w.put_u16(0);
+        w.put_u16(0xFFFF);
+        w.patch_u16(0, 0x0102);
+        let bytes = w.finish();
+        assert_eq!(&bytes[..], &[0x01, 0x02, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn reader_seek_and_position() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = WireReader::new(&data);
+        r.read_u16().unwrap();
+        assert_eq!(r.position(), 2);
+        r.seek(1).unwrap();
+        assert_eq!(r.read_u8().unwrap(), 2);
+        assert!(r.seek(10).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests: arbitrary DNS messages survive an encode/decode
+//! round trip, and the decoder never panics on arbitrary input.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use proptest::prelude::*;
+
+use sdoh_dns_wire::{
+    base64url, Header, Message, Name, Opcode, Question, RData, Rcode, Record, RrType, Soa,
+};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9][a-zA-Z0-9-]{0,20}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..5).prop_map(|labels| {
+        if labels.is_empty() {
+            Name::root()
+        } else {
+            Name::from_labels(labels.iter().map(|l| l.as_bytes())).unwrap()
+        }
+    })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..4)
+            .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>()).prop_map(|(m, r, s)| {
+            RData::Soa(Soa::new(m, r, s))
+        }),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(|data| RData::Unknown {
+            rtype: 4242,
+            data
+        }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        rclass: sdoh_dns_wire::RrClass::In,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_rrtype() -> impl Strategy<Value = RrType> {
+    prop_oneof![
+        Just(RrType::A),
+        Just(RrType::Aaaa),
+        Just(RrType::Ns),
+        Just(RrType::Txt),
+        Just(RrType::Any),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        arb_name(),
+        arb_rrtype(),
+        proptest::collection::vec(arb_record(), 0..6),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(
+            |(id, response, rd, qname, qtype, answers, authorities, additionals)| Message {
+                header: Header {
+                    id,
+                    response,
+                    opcode: Opcode::Query,
+                    recursion_desired: rd,
+                    rcode: Rcode::NoError,
+                    ..Header::default()
+                },
+                questions: vec![Question::new(qname, qtype)],
+                answers,
+                authorities,
+                additionals,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let encoded = msg.encode().unwrap();
+        let decoded = Message::decode(&encoded).unwrap();
+        let mut normalized = msg.clone();
+        normalized.normalize_counts();
+        prop_assert_eq!(decoded, normalized);
+    }
+
+    #[test]
+    fn reencode_is_stable(msg in arb_message()) {
+        let once = msg.encode().unwrap();
+        let decoded = Message::decode(&once).unwrap();
+        let twice = decoded.encode().unwrap();
+        let decoded2 = Message::decode(&twice).unwrap();
+        prop_assert_eq!(decoded, decoded2);
+    }
+
+    #[test]
+    fn decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&data);
+    }
+
+    #[test]
+    fn name_parse_display_roundtrip(labels in proptest::collection::vec(arb_label(), 1..5)) {
+        let text = labels.join(".");
+        let name: Name = text.parse().unwrap();
+        let redisplayed = name.to_string();
+        let reparsed: Name = redisplayed.parse().unwrap();
+        prop_assert_eq!(name, reparsed);
+    }
+
+    #[test]
+    fn base64url_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let encoded = base64url::encode(&data);
+        prop_assert!(!encoded.contains('='));
+        prop_assert_eq!(base64url::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn base64url_decode_never_panics(s in "[ -~]{0,64}") {
+        let _ = base64url::decode(&s);
+    }
+
+    #[test]
+    fn answer_addresses_counts_address_records(msg in arb_message()) {
+        let expected = msg
+            .answers
+            .iter()
+            .filter(|r| matches!(r.rdata, RData::A(_) | RData::Aaaa(_)))
+            .count();
+        prop_assert_eq!(msg.answer_addresses().len(), expected);
+    }
+}

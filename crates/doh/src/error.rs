@@ -1,0 +1,106 @@
+//! Error types for the DoH transport stack.
+
+use std::error::Error;
+use std::fmt;
+
+use sdoh_dns_wire::WireError;
+use sdoh_netsim::NetError;
+
+use crate::h2::H2Error;
+
+/// Errors surfaced by the DoH client and server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DohError {
+    /// Transport failure (timeout, unreachable, partition).
+    Network(NetError),
+    /// HTTP/2 framing or protocol error.
+    Http2(H2Error),
+    /// DNS message encoding/decoding failure.
+    Wire(WireError),
+    /// The secure channel rejected the peer or the data (bad key, bad tag).
+    ChannelAuthentication(String),
+    /// The HTTP response had an unexpected status code.
+    HttpStatus(u16),
+    /// The HTTP exchange was well-formed but not a valid DoH exchange
+    /// (wrong content type, missing `dns` parameter, bad base64).
+    Protocol(String),
+}
+
+impl fmt::Display for DohError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DohError::Network(e) => write!(f, "network error: {e}"),
+            DohError::Http2(e) => write!(f, "http/2 error: {e}"),
+            DohError::Wire(e) => write!(f, "dns wire error: {e}"),
+            DohError::ChannelAuthentication(msg) => {
+                write!(f, "secure channel authentication failed: {msg}")
+            }
+            DohError::HttpStatus(code) => write!(f, "unexpected http status {code}"),
+            DohError::Protocol(msg) => write!(f, "doh protocol error: {msg}"),
+        }
+    }
+}
+
+impl Error for DohError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DohError::Network(e) => Some(e),
+            DohError::Http2(e) => Some(e),
+            DohError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for DohError {
+    fn from(e: NetError) -> Self {
+        DohError::Network(e)
+    }
+}
+
+impl From<H2Error> for DohError {
+    fn from(e: H2Error) -> Self {
+        DohError::Http2(e)
+    }
+}
+
+impl From<WireError> for DohError {
+    fn from(e: WireError) -> Self {
+        DohError::Wire(e)
+    }
+}
+
+/// Result alias for DoH operations.
+pub type DohResult<T> = Result<T, DohError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let cases: Vec<DohError> = vec![
+            DohError::Network(NetError::Timeout),
+            DohError::Http2(H2Error::UnexpectedPreface),
+            DohError::Wire(WireError::EmptyLabel),
+            DohError::ChannelAuthentication("bad tag".into()),
+            DohError::HttpStatus(415),
+            DohError::Protocol("missing dns parameter".into()),
+        ];
+        for c in &cases {
+            assert!(!c.to_string().is_empty());
+        }
+        assert!(cases[0].source().is_some());
+        assert!(cases[3].source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DohError = NetError::Timeout.into();
+        assert!(matches!(e, DohError::Network(_)));
+        let e: DohError = WireError::EmptyLabel.into();
+        assert!(matches!(e, DohError::Wire(_)));
+        let e: DohError = H2Error::UnexpectedPreface.into();
+        assert!(matches!(e, DohError::Http2(_)));
+    }
+}

@@ -1,0 +1,334 @@
+//! A deliberately small HPACK (RFC 7541) implementation.
+//!
+//! The encoder emits only two representations:
+//!
+//! * indexed header fields referencing the static table (for exact matches
+//!   such as `:method: GET`), and
+//! * literal header fields *without* indexing, with plain (non-Huffman)
+//!   string encoding.
+//!
+//! The decoder accepts indexed fields that reference the static table and
+//! all three literal forms, as long as strings are not Huffman-coded. The
+//! dynamic table is never populated (its declared size is zero), which keeps
+//! both ends stateless; this is a documented simplification relative to a
+//! production HPACK codec and is sufficient because both peers in the
+//! simulation use this same codec.
+
+use super::error::H2Error;
+
+/// The RFC 7541 Appendix A static table (index 1..=61).
+const STATIC_TABLE: &[(&str, &str)] = &[
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+];
+
+/// Encodes a header list into an HPACK header block.
+pub fn encode(headers: &[(String, String)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (name, value) in headers {
+        if let Some(index) = static_index_exact(name, value) {
+            // Indexed header field: 1xxxxxxx
+            encode_integer(&mut out, index as u64, 7, 0x80);
+            continue;
+        }
+        // Literal header field without indexing — new name: 0000 0000
+        out.push(0x00);
+        encode_string(&mut out, name.as_bytes());
+        encode_string(&mut out, value.as_bytes());
+    }
+    out
+}
+
+/// Decodes an HPACK header block into a header list.
+///
+/// # Errors
+///
+/// Returns [`H2Error::Hpack`] for Huffman-coded strings, dynamic-table
+/// references, size updates that are not zero, or truncated input.
+pub fn decode(mut block: &[u8]) -> Result<Vec<(String, String)>, H2Error> {
+    let mut headers = Vec::new();
+    while !block.is_empty() {
+        let first = block[0];
+        if first & 0x80 != 0 {
+            // Indexed header field.
+            let (index, rest) = decode_integer(block, 7)?;
+            block = rest;
+            let (name, value) = static_entry(index)?;
+            headers.push((name.to_string(), value.to_string()));
+        } else if first & 0xE0 == 0x20 {
+            // Dynamic table size update; only size 0 is allowed here.
+            let (size, rest) = decode_integer(block, 5)?;
+            if size != 0 {
+                return Err(H2Error::Hpack("dynamic table not supported".into()));
+            }
+            block = rest;
+        } else {
+            // Literal header field (with incremental indexing 0x40, without
+            // indexing 0x00, never indexed 0x10). All are treated the same
+            // because the dynamic table is unused.
+            let prefix = if first & 0x40 != 0 { 6 } else { 4 };
+            let (name_index, rest) = decode_integer(block, prefix)?;
+            block = rest;
+            let name = if name_index == 0 {
+                let (name, rest) = decode_string(block)?;
+                block = rest;
+                name
+            } else {
+                let (name, _) = static_entry(name_index)?;
+                name.to_string()
+            };
+            let (value, rest) = decode_string(block)?;
+            block = rest;
+            headers.push((name, value));
+        }
+    }
+    Ok(headers)
+}
+
+fn static_index_exact(name: &str, value: &str) -> Option<usize> {
+    STATIC_TABLE
+        .iter()
+        .position(|(n, v)| *n == name && *v == value)
+        .map(|i| i + 1)
+}
+
+fn static_entry(index: u64) -> Result<(&'static str, &'static str), H2Error> {
+    if index == 0 || index as usize > STATIC_TABLE.len() {
+        return Err(H2Error::Hpack(format!(
+            "index {index} outside the static table"
+        )));
+    }
+    Ok(STATIC_TABLE[index as usize - 1])
+}
+
+fn encode_integer(out: &mut Vec<u8>, mut value: u64, prefix_bits: u8, pattern: u8) {
+    let max_prefix = (1u64 << prefix_bits) - 1;
+    if value < max_prefix {
+        out.push(pattern | value as u8);
+        return;
+    }
+    out.push(pattern | max_prefix as u8);
+    value -= max_prefix;
+    while value >= 128 {
+        out.push((value % 128 + 128) as u8);
+        value /= 128;
+    }
+    out.push(value as u8);
+}
+
+fn decode_integer(input: &[u8], prefix_bits: u8) -> Result<(u64, &[u8]), H2Error> {
+    if input.is_empty() {
+        return Err(H2Error::Hpack("truncated integer".into()));
+    }
+    let max_prefix = (1u64 << prefix_bits) - 1;
+    let mut value = (input[0] as u64) & max_prefix;
+    let mut rest = &input[1..];
+    if value < max_prefix {
+        return Ok((value, rest));
+    }
+    let mut shift = 0u32;
+    loop {
+        let byte = *rest
+            .first()
+            .ok_or_else(|| H2Error::Hpack("truncated integer continuation".into()))?;
+        rest = &rest[1..];
+        value += ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, rest));
+        }
+        shift += 7;
+        if shift > 42 {
+            return Err(H2Error::Hpack("integer too large".into()));
+        }
+    }
+}
+
+fn encode_string(out: &mut Vec<u8>, data: &[u8]) {
+    encode_integer(out, data.len() as u64, 7, 0x00);
+    out.extend_from_slice(data);
+}
+
+fn decode_string(input: &[u8]) -> Result<(String, &[u8]), H2Error> {
+    if input.is_empty() {
+        return Err(H2Error::Hpack("truncated string".into()));
+    }
+    if input[0] & 0x80 != 0 {
+        return Err(H2Error::Hpack("huffman coding not supported".into()));
+    }
+    let (len, rest) = decode_integer(input, 7)?;
+    let len = len as usize;
+    if rest.len() < len {
+        return Err(H2Error::Hpack("truncated string payload".into()));
+    }
+    let text = String::from_utf8(rest[..len].to_vec())
+        .map_err(|_| H2Error::Hpack("header string is not valid utf-8".into()))?;
+    Ok((text, &rest[len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(items: &[(&str, &str)]) -> Vec<(String, String)> {
+        items
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_typical_doh_request_headers() {
+        let headers = pairs(&[
+            (":method", "GET"),
+            (":scheme", "https"),
+            (":authority", "dns.google"),
+            (":path", "/dns-query?dns=AAABAA"),
+            ("accept", "application/dns-message"),
+        ]);
+        let block = encode(&headers);
+        assert_eq!(decode(&block).unwrap(), headers);
+    }
+
+    #[test]
+    fn roundtrip_typical_response_headers() {
+        let headers = pairs(&[
+            (":status", "200"),
+            ("content-type", "application/dns-message"),
+            ("content-length", "61"),
+            ("cache-control", "max-age=300"),
+        ]);
+        let block = encode(&headers);
+        assert_eq!(decode(&block).unwrap(), headers);
+    }
+
+    #[test]
+    fn exact_static_matches_are_single_bytes() {
+        let headers = pairs(&[(":method", "GET"), (":scheme", "https"), (":status", "200")]);
+        let block = encode(&headers);
+        assert_eq!(block.len(), 3, "one indexed byte per field");
+    }
+
+    #[test]
+    fn integer_encoding_edge_cases() {
+        let mut out = Vec::new();
+        encode_integer(&mut out, 10, 5, 0x00);
+        assert_eq!(out, vec![10]);
+        out.clear();
+        // RFC 7541 C.1.2: 1337 with 5-bit prefix.
+        encode_integer(&mut out, 1337, 5, 0x00);
+        assert_eq!(out, vec![31, 154, 10]);
+        let (value, rest) = decode_integer(&out, 5).unwrap();
+        assert_eq!(value, 1337);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn decoder_accepts_literal_with_incremental_indexing() {
+        // 0x40 prefix, new name "x-test", value "1".
+        let mut block = vec![0x40];
+        encode_string(&mut block, b"x-test");
+        encode_string(&mut block, b"1");
+        let headers = decode(&block).unwrap();
+        assert_eq!(headers, pairs(&[("x-test", "1")]));
+    }
+
+    #[test]
+    fn decoder_accepts_literal_with_static_name_reference() {
+        // Literal without indexing, name index 31 (content-type).
+        let mut block = Vec::new();
+        encode_integer(&mut block, 31, 4, 0x00);
+        encode_string(&mut block, b"application/dns-message");
+        let headers = decode(&block).unwrap();
+        assert_eq!(headers[0].0, "content-type");
+        assert_eq!(headers[0].1, "application/dns-message");
+    }
+
+    #[test]
+    fn decoder_rejects_huffman_and_bad_indexes() {
+        // String with the Huffman bit set.
+        let block = [0x00, 0x81, 0xFF, 0x01, 0x61];
+        assert!(decode(&block).is_err());
+        // Indexed field pointing beyond the static table.
+        let mut block = Vec::new();
+        encode_integer(&mut block, 62, 7, 0x80);
+        assert!(decode(&block).is_err());
+        // Index zero is invalid.
+        assert!(decode(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_truncated_input() {
+        let headers = pairs(&[("accept", "application/dns-message")]);
+        let block = encode(&headers);
+        assert!(decode(&block[..block.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn dynamic_table_size_update_of_zero_is_tolerated() {
+        let mut block = vec![0x20];
+        block.extend(encode(&pairs(&[(":status", "200")])));
+        assert_eq!(decode(&block).unwrap(), pairs(&[(":status", "200")]));
+        // Non-zero size update is rejected.
+        let block = [0x3F, 0xE1, 0x1F];
+        assert!(decode(&block).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! The DNS-over-HTTPS server service (RFC 8484) running on a simulated
+//! resolver endpoint.
+
+use sdoh_dns_server::QueryHandler;
+use sdoh_dns_wire::{base64url, Message};
+use sdoh_netsim::{ChannelKind, Ctx, Service, ServiceResponse, SimAddr};
+
+use crate::client::{DNS_MESSAGE_CONTENT_TYPE, DOH_PATH};
+use crate::directory::ResolverInfo;
+use crate::error::DohResult;
+use crate::h2::ServerConnection;
+use crate::http::{Method, Request, Response, StatusCode};
+use crate::secure::{self, SecureEnvelope};
+
+/// A DoH endpoint: terminates the secure channel and HTTP/2, validates the
+/// RFC 8484 exchange and hands the DNS query to a [`QueryHandler`]
+/// (typically a recursive resolver, possibly a poisoned one in attack
+/// experiments).
+#[derive(Debug)]
+pub struct DohServerService<H> {
+    identity: ResolverInfo,
+    handler: H,
+    queries_served: u64,
+}
+
+impl<H: QueryHandler> DohServerService<H> {
+    /// Creates a DoH service with the given identity (name + pinned key)
+    /// and query handler.
+    pub fn new(identity: ResolverInfo, handler: H) -> Self {
+        DohServerService {
+            identity,
+            handler,
+            queries_served: 0,
+        }
+    }
+
+    /// Number of DNS queries answered so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Access to the wrapped handler.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutable access to the wrapped handler.
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) -> DohResult<Vec<u8>> {
+        let envelope = SecureEnvelope::decode(payload)?;
+        if envelope.server_name != self.identity.name {
+            return Err(crate::error::DohError::ChannelAuthentication(format!(
+                "client addressed {} but this endpoint is {}",
+                envelope.server_name, self.identity.name
+            )));
+        }
+        let client_h2 = secure::open(&self.identity.key, secure::SEQ_CLIENT, &envelope.record)?;
+
+        let mut connection = ServerConnection::new();
+        let requests = connection.receive(&client_h2)?;
+        for (stream_id, request) in requests {
+            let response = self.handle_http(ctx, &request);
+            connection.send_response(stream_id, &response);
+        }
+        let server_h2 = connection.take_output();
+        let reply = SecureEnvelope {
+            server_name: self.identity.name.clone(),
+            record: secure::seal(&self.identity.key, secure::SEQ_SERVER, &server_h2),
+        };
+        Ok(reply.encode())
+    }
+
+    fn handle_http(&mut self, ctx: &mut Ctx<'_>, request: &Request) -> Response {
+        if request.path_without_query() != DOH_PATH {
+            return Response::new(StatusCode::NOT_FOUND);
+        }
+        let query_wire: Vec<u8> = match request.method {
+            Method::Get => match request.query_param("dns") {
+                Some(encoded) => match base64url::decode(encoded) {
+                    Ok(bytes) => bytes,
+                    Err(_) => return Response::new(StatusCode::BAD_REQUEST),
+                },
+                None => return Response::new(StatusCode::BAD_REQUEST),
+            },
+            Method::Post => {
+                match request.headers.get("content-type") {
+                    Some(ct) if ct.eq_ignore_ascii_case(DNS_MESSAGE_CONTENT_TYPE) => {}
+                    _ => return Response::new(StatusCode::UNSUPPORTED_MEDIA_TYPE),
+                }
+                request.body.clone()
+            }
+        };
+        if query_wire.len() > sdoh_dns_wire::MAX_MESSAGE_SIZE {
+            return Response::new(StatusCode::PAYLOAD_TOO_LARGE);
+        }
+        let query = match Message::decode(&query_wire) {
+            Ok(message) => message,
+            Err(_) => return Response::new(StatusCode::BAD_REQUEST),
+        };
+        self.queries_served += 1;
+        let dns_response = self.handler.handle_query(ctx, &query);
+        match dns_response.encode() {
+            Ok(bytes) => {
+                let min_ttl = dns_response
+                    .answers
+                    .iter()
+                    .map(|r| r.ttl)
+                    .min()
+                    .unwrap_or(0);
+                Response::ok(DNS_MESSAGE_CONTENT_TYPE, bytes)
+                    .with_header("cache-control", &format!("max-age={min_ttl}"))
+            }
+            Err(_) => Response::new(StatusCode::INTERNAL_SERVER_ERROR),
+        }
+    }
+}
+
+impl<H: QueryHandler> Service for DohServerService<H> {
+    fn handle(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        _from: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+    ) -> ServiceResponse {
+        // A DoH endpoint only speaks over the secure channel; plaintext
+        // connection attempts are ignored (no listener on port 443/tcp
+        // without TLS).
+        if channel != ChannelKind::Secure {
+            return ServiceResponse::NoReply;
+        }
+        match self.process(ctx, payload) {
+            Ok(reply) => ServiceResponse::Reply(reply),
+            Err(_) => ServiceResponse::NoReply,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "doh-server"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{DohClient, DohMethod};
+    use crate::directory::ResolverDirectory;
+    use sdoh_dns_server::{Authority, Catalog, ClientExchanger, Zone};
+    use sdoh_dns_wire::RrType;
+    use sdoh_netsim::SimNet;
+    use std::time::Duration;
+
+    fn authority() -> Authority {
+        let mut zone = Zone::new("example.org".parse().unwrap());
+        zone.add_address(
+            "www.example.org".parse().unwrap(),
+            "192.0.2.80".parse().unwrap(),
+        );
+        let mut catalog = Catalog::new();
+        catalog.add_zone(zone);
+        Authority::new(catalog)
+    }
+
+    fn setup() -> (SimNet, ResolverInfo) {
+        let net = SimNet::new(21);
+        let info = ResolverDirectory::well_known(21).resolvers()[1].clone();
+        net.register(info.addr, DohServerService::new(info.clone(), authority()));
+        (net, info)
+    }
+
+    #[test]
+    fn serves_get_and_post() {
+        let (net, info) = setup();
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 7, 50000));
+        for method in [DohMethod::Get, DohMethod::Post] {
+            let client = DohClient::new(info.clone()).method(method);
+            let response = client
+                .query(&mut exchanger, &"www.example.org".parse().unwrap(), RrType::A)
+                .unwrap();
+            assert_eq!(response.answer_addresses().len(), 1);
+        }
+    }
+
+    #[test]
+    fn ignores_plaintext_connections() {
+        let (net, info) = setup();
+        let err = net
+            .transact(
+                SimAddr::v4(10, 0, 0, 7, 50000),
+                info.addr,
+                ChannelKind::Plain,
+                b"GET /dns-query",
+                Duration::from_millis(300),
+            )
+            .unwrap_err();
+        assert_eq!(err, sdoh_netsim::NetError::Timeout);
+    }
+
+    #[test]
+    fn rejects_wrong_server_name() {
+        let (net, info) = setup();
+        // Client pins the right key but addresses the wrong name.
+        let mut wrong = info.clone();
+        wrong.name = "dns.evil.example".to_string();
+        let client = DohClient::new(wrong).timeout(Duration::from_millis(500));
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 7, 50000));
+        let err = client
+            .query(&mut exchanger, &"www.example.org".parse().unwrap(), RrType::A)
+            .unwrap_err();
+        assert!(matches!(err, crate::error::DohError::Network(_)));
+    }
+
+    #[test]
+    fn counts_queries_and_exposes_handler() {
+        let info = ResolverDirectory::well_known(3).resolvers()[0].clone();
+        let mut service = DohServerService::new(info, authority());
+        assert_eq!(service.queries_served(), 0);
+        assert_eq!(service.handler().catalog().len(), 1);
+        service
+            .handler_mut()
+            .catalog_mut()
+            .add_zone(Zone::new("added.test".parse().unwrap()));
+        assert_eq!(service.handler().catalog().len(), 2);
+        assert_eq!(Service::name(&service), "doh-server");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests on the DoH transport stack: HPACK, HTTP/2 framing
+//! and the secure channel survive arbitrary inputs and round trips.
+
+use proptest::prelude::*;
+
+use sdoh_doh::h2::{hpack, ClientConnection, Frame, ServerConnection};
+use sdoh_doh::http::{Request, Response, StatusCode};
+use sdoh_doh::secure::{self, SecretKey};
+
+fn arb_header_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9-]{0,12}").unwrap()
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~&&[^\"]]{0,24}").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// HPACK round-trips arbitrary (lowercase-named) header lists.
+    #[test]
+    fn hpack_roundtrip(headers in proptest::collection::vec(
+        (arb_header_name(), arb_header_value()), 0..12))
+    {
+        let block = hpack::encode(&headers);
+        prop_assert_eq!(hpack::decode(&block).unwrap(), headers);
+    }
+
+    /// The HPACK decoder never panics on arbitrary bytes.
+    #[test]
+    fn hpack_decoder_never_panics(block in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = hpack::decode(&block);
+    }
+
+    /// HTTP/2 frames round-trip and the decoder never panics on noise.
+    #[test]
+    fn data_frames_roundtrip(
+        stream_id in 1u32..0x7FFF_0000,
+        end_stream in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = Frame::Data { stream_id, end_stream, data };
+        let mut buf = bytes::BytesMut::new();
+        frame.encode(&mut buf);
+        let (decoded, used) = Frame::decode(&buf).unwrap().unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Frame::decode(&noise);
+    }
+
+    /// A full request/response exchange preserves method, path, authority,
+    /// headers, bodies and status.
+    #[test]
+    fn http2_exchange_roundtrip(
+        path_suffix in "[a-zA-Z0-9_-]{0,24}",
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        status in 200u16..600,
+        use_post in any::<bool>(),
+    ) {
+        let path = format!("/dns-query?dns={path_suffix}");
+        let request = if use_post {
+            Request::post("dns.example", path.clone(), body.clone())
+                .with_header("content-type", "application/dns-message")
+        } else {
+            Request::get("dns.example", path.clone())
+        };
+        let mut client = ClientConnection::new();
+        let mut server = ServerConnection::new();
+        let sid = client.send_request(&request);
+        let requests = server.receive(&client.take_output()).unwrap();
+        prop_assert_eq!(requests.len(), 1);
+        let (rid, received) = &requests[0];
+        prop_assert_eq!(*rid, sid);
+        prop_assert_eq!(&received.path, &path);
+        prop_assert_eq!(&received.authority, "dns.example");
+        if use_post {
+            prop_assert_eq!(&received.body, &body);
+        }
+
+        let response = Response::new(StatusCode::from(status));
+        server.send_response(*rid, &response);
+        let responses = client.receive(&server.take_output()).unwrap();
+        prop_assert_eq!(responses.len(), 1);
+        prop_assert_eq!(responses[0].1.status.as_u16(), status);
+    }
+
+    /// The secure channel round-trips arbitrary payloads and rejects any
+    /// single-byte tampering.
+    #[test]
+    fn secure_channel_roundtrip_and_tamper_detection(
+        seed in any::<u64>(),
+        label in "[a-z.]{1,20}",
+        seq in 0u64..4,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let key = SecretKey::derive(seed, &label);
+        let sealed = secure::seal(&key, seq, &payload);
+        prop_assert_eq!(secure::open(&key, seq, &sealed).unwrap(), payload);
+
+        let (pos, bit) = flip;
+        if !sealed.is_empty() && bit != 0 {
+            let mut tampered = sealed.clone();
+            let idx = pos % tampered.len();
+            tampered[idx] ^= bit;
+            prop_assert!(secure::open(&key, seq, &tampered).is_err());
+        }
+    }
+
+    /// Envelopes round-trip and the parser never panics on noise.
+    #[test]
+    fn envelope_roundtrip_and_robustness(
+        name in "[a-z0-9.-]{1,30}",
+        record in proptest::collection::vec(any::<u8>(), 0..128),
+        noise in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let envelope = secure::SecureEnvelope { server_name: name, record };
+        let encoded = envelope.encode();
+        prop_assert_eq!(secure::SecureEnvelope::decode(&encoded).unwrap(), envelope);
+        let _ = secure::SecureEnvelope::decode(&noise);
+    }
+}

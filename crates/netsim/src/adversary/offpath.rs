@@ -1,0 +1,265 @@
+//! Off-path spoofing adversary.
+//!
+//! Models the attacker of "The Impact of DNS Insecurity on Time" (Jeitner et
+//! al., DSN 2020): it cannot observe traffic but injects forged responses to
+//! plain-channel requests, hoping to beat the genuine response and to match
+//! the identifiers the client checks (transaction id, source port).
+
+use crate::addr::SimAddr;
+use crate::channel::ChannelKind;
+use crate::rng::SimRng;
+
+use super::{Adversary, Envelope, RequestVerdict};
+
+/// How the spoofing success of each attempt is decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpoofStrategy {
+    /// Each targeted request is successfully spoofed with a fixed
+    /// probability. This is the abstraction used throughout the paper's
+    /// analysis (`p_attack`).
+    FixedProbability(f64),
+    /// The attacker sends `attempts` forged responses with uniformly guessed
+    /// identifiers; the client accepts one if any guess matches. With
+    /// `entropy_bits` bits of identifier entropy (16 for the DNS transaction
+    /// id alone, up to 32 when source ports are randomised), the per-request
+    /// success probability is `1 - (1 - 2^-entropy)^attempts`.
+    GuessIdentifiers {
+        /// Number of forged responses raced against the genuine one.
+        attempts: u32,
+        /// Bits of entropy the attacker must guess.
+        entropy_bits: u8,
+    },
+}
+
+impl SpoofStrategy {
+    /// The per-request success probability implied by this strategy.
+    pub fn success_probability(&self) -> f64 {
+        match *self {
+            SpoofStrategy::FixedProbability(p) => p.clamp(0.0, 1.0),
+            SpoofStrategy::GuessIdentifiers {
+                attempts,
+                entropy_bits,
+            } => {
+                let space = 2f64.powi(entropy_bits as i32);
+                1.0 - (1.0 - 1.0 / space).powi(attempts as i32)
+            }
+        }
+    }
+}
+
+/// An off-path attacker targeting plain-channel requests to a set of victim
+/// destinations.
+///
+/// The forged payload is produced by a caller-supplied closure so that this
+/// crate stays protocol-agnostic: the DNS layer supplies a closure that
+/// parses the query and builds a matching, poisoned response.
+pub struct OffPathSpoofer {
+    strategy: SpoofStrategy,
+    targets: Option<Vec<SimAddr>>,
+    forge: Box<dyn FnMut(&[u8], &mut SimRng) -> Option<Vec<u8>>>,
+    attempts: u64,
+    successes: u64,
+}
+
+impl OffPathSpoofer {
+    /// Creates a spoofer with the given strategy and forging closure.
+    ///
+    /// The closure receives the request payload (a modelling convenience:
+    /// real off-path attackers know the query name from context, not from
+    /// observation) and returns the forged response payload, or `None` when
+    /// this request is of no interest (e.g. not a DNS query for the target
+    /// domain).
+    pub fn new<F>(strategy: SpoofStrategy, forge: F) -> Self
+    where
+        F: FnMut(&[u8], &mut SimRng) -> Option<Vec<u8>> + 'static,
+    {
+        OffPathSpoofer {
+            strategy,
+            targets: None,
+            forge: Box::new(forge),
+            attempts: 0,
+            successes: 0,
+        }
+    }
+
+    /// Restricts the attack to requests addressed to the given destinations.
+    pub fn with_targets(mut self, targets: Vec<SimAddr>) -> Self {
+        self.targets = Some(targets);
+        self
+    }
+
+    /// Number of requests the spoofer attempted to attack.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Number of requests for which a forged response was delivered.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    fn is_target(&self, dst: SimAddr) -> bool {
+        match &self.targets {
+            None => true,
+            Some(targets) => targets.contains(&dst),
+        }
+    }
+}
+
+impl std::fmt::Debug for OffPathSpoofer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffPathSpoofer")
+            .field("strategy", &self.strategy)
+            .field("targets", &self.targets)
+            .field("attempts", &self.attempts)
+            .field("successes", &self.successes)
+            .finish()
+    }
+}
+
+impl Adversary for OffPathSpoofer {
+    fn on_request(&mut self, envelope: &Envelope<'_>, rng: &mut SimRng) -> RequestVerdict {
+        // Off-path attackers cannot break into authenticated channels.
+        if envelope.channel != ChannelKind::Plain || !self.is_target(envelope.dst) {
+            return RequestVerdict::Deliver;
+        }
+        self.attempts += 1;
+        if !rng.chance(self.strategy.success_probability()) {
+            return RequestVerdict::Deliver;
+        }
+        match (self.forge)(envelope.payload, rng) {
+            Some(forged) => {
+                self.successes += 1;
+                RequestVerdict::Forge(forged)
+            }
+            None => RequestVerdict::Deliver,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "off-path-spoofer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(channel: ChannelKind, dst: SimAddr, payload: &[u8]) -> Envelope<'_> {
+        Envelope {
+            src: SimAddr::v4(192, 0, 2, 10, 40000),
+            dst,
+            channel,
+            payload,
+        }
+    }
+
+    #[test]
+    fn fixed_probability_bounds() {
+        assert_eq!(SpoofStrategy::FixedProbability(0.4).success_probability(), 0.4);
+        assert_eq!(SpoofStrategy::FixedProbability(4.0).success_probability(), 1.0);
+        assert_eq!(SpoofStrategy::FixedProbability(-1.0).success_probability(), 0.0);
+    }
+
+    #[test]
+    fn guessing_probability_matches_formula() {
+        let strategy = SpoofStrategy::GuessIdentifiers {
+            attempts: 1,
+            entropy_bits: 16,
+        };
+        assert!((strategy.success_probability() - 1.0 / 65536.0).abs() < 1e-9);
+
+        let many = SpoofStrategy::GuessIdentifiers {
+            attempts: 65536,
+            entropy_bits: 16,
+        };
+        // 1 - (1 - 2^-16)^65536 ~= 1 - 1/e
+        assert!((many.success_probability() - (1.0 - (-1.0f64).exp())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn always_successful_spoofer_forges_plain_traffic() {
+        let mut spoofer = OffPathSpoofer::new(SpoofStrategy::FixedProbability(1.0), |_q, _rng| {
+            Some(b"forged".to_vec())
+        });
+        let mut rng = SimRng::seed_from_u64(1);
+        let dst = SimAddr::v4(8, 8, 8, 8, 53);
+        let verdict = spoofer.on_request(&envelope(ChannelKind::Plain, dst, b"query"), &mut rng);
+        assert_eq!(verdict, RequestVerdict::Forge(b"forged".to_vec()));
+        assert_eq!(spoofer.attempts(), 1);
+        assert_eq!(spoofer.successes(), 1);
+    }
+
+    #[test]
+    fn secure_channel_is_untouched() {
+        let mut spoofer = OffPathSpoofer::new(SpoofStrategy::FixedProbability(1.0), |_q, _rng| {
+            Some(b"forged".to_vec())
+        });
+        let mut rng = SimRng::seed_from_u64(2);
+        let dst = SimAddr::v4(8, 8, 8, 8, 443);
+        let verdict = spoofer.on_request(&envelope(ChannelKind::Secure, dst, b"query"), &mut rng);
+        assert_eq!(verdict, RequestVerdict::Deliver);
+        assert_eq!(spoofer.attempts(), 0);
+    }
+
+    #[test]
+    fn zero_probability_never_succeeds() {
+        let mut spoofer = OffPathSpoofer::new(SpoofStrategy::FixedProbability(0.0), |_q, _rng| {
+            Some(b"forged".to_vec())
+        });
+        let mut rng = SimRng::seed_from_u64(3);
+        let dst = SimAddr::v4(9, 9, 9, 9, 53);
+        for _ in 0..100 {
+            let verdict =
+                spoofer.on_request(&envelope(ChannelKind::Plain, dst, b"query"), &mut rng);
+            assert_eq!(verdict, RequestVerdict::Deliver);
+        }
+        assert_eq!(spoofer.successes(), 0);
+        assert_eq!(spoofer.attempts(), 100);
+    }
+
+    #[test]
+    fn target_filter_limits_scope() {
+        let victim = SimAddr::v4(1, 1, 1, 1, 53);
+        let other = SimAddr::v4(2, 2, 2, 2, 53);
+        let mut spoofer = OffPathSpoofer::new(SpoofStrategy::FixedProbability(1.0), |_q, _rng| {
+            Some(b"forged".to_vec())
+        })
+        .with_targets(vec![victim]);
+        let mut rng = SimRng::seed_from_u64(4);
+        assert_eq!(
+            spoofer.on_request(&envelope(ChannelKind::Plain, other, b"q"), &mut rng),
+            RequestVerdict::Deliver
+        );
+        assert!(matches!(
+            spoofer.on_request(&envelope(ChannelKind::Plain, victim, b"q"), &mut rng),
+            RequestVerdict::Forge(_)
+        ));
+    }
+
+    #[test]
+    fn forge_closure_can_decline() {
+        let mut spoofer =
+            OffPathSpoofer::new(SpoofStrategy::FixedProbability(1.0), |q, _rng| {
+                if q.starts_with(b"interesting") {
+                    Some(b"forged".to_vec())
+                } else {
+                    None
+                }
+            });
+        let mut rng = SimRng::seed_from_u64(5);
+        let dst = SimAddr::v4(1, 1, 1, 1, 53);
+        assert_eq!(
+            spoofer.on_request(&envelope(ChannelKind::Plain, dst, b"boring"), &mut rng),
+            RequestVerdict::Deliver
+        );
+        assert!(matches!(
+            spoofer.on_request(
+                &envelope(ChannelKind::Plain, dst, b"interesting query"),
+                &mut rng
+            ),
+            RequestVerdict::Forge(_)
+        ));
+        assert_eq!(spoofer.successes(), 1);
+    }
+}

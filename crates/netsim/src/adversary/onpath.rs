@@ -1,0 +1,256 @@
+//! On-path (man-in-the-middle) adversary controlling a subset of links.
+
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+use crate::rng::SimRng;
+
+use super::{Adversary, Envelope, RequestVerdict, ResponseVerdict};
+
+/// A man-in-the-middle attacker that controls the paths to a set of hosts.
+///
+/// On controlled paths the attacker can replace plaintext responses and drop
+/// traffic; on authenticated (secure) channels it can only drop. This is the
+/// "realistic on-path MitM attacker that controls some (but not all) of the
+/// Internet paths" from the paper's conclusion.
+pub struct OnPathMitm {
+    controlled_hosts: HashSet<IpAddr>,
+    drop_probability: f64,
+    drop_secure: bool,
+    replace: Option<Box<dyn FnMut(&[u8], &[u8], &mut SimRng) -> Option<Vec<u8>>>>,
+    observed_requests: u64,
+    replaced_responses: u64,
+    dropped: u64,
+}
+
+impl OnPathMitm {
+    /// Creates an attacker controlling the paths towards `hosts`.
+    pub fn controlling<I: IntoIterator<Item = IpAddr>>(hosts: I) -> Self {
+        OnPathMitm {
+            controlled_hosts: hosts.into_iter().collect(),
+            drop_probability: 0.0,
+            drop_secure: false,
+            replace: None,
+            observed_requests: 0,
+            replaced_responses: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets a closure that rewrites plaintext responses on controlled paths.
+    ///
+    /// The closure receives `(request, genuine_response)` and returns the
+    /// replacement payload, or `None` to leave the response alone.
+    pub fn with_response_rewriter<F>(mut self, rewriter: F) -> Self
+    where
+        F: FnMut(&[u8], &[u8], &mut SimRng) -> Option<Vec<u8>> + 'static,
+    {
+        self.replace = Some(Box::new(rewriter));
+        self
+    }
+
+    /// Drops traffic on controlled paths with the given probability
+    /// (applies to plain channels, and to secure channels only when
+    /// [`OnPathMitm::dropping_secure`] was enabled).
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Also drop secure-channel traffic (denial of service on DoH); a MitM
+    /// can always cut a connection even when it cannot read it.
+    pub fn dropping_secure(mut self) -> Self {
+        self.drop_secure = true;
+        self
+    }
+
+    /// Number of requests observed on controlled paths.
+    pub fn observed_requests(&self) -> u64 {
+        self.observed_requests
+    }
+
+    /// Number of responses replaced so far.
+    pub fn replaced_responses(&self) -> u64 {
+        self.replaced_responses
+    }
+
+    /// Number of payloads dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn controls_path(&self, envelope: &Envelope<'_>) -> bool {
+        self.controlled_hosts.contains(&envelope.dst.ip)
+            || self.controlled_hosts.contains(&envelope.src.ip)
+    }
+}
+
+impl std::fmt::Debug for OnPathMitm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnPathMitm")
+            .field("controlled_hosts", &self.controlled_hosts)
+            .field("drop_probability", &self.drop_probability)
+            .field("drop_secure", &self.drop_secure)
+            .field("observed_requests", &self.observed_requests)
+            .field("replaced_responses", &self.replaced_responses)
+            .finish()
+    }
+}
+
+impl Adversary for OnPathMitm {
+    fn on_request(&mut self, envelope: &Envelope<'_>, rng: &mut SimRng) -> RequestVerdict {
+        if !self.controls_path(envelope) {
+            return RequestVerdict::Deliver;
+        }
+        self.observed_requests += 1;
+        let may_drop = envelope.channel.is_forgeable() || self.drop_secure;
+        if may_drop && rng.chance(self.drop_probability) {
+            self.dropped += 1;
+            return RequestVerdict::Drop;
+        }
+        RequestVerdict::Deliver
+    }
+
+    fn on_response(
+        &mut self,
+        envelope: &Envelope<'_>,
+        request: &[u8],
+        rng: &mut SimRng,
+    ) -> ResponseVerdict {
+        if !self.controls_path(envelope) {
+            return ResponseVerdict::Deliver;
+        }
+        // Integrity protection: secure channels cannot be rewritten.
+        if !envelope.channel.is_forgeable() {
+            if self.drop_secure && rng.chance(self.drop_probability) {
+                self.dropped += 1;
+                return ResponseVerdict::Drop;
+            }
+            return ResponseVerdict::Deliver;
+        }
+        if let Some(rewriter) = self.replace.as_mut() {
+            if let Some(replacement) = rewriter(request, envelope.payload, rng) {
+                self.replaced_responses += 1;
+                return ResponseVerdict::Replace(replacement);
+            }
+        }
+        ResponseVerdict::Deliver
+    }
+
+    fn name(&self) -> &str {
+        "on-path-mitm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SimAddr;
+    use crate::channel::ChannelKind;
+
+    fn env(channel: ChannelKind, dst: SimAddr) -> Envelope<'static> {
+        Envelope {
+            src: SimAddr::v4(10, 0, 0, 1, 5000),
+            dst,
+            channel,
+            payload: b"response",
+        }
+    }
+
+    #[test]
+    fn rewrites_plain_responses_on_controlled_path() {
+        let victim = SimAddr::v4(8, 8, 8, 8, 53);
+        let mut mitm = OnPathMitm::controlling([victim.ip])
+            .with_response_rewriter(|_req, _resp, _rng| Some(b"evil".to_vec()));
+        let mut rng = SimRng::seed_from_u64(1);
+        let verdict = mitm.on_response(&env(ChannelKind::Plain, victim), b"req", &mut rng);
+        assert_eq!(verdict, ResponseVerdict::Replace(b"evil".to_vec()));
+        assert_eq!(mitm.replaced_responses(), 1);
+    }
+
+    #[test]
+    fn cannot_rewrite_secure_responses() {
+        let victim = SimAddr::v4(8, 8, 8, 8, 443);
+        let mut mitm = OnPathMitm::controlling([victim.ip])
+            .with_response_rewriter(|_req, _resp, _rng| Some(b"evil".to_vec()));
+        let mut rng = SimRng::seed_from_u64(2);
+        let verdict = mitm.on_response(&env(ChannelKind::Secure, victim), b"req", &mut rng);
+        assert_eq!(verdict, ResponseVerdict::Deliver);
+        assert_eq!(mitm.replaced_responses(), 0);
+    }
+
+    #[test]
+    fn uncontrolled_paths_untouched() {
+        let victim = SimAddr::v4(8, 8, 8, 8, 53);
+        let other = SimAddr::v4(9, 9, 9, 9, 53);
+        let mut mitm = OnPathMitm::controlling([victim.ip])
+            .with_response_rewriter(|_req, _resp, _rng| Some(b"evil".to_vec()))
+            .with_drop_probability(1.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(
+            mitm.on_request(&env(ChannelKind::Plain, other), &mut rng),
+            RequestVerdict::Deliver
+        );
+        assert_eq!(
+            mitm.on_response(&env(ChannelKind::Plain, other), b"req", &mut rng),
+            ResponseVerdict::Deliver
+        );
+        assert_eq!(mitm.observed_requests(), 0);
+    }
+
+    #[test]
+    fn drops_plain_requests_when_configured() {
+        let victim = SimAddr::v4(8, 8, 8, 8, 53);
+        let mut mitm = OnPathMitm::controlling([victim.ip]).with_drop_probability(1.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        assert_eq!(
+            mitm.on_request(&env(ChannelKind::Plain, victim), &mut rng),
+            RequestVerdict::Drop
+        );
+        // Secure traffic passes unless dropping_secure() is enabled.
+        assert_eq!(
+            mitm.on_request(&env(ChannelKind::Secure, victim), &mut rng),
+            RequestVerdict::Deliver
+        );
+        assert_eq!(mitm.dropped(), 1);
+    }
+
+    #[test]
+    fn can_dos_secure_channels_when_enabled() {
+        let victim = SimAddr::v4(8, 8, 8, 8, 443);
+        let mut mitm = OnPathMitm::controlling([victim.ip])
+            .with_drop_probability(1.0)
+            .dropping_secure();
+        let mut rng = SimRng::seed_from_u64(5);
+        assert_eq!(
+            mitm.on_request(&env(ChannelKind::Secure, victim), &mut rng),
+            RequestVerdict::Drop
+        );
+        assert_eq!(
+            mitm.on_response(&env(ChannelKind::Secure, victim), b"r", &mut rng),
+            ResponseVerdict::Drop
+        );
+    }
+
+    #[test]
+    fn rewriter_can_decline() {
+        let victim = SimAddr::v4(8, 8, 8, 8, 53);
+        let mut mitm = OnPathMitm::controlling([victim.ip])
+            .with_response_rewriter(|req, _resp, _rng| {
+                if req == b"target" {
+                    Some(b"evil".to_vec())
+                } else {
+                    None
+                }
+            });
+        let mut rng = SimRng::seed_from_u64(6);
+        assert_eq!(
+            mitm.on_response(&env(ChannelKind::Plain, victim), b"other", &mut rng),
+            ResponseVerdict::Deliver
+        );
+        assert!(matches!(
+            mitm.on_response(&env(ChannelKind::Plain, victim), b"target", &mut rng),
+            ResponseVerdict::Replace(_)
+        ));
+    }
+}

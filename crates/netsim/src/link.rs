@@ -1,0 +1,137 @@
+//! Link characteristics: latency, jitter, loss and partitions.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+
+/// Configuration of a (directed pair treated as symmetric) link between two
+/// hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Base one-way latency.
+    pub latency: Duration,
+    /// Additional uniformly distributed one-way jitter in `[0, jitter)`.
+    pub jitter: Duration,
+    /// Probability that a plain datagram is lost (per direction).
+    pub loss: f64,
+    /// When `true`, nothing gets through in either direction.
+    pub blocked: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: Duration::from_millis(10),
+            jitter: Duration::from_millis(2),
+            loss: 0.0,
+            blocked: false,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A symmetric link with the given one-way latency and no jitter or loss.
+    pub fn with_latency(latency: Duration) -> Self {
+        LinkConfig {
+            latency,
+            jitter: Duration::ZERO,
+            ..LinkConfig::default()
+        }
+    }
+
+    /// Sets the jitter bound, returning `self` for chaining.
+    pub fn jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the loss probability, returning `self` for chaining.
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Marks the link as blocked (network partition).
+    pub fn blocked(mut self) -> Self {
+        self.blocked = true;
+        self
+    }
+
+    /// Samples a one-way delay for a transmission over this link.
+    pub fn sample_delay(&self, rng: &mut SimRng) -> Duration {
+        if self.jitter.is_zero() {
+            return self.latency;
+        }
+        let extra = rng.range_u64(0, self.jitter.as_nanos() as u64);
+        self.latency + Duration::from_nanos(extra)
+    }
+
+    /// Samples whether a plain datagram is lost on this link.
+    pub fn sample_loss(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_link_is_usable() {
+        let cfg = LinkConfig::default();
+        assert!(!cfg.blocked);
+        assert_eq!(cfg.loss, 0.0);
+        assert!(cfg.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = LinkConfig::with_latency(Duration::from_millis(30))
+            .jitter(Duration::from_millis(5))
+            .loss(0.25);
+        assert_eq!(cfg.latency, Duration::from_millis(30));
+        assert_eq!(cfg.jitter, Duration::from_millis(5));
+        assert_eq!(cfg.loss, 0.25);
+    }
+
+    #[test]
+    fn loss_is_clamped() {
+        assert_eq!(LinkConfig::default().loss(7.0).loss, 1.0);
+        assert_eq!(LinkConfig::default().loss(-3.0).loss, 0.0);
+    }
+
+    #[test]
+    fn sample_delay_within_bounds() {
+        let cfg = LinkConfig::with_latency(Duration::from_millis(10))
+            .jitter(Duration::from_millis(4));
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = cfg.sample_delay(&mut rng);
+            assert!(d >= Duration::from_millis(10));
+            assert!(d < Duration::from_millis(14));
+        }
+    }
+
+    #[test]
+    fn sample_delay_without_jitter_is_exact() {
+        let cfg = LinkConfig::with_latency(Duration::from_millis(7));
+        let mut rng = SimRng::seed_from_u64(2);
+        assert_eq!(cfg.sample_delay(&mut rng), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn sample_loss_respects_probability() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let lossless = LinkConfig::default();
+        assert!(!(0..100).any(|_| lossless.sample_loss(&mut rng)));
+        let lossy = LinkConfig::default().loss(1.0);
+        assert!((0..10).all(|_| lossy.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn blocked_builder() {
+        assert!(LinkConfig::default().blocked().blocked);
+    }
+}

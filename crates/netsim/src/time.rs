@@ -1,0 +1,171 @@
+//! Virtual time for deterministic simulation.
+//!
+//! All latency accounting in the simulator uses a [`SimClock`], a shared
+//! monotonically increasing counter of nanoseconds since the start of the
+//! simulation. Experiments never read the host clock, which keeps every run
+//! reproducible from its seed.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// An instant of virtual time, measured in nanoseconds from simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant {
+    nanos: u64,
+}
+
+impl SimInstant {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimInstant = SimInstant { nanos: 0 };
+
+    /// Creates an instant from nanoseconds since the epoch.
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimInstant { nanos }
+    }
+
+    /// Nanoseconds since the simulation epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Seconds since the simulation epoch as a floating-point value.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// The instant `duration` after `self`, saturating on overflow.
+    pub fn saturating_add(self, duration: Duration) -> SimInstant {
+        SimInstant {
+            nanos: self.nanos.saturating_add(duration.as_nanos() as u64),
+        }
+    }
+
+    /// Duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimInstant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Cloning a `SimClock` yields a handle to the same underlying time source.
+///
+/// # Examples
+///
+/// ```
+/// use sdoh_netsim::SimClock;
+/// use std::time::Duration;
+///
+/// let clock = SimClock::new();
+/// let t0 = clock.now();
+/// clock.advance(Duration::from_millis(20));
+/// assert_eq!(clock.now().saturating_duration_since(t0), Duration::from_millis(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<Mutex<SimInstant>>,
+}
+
+impl SimClock {
+    /// Creates a clock at the simulation epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        *self.now.lock()
+    }
+
+    /// Advances the clock by `duration`.
+    pub fn advance(&self, duration: Duration) {
+        let mut now = self.now.lock();
+        *now = now.saturating_add(duration);
+    }
+
+    /// Advances the clock to `instant` if it is in the future; a clock never
+    /// moves backwards.
+    pub fn advance_to(&self, instant: SimInstant) {
+        let mut now = self.now.lock();
+        if instant > *now {
+            *now = instant;
+        }
+    }
+
+    /// Elapsed virtual time since `start`.
+    pub fn elapsed_since(&self, start: SimInstant) -> Duration {
+        self.now().saturating_duration_since(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_epoch() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_millis(5));
+        clock.advance(Duration::from_micros(250));
+        assert_eq!(clock.now().as_nanos(), 5_250_000);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let clock = SimClock::new();
+        let clone = clock.clone();
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(clone.now().as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(10));
+        clock.advance_to(SimInstant::from_nanos(5));
+        assert_eq!(clock.now().as_secs_f64(), 10.0);
+        clock.advance_to(SimInstant::from_nanos(11_000_000_000));
+        assert_eq!(clock.now().as_secs_f64(), 11.0);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let a = SimInstant::from_nanos(1_000);
+        let b = a.saturating_add(Duration::from_nanos(500));
+        assert_eq!(b.as_nanos(), 1_500);
+        assert_eq!(b.saturating_duration_since(a), Duration::from_nanos(500));
+        assert_eq!(a.saturating_duration_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        let t = SimInstant::from_nanos(1_500_000_000);
+        assert_eq!(t.to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn elapsed_since_tracks_clock() {
+        let clock = SimClock::new();
+        let start = clock.now();
+        clock.advance(Duration::from_millis(42));
+        assert_eq!(clock.elapsed_since(start), Duration::from_millis(42));
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests for the simulator's headline property: runs are
+//! deterministic functions of their seed, and metrics account for every
+//! transaction.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sdoh_netsim::{
+    ChannelKind, FnService, LinkConfig, OffPathSpoofer, ServiceResponse, SimAddr, SimNet,
+    SpoofStrategy,
+};
+
+fn run_workload(seed: u64, requests: u32, loss: f64, spoof: f64) -> (Vec<Result<Vec<u8>, String>>, u64, sdoh_netsim::Metrics) {
+    let net = SimNet::new(seed);
+    net.set_default_link(
+        LinkConfig::with_latency(Duration::from_millis(7))
+            .jitter(Duration::from_millis(3))
+            .loss(loss),
+    );
+    let server = SimAddr::v4(192, 0, 2, 1, 53);
+    net.register(
+        server,
+        FnService::new("echo", |_ctx, _from, _ch, p: &[u8]| {
+            ServiceResponse::Reply(p.to_vec())
+        }),
+    );
+    if spoof > 0.0 {
+        net.set_adversary(OffPathSpoofer::new(
+            SpoofStrategy::FixedProbability(spoof),
+            |_q, _rng| Some(b"forged".to_vec()),
+        ));
+    }
+    let client = SimAddr::v4(10, 0, 0, 1, 40000);
+    let mut outcomes = Vec::new();
+    for i in 0..requests {
+        let channel = if i % 2 == 0 {
+            ChannelKind::Plain
+        } else {
+            ChannelKind::Secure
+        };
+        let result = net
+            .transact(client, server, channel, format!("req-{i}").as_bytes(), Duration::from_secs(1))
+            .map_err(|e| e.to_string());
+        outcomes.push(result);
+    }
+    (outcomes, net.now().as_nanos(), net.metrics())
+}
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    let a = run_workload(1234, 50, 0.1, 0.3);
+    let b = run_workload(1234, 50, 0.1, 0.3);
+    assert_eq!(a.0, b.0, "same outcomes");
+    assert_eq!(a.1, b.1, "same virtual end time");
+    assert_eq!(a.2, b.2, "same metrics");
+}
+
+#[test]
+fn different_seeds_usually_differ() {
+    let a = run_workload(1, 50, 0.2, 0.5);
+    let b = run_workload(2, 50, 0.2, 0.5);
+    assert!(
+        a.0 != b.0 || a.1 != b.1,
+        "two seeds producing bit-identical noisy runs is vanishingly unlikely"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Metrics always account for every request: each request either gets a
+    /// response, times out, or hits an unreachable endpoint.
+    #[test]
+    fn metrics_account_for_every_request(
+        seed in any::<u64>(),
+        requests in 1u32..40,
+        loss in 0.0f64..0.5,
+        spoof in 0.0f64..1.0,
+    ) {
+        let (outcomes, _, metrics) = run_workload(seed, requests, loss, spoof);
+        prop_assert_eq!(metrics.requests, requests as u64);
+        prop_assert_eq!(
+            metrics.responses + metrics.timeouts + metrics.unreachable,
+            requests as u64
+        );
+        let successes = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        prop_assert_eq!(successes, metrics.responses);
+        // Forged responses only ever happen on plain channels.
+        prop_assert!(metrics.forged_responses <= metrics.plain_requests);
+        prop_assert_eq!(metrics.plain_requests + metrics.secure_requests, requests as u64);
+    }
+
+    /// Virtual time only moves forward and grows with traffic.
+    #[test]
+    fn virtual_time_is_monotone(seed in any::<u64>(), requests in 1u32..30) {
+        let (_, end_a, _) = run_workload(seed, requests, 0.0, 0.0);
+        let (_, end_b, _) = run_workload(seed, requests + 5, 0.0, 0.0);
+        prop_assert!(end_a > 0);
+        prop_assert!(end_b >= end_a);
+    }
+}

@@ -1,0 +1,296 @@
+//! The Chronos time-sampling algorithm (Deutsch, Rozen-Schiff, Dolev,
+//! Schapira — "Preventing (Network) Time Travel with Chronos", NDSS 2018).
+//!
+//! Each update round samples `m` servers uniformly at random from the pool
+//! of `n` servers, discards the `d` lowest and `d` highest offsets, and
+//! accepts the average of the survivors only if (1) the survivors agree to
+//! within `w` and (2) the average is close to the local clock. After `k`
+//! failed rounds the client enters *panic mode*: it queries every server in
+//! the pool, trims a third from each end and applies the average of the
+//! rest.
+//!
+//! Chronos tolerates a minority of bad servers *in the pool*; the paper
+//! reproduced by this repository protects the step before that — making
+//! sure the pool obtained through DNS actually has an honest majority.
+
+use std::net::IpAddr;
+
+use sdoh_netsim::{SimNet, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::client::NtpClient;
+use crate::clock::LocalClock;
+use crate::error::{NtpError, NtpResult};
+
+use super::config::ChronosConfig;
+
+/// How an update round concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChronosMode {
+    /// A sampled subset agreed and the offset was applied.
+    Normal,
+    /// Panic mode was entered and the trimmed pool-wide average was applied.
+    Panic,
+}
+
+/// The result of one Chronos update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChronosOutcome {
+    /// Offset (seconds) applied to the local clock.
+    pub applied_offset: f64,
+    /// Whether the update came from a normal round or panic mode.
+    pub mode: ChronosMode,
+    /// Number of sampling rounds attempted (including the successful one).
+    pub rounds: usize,
+    /// Number of samples that contributed to the applied average.
+    pub samples_used: usize,
+}
+
+/// A Chronos client.
+#[derive(Debug)]
+pub struct ChronosClient {
+    config: ChronosConfig,
+    ntp: NtpClient,
+    rng: SimRng,
+}
+
+impl ChronosClient {
+    /// Creates a Chronos client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtpError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn new(config: ChronosConfig, ntp: NtpClient, seed: u64) -> NtpResult<Self> {
+        config.validate()?;
+        Ok(ChronosClient {
+            config,
+            ntp,
+            rng: SimRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> ChronosConfig {
+        self.config
+    }
+
+    /// Performs one Chronos update against `pool`, adjusting `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtpError::EmptyPool`] for an empty pool,
+    /// [`NtpError::NotEnoughSamples`] when even panic mode cannot gather
+    /// enough responses, and [`NtpError::NoAgreement`] when the surviving
+    /// panic-mode samples still disagree wildly.
+    pub fn update(
+        &mut self,
+        net: &SimNet,
+        clock: &mut LocalClock,
+        pool: &[IpAddr],
+    ) -> NtpResult<ChronosOutcome> {
+        if pool.is_empty() {
+            return Err(NtpError::EmptyPool);
+        }
+        let mut rounds = 0usize;
+        while rounds < self.config.max_retries {
+            rounds += 1;
+            if let Some(offset) = self.try_normal_round(net, clock, pool)? {
+                clock.adjust(offset);
+                return Ok(ChronosOutcome {
+                    applied_offset: offset,
+                    mode: ChronosMode::Normal,
+                    rounds,
+                    samples_used: self.config.surviving_samples(),
+                });
+            }
+        }
+        // Panic mode: query every server in the pool.
+        let (offset, used) = self.panic_round(net, clock, pool)?;
+        clock.adjust(offset);
+        Ok(ChronosOutcome {
+            applied_offset: offset,
+            mode: ChronosMode::Panic,
+            rounds: rounds + 1,
+            samples_used: used,
+        })
+    }
+
+    fn try_normal_round(
+        &mut self,
+        net: &SimNet,
+        clock: &LocalClock,
+        pool: &[IpAddr],
+    ) -> NtpResult<Option<f64>> {
+        let m = self.config.sample_size.min(pool.len());
+        let indices = self.rng.sample_indices(pool.len(), m);
+        let chosen: Vec<IpAddr> = indices.iter().map(|&i| pool[i]).collect();
+        let samples = self.ntp.sample_pool(net, clock, &chosen);
+        if samples.len() < self.config.surviving_samples() + 2 * self.config.trim.min(samples.len())
+        {
+            // Too many unresponsive servers for a meaningful trim; treat the
+            // round as failed rather than trimming into nothing.
+            if samples.len() <= 2 * self.config.trim {
+                return Ok(None);
+            }
+        }
+        let mut offsets: Vec<f64> = samples.iter().map(|(_, s)| s.offset).collect();
+        offsets.sort_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
+        let trim = self.config.trim.min(offsets.len().saturating_sub(1) / 2);
+        let survivors = &offsets[trim..offsets.len() - trim];
+        if survivors.is_empty() {
+            return Ok(None);
+        }
+        let spread = survivors[survivors.len() - 1] - survivors[0];
+        let average = survivors.iter().sum::<f64>() / survivors.len() as f64;
+        // Condition 1: agreement within w. Condition 2: not too far from the
+        // local clock (drift bound) — a large jump is suspicious unless the
+        // clock has just started (offset 0 rounds are always accepted when
+        // they agree).
+        if spread <= self.config.agreement_window && average.abs() <= self.config.drift_bound {
+            Ok(Some(average))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn panic_round(
+        &mut self,
+        net: &SimNet,
+        clock: &LocalClock,
+        pool: &[IpAddr],
+    ) -> NtpResult<(f64, usize)> {
+        let samples = self.ntp.sample_pool(net, clock, pool);
+        if samples.is_empty() {
+            return Err(NtpError::NotEnoughSamples {
+                got: 0,
+                needed: 1,
+            });
+        }
+        let mut offsets: Vec<f64> = samples.iter().map(|(_, s)| s.offset).collect();
+        offsets.sort_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
+        let trim = ((offsets.len() as f64) * self.config.panic_trim_fraction).floor() as usize;
+        let trim = trim.min(offsets.len().saturating_sub(1) / 2);
+        let survivors = &offsets[trim..offsets.len() - trim];
+        if survivors.is_empty() {
+            return Err(NtpError::NoAgreement);
+        }
+        let average = survivors.iter().sum::<f64>() / survivors.len() as f64;
+        Ok((average, survivors.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::register_pool;
+    use sdoh_netsim::{LinkConfig, SimAddr};
+    use std::time::Duration;
+
+    fn make_pool(net: &SimNet, total: u8, malicious: usize, shift: f64) -> Vec<IpAddr> {
+        let addrs: Vec<SimAddr> = (1..=total)
+            .map(|i| SimAddr::v4(203, 0, 113, i, 123))
+            .collect();
+        register_pool(net, &addrs, malicious, shift, 1000);
+        addrs.iter().map(|a| a.ip).collect()
+    }
+
+    fn client(seed: u64) -> ChronosClient {
+        ChronosClient::new(
+            ChronosConfig::default(),
+            NtpClient::new(SimAddr::v4(10, 0, 0, 1, 123)).timeout(Duration::from_millis(500)),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn honest_pool_synchronises_accurately() {
+        let net = SimNet::new(200);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let pool = make_pool(&net, 18, 0, 0.0);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(1);
+        let outcome = chronos.update(&net, &mut clock, &pool).unwrap();
+        assert_eq!(outcome.mode, ChronosMode::Normal);
+        assert!(clock.offset_from_true().abs() < 0.05, "offset {}", clock.offset_from_true());
+    }
+
+    #[test]
+    fn minority_of_attackers_is_tolerated() {
+        let net = SimNet::new(201);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        // 5 of 18 servers shift time by 1000 s.
+        let pool = make_pool(&net, 18, 5, 1000.0);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(2);
+        let outcome = chronos.update(&net, &mut clock, &pool).unwrap();
+        assert!(
+            clock.offset_from_true().abs() < 1.0,
+            "clock shifted by {} despite attacker minority (mode {:?})",
+            clock.offset_from_true(),
+            outcome.mode
+        );
+    }
+
+    #[test]
+    fn poisoned_majority_shifts_the_clock() {
+        let net = SimNet::new(202);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        // 15 of 18 servers are malicious — the situation a poisoned DNS pool
+        // creates. Even Chronos cannot survive a corrupted majority.
+        let pool = make_pool(&net, 18, 15, 1000.0);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(3);
+        let _ = chronos.update(&net, &mut clock, &pool).unwrap();
+        assert!(
+            clock.offset_from_true() > 100.0,
+            "a malicious majority should capture the clock, offset {}",
+            clock.offset_from_true()
+        );
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let net = SimNet::new(203);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(4);
+        assert_eq!(
+            chronos.update(&net, &mut clock, &[]),
+            Err(NtpError::EmptyPool)
+        );
+    }
+
+    #[test]
+    fn unresponsive_pool_reports_not_enough_samples() {
+        let net = SimNet::new(204);
+        let pool: Vec<IpAddr> = (1..=6u8)
+            .map(|i| format!("192.0.2.{i}").parse().unwrap())
+            .collect();
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(5);
+        let err = chronos.update(&net, &mut clock, &pool).unwrap_err();
+        assert!(matches!(err, NtpError::NotEnoughSamples { .. }));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let bad = ChronosConfig {
+            sample_size: 4,
+            trim: 2,
+            ..ChronosConfig::default()
+        };
+        assert!(ChronosClient::new(
+            bad,
+            NtpClient::new(SimAddr::v4(10, 0, 0, 1, 123)),
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn config_accessor() {
+        let chronos = client(6);
+        assert_eq!(chronos.config().sample_size, 12);
+    }
+}

@@ -1,0 +1,7 @@
+//! The Chronos secure time-sampling algorithm and its configuration.
+
+mod algorithm;
+mod config;
+
+pub use algorithm::{ChronosClient, ChronosMode, ChronosOutcome};
+pub use config::ChronosConfig;

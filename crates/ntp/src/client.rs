@@ -1,0 +1,202 @@
+//! The basic NTP client: one request/response exchange per server, plus the
+//! plain-SNTP baseline that trusts whatever single server it queried.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use sdoh_netsim::{ChannelKind, SimAddr, SimNet};
+
+use crate::clock::LocalClock;
+use crate::error::{NtpError, NtpResult};
+use crate::packet::{NtpMode, NtpPacket, NtpSample};
+
+/// An NTP client bound to an application host address.
+#[derive(Debug, Clone)]
+pub struct NtpClient {
+    source: SimAddr,
+    timeout: Duration,
+}
+
+impl NtpClient {
+    /// Creates a client sending from `source`.
+    pub fn new(source: SimAddr) -> Self {
+        NtpClient {
+            source,
+            timeout: Duration::from_secs(1),
+        }
+    }
+
+    /// Sets the per-query timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Queries a single server and computes the time sample relative to the
+    /// given local clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, [`NtpError::MalformedPacket`] for
+    /// undecodable responses and [`NtpError::Mismatched`] when the response
+    /// does not echo the request's transmit timestamp.
+    pub fn sample(
+        &self,
+        net: &SimNet,
+        clock: &LocalClock,
+        server: IpAddr,
+    ) -> NtpResult<NtpSample> {
+        let server_addr = SimAddr::new(server, sdoh_netsim::ports::NTP);
+        let t1 = clock.now();
+        let request = NtpPacket::client_request(t1);
+        let reply = net.transact(
+            self.source,
+            server_addr,
+            ChannelKind::Plain,
+            &request.encode(),
+            self.timeout,
+        )?;
+        let t4 = clock.now();
+        let response = NtpPacket::decode(&reply)?;
+        if response.mode != NtpMode::Server {
+            return Err(NtpError::MalformedPacket("response is not in server mode"));
+        }
+        if response.origin_timestamp != t1 {
+            return Err(NtpError::Mismatched);
+        }
+        Ok(NtpSample::from_timestamps(
+            t1,
+            response.receive_timestamp,
+            response.transmit_timestamp,
+            t4,
+            response.stratum,
+        ))
+    }
+
+    /// Samples every server in `pool`, returning the successful samples in
+    /// pool order (failed servers are skipped).
+    pub fn sample_pool(
+        &self,
+        net: &SimNet,
+        clock: &LocalClock,
+        pool: &[IpAddr],
+    ) -> Vec<(IpAddr, NtpSample)> {
+        pool.iter()
+            .filter_map(|&server| self.sample(net, clock, server).ok().map(|s| (server, s)))
+            .collect()
+    }
+
+    /// The plain-SNTP baseline: query the first responsive server in the
+    /// pool and apply its offset verbatim. This is the behaviour the paper's
+    /// attacks exploit when the pool itself is poisoned.
+    ///
+    /// Returns the applied offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtpError::EmptyPool`] when no server in the pool responds.
+    pub fn synchronize_simple(
+        &self,
+        net: &SimNet,
+        clock: &mut LocalClock,
+        pool: &[IpAddr],
+    ) -> NtpResult<f64> {
+        for &server in pool {
+            if let Ok(sample) = self.sample(net, clock, server) {
+                clock.adjust(sample.offset);
+                return Ok(sample.offset);
+            }
+        }
+        Err(NtpError::EmptyPool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{register_pool, NtpServerConfig, NtpServerService};
+    use sdoh_netsim::LinkConfig;
+
+    fn host() -> SimAddr {
+        SimAddr::v4(10, 0, 0, 1, 123)
+    }
+
+    fn pool_addrs(n: u8) -> Vec<SimAddr> {
+        (1..=n).map(|i| SimAddr::v4(203, 0, 113, i, 123)).collect()
+    }
+
+    #[test]
+    fn sample_measures_offset_close_to_truth() {
+        let net = SimNet::new(31);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(10)));
+        let addrs = pool_addrs(1);
+        register_pool(&net, &addrs, 0, 0.0, 5);
+        // Local clock is 30 seconds slow.
+        let clock = LocalClock::new(net.clock(), -30.0);
+        let client = NtpClient::new(host());
+        let sample = client.sample(&net, &clock, addrs[0].ip).unwrap();
+        assert!(
+            (sample.offset - 30.0).abs() < 0.1,
+            "measured offset {} should be ~30s",
+            sample.offset
+        );
+        assert!(sample.delay >= 0.0);
+    }
+
+    #[test]
+    fn malicious_server_produces_shifted_sample() {
+        let net = SimNet::new(32);
+        let addrs = pool_addrs(1);
+        register_pool(&net, &addrs, 1, 500.0, 5);
+        let clock = LocalClock::new(net.clock(), 0.0);
+        let client = NtpClient::new(host());
+        let sample = client.sample(&net, &clock, addrs[0].ip).unwrap();
+        assert!(sample.offset > 490.0);
+    }
+
+    #[test]
+    fn sample_pool_skips_dead_servers() {
+        let net = SimNet::new(33);
+        let addrs = pool_addrs(4);
+        register_pool(&net, &addrs[..3], 0, 0.0, 5);
+        net.register(
+            addrs[3],
+            NtpServerService::new(NtpServerConfig::silent(), net.clock(), 6),
+        );
+        let clock = LocalClock::new(net.clock(), 0.0);
+        let client = NtpClient::new(host()).timeout(Duration::from_millis(200));
+        let pool: Vec<IpAddr> = addrs.iter().map(|a| a.ip).collect();
+        let samples = client.sample_pool(&net, &clock, &pool);
+        assert_eq!(samples.len(), 3);
+    }
+
+    #[test]
+    fn simple_sync_trusts_first_server() {
+        let net = SimNet::new(34);
+        let addrs = pool_addrs(3);
+        // First server in the pool is malicious: plain SNTP gets hijacked.
+        register_pool(&net, &addrs, 1, 1000.0, 5);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let client = NtpClient::new(host());
+        let pool: Vec<IpAddr> = addrs.iter().map(|a| a.ip).collect();
+        let applied = client.synchronize_simple(&net, &mut clock, &pool).unwrap();
+        assert!(applied > 990.0);
+        assert!(clock.offset_from_true() > 990.0);
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let net = SimNet::new(35);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let client = NtpClient::new(host()).timeout(Duration::from_millis(100));
+        assert_eq!(
+            client.synchronize_simple(&net, &mut clock, &[]),
+            Err(NtpError::EmptyPool)
+        );
+        let dead: Vec<IpAddr> = vec!["192.0.2.200".parse().unwrap()];
+        assert_eq!(
+            client.synchronize_simple(&net, &mut clock, &dead),
+            Err(NtpError::EmptyPool)
+        );
+    }
+}

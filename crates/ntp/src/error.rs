@@ -1,0 +1,91 @@
+//! Error types for the NTP and Chronos components.
+
+use std::error::Error;
+use std::fmt;
+
+use sdoh_netsim::NetError;
+
+/// Errors produced while sampling time or running Chronos.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NtpError {
+    /// The transport failed (timeout, unreachable endpoint).
+    Network(NetError),
+    /// A packet could not be parsed.
+    MalformedPacket(&'static str),
+    /// The response did not correspond to the request (origin timestamp
+    /// mismatch).
+    Mismatched,
+    /// The server pool is empty.
+    EmptyPool,
+    /// Too few servers responded to form a sample set.
+    NotEnoughSamples {
+        /// Samples obtained.
+        got: usize,
+        /// Samples required.
+        needed: usize,
+    },
+    /// Chronos could not find an agreeing majority even in panic mode.
+    NoAgreement,
+    /// The configuration is internally inconsistent (e.g. trimming more
+    /// samples than are taken).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NtpError::Network(e) => write!(f, "network error: {e}"),
+            NtpError::MalformedPacket(what) => write!(f, "malformed ntp packet: {what}"),
+            NtpError::Mismatched => write!(f, "response does not match request"),
+            NtpError::EmptyPool => write!(f, "the server pool is empty"),
+            NtpError::NotEnoughSamples { got, needed } => {
+                write!(f, "only {got} of {needed} required samples obtained")
+            }
+            NtpError::NoAgreement => write!(f, "no agreeing set of time samples found"),
+            NtpError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NtpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NtpError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for NtpError {
+    fn from(e: NetError) -> Self {
+        NtpError::Network(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type NtpResult<T> = Result<T, NtpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let cases = [
+            NtpError::Network(NetError::Timeout),
+            NtpError::MalformedPacket("short"),
+            NtpError::Mismatched,
+            NtpError::EmptyPool,
+            NtpError::NotEnoughSamples { got: 2, needed: 5 },
+            NtpError::NoAgreement,
+            NtpError::InvalidConfig("2d >= m".into()),
+        ];
+        for c in &cases {
+            assert!(!c.to_string().is_empty());
+        }
+        assert!(cases[0].source().is_some());
+        assert!(cases[2].source().is_none());
+        let converted: NtpError = NetError::Timeout.into();
+        assert_eq!(converted, cases[0]);
+    }
+}

@@ -1,0 +1,58 @@
+//! NTP and Chronos: the application layer whose server pool the paper's
+//! proposal secures.
+//!
+//! The crate provides:
+//!
+//! * the NTP packet format and offset/delay computation ([`NtpPacket`],
+//!   [`NtpSample`]),
+//! * simulated benign and malicious time servers ([`NtpServerService`],
+//!   [`NtpServerConfig`], [`register_pool`]),
+//! * a basic NTP client and the plain-SNTP baseline ([`NtpClient`]),
+//! * a disciplined local clock ([`LocalClock`]),
+//! * the **Chronos** algorithm ([`ChronosClient`]) — sampling, trimming,
+//!   agreement checking and panic mode — which tolerates a minority of bad
+//!   servers in the pool but, as the paper stresses, not a pool whose
+//!   majority was poisoned at the DNS layer.
+//!
+//! # Example: Chronos over an honest pool
+//!
+//! ```
+//! use sdoh_netsim::{SimAddr, SimNet};
+//! use sdoh_ntp::{register_pool, ChronosClient, ChronosConfig, LocalClock, NtpClient};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = SimNet::new(7);
+//! let addrs: Vec<SimAddr> = (1..=15u8).map(|i| SimAddr::v4(203, 0, 113, i, 123)).collect();
+//! register_pool(&net, &addrs, 0, 0.0, 7);
+//! let pool: Vec<std::net::IpAddr> = addrs.iter().map(|a| a.ip).collect();
+//!
+//! let mut clock = LocalClock::new(net.clock(), 0.0);
+//! let mut chronos = ChronosClient::new(
+//!     ChronosConfig::default(),
+//!     NtpClient::new(SimAddr::v4(10, 0, 0, 1, 123)),
+//!     7,
+//! )?;
+//! let outcome = chronos.update(&net, &mut clock, &pool)?;
+//! assert!(outcome.applied_offset.abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chronos;
+mod client;
+mod clock;
+mod error;
+mod packet;
+mod server;
+mod timestamp;
+
+pub use chronos::{ChronosClient, ChronosConfig, ChronosMode, ChronosOutcome};
+pub use client::NtpClient;
+pub use clock::LocalClock;
+pub use error::{NtpError, NtpResult};
+pub use packet::{NtpMode, NtpPacket, NtpSample, PACKET_LEN};
+pub use server::{register_pool, NtpServerConfig, NtpServerService};
+pub use timestamp::NtpTimestamp;

@@ -1,0 +1,415 @@
+//! Ready-made simulation scenarios reproducing the paper's Figure 1 setup.
+//!
+//! A scenario wires together every substrate in the workspace: a DNS
+//! hierarchy (root → `org.` → `ntpns.org.` with the `pool.ntpns.org` address
+//! records), a fleet of public DoH resolvers each running a real recursive
+//! resolver (optionally compromised), a plain "ISP" resolver for the
+//! baseline, and the NTP servers the pool points at (optionally malicious).
+//! Examples, integration tests and the experiment binaries all build on it.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use sdoh_core::{PoolConfig, SecurePoolGenerator};
+use sdoh_dns_server::{
+    Authority, Catalog, Do53Service, PoisonConfig, PoisonMode, PoisonedResolver, QueryHandler,
+    RecursiveConfig, RecursiveResolver, Zone,
+};
+use sdoh_dns_wire::{Name, RData, Record};
+use sdoh_doh::{DohMethod, DohServerService, ResolverDirectory, ResolverInfo};
+use sdoh_netsim::{LinkConfig, SimAddr, SimNet};
+use sdoh_ntp::register_pool;
+
+use crate::core::{AddressSource, DohSource, PoolResult};
+
+/// Address of the simulated root name server.
+pub const ROOT_SERVER: SimAddr = SimAddr {
+    ip: IpAddr::V4(std::net::Ipv4Addr::new(198, 41, 0, 4)),
+    port: 53,
+};
+
+/// Address of the simulated `org.` name server.
+pub const ORG_SERVER: SimAddr = SimAddr {
+    ip: IpAddr::V4(std::net::Ipv4Addr::new(199, 19, 56, 1)),
+    port: 53,
+};
+
+/// Address of the simulated `ntpns.org.` name server (the `c.ntpns.org` of
+/// Figure 1).
+pub const NTPNS_SERVER: SimAddr = SimAddr {
+    ip: IpAddr::V4(std::net::Ipv4Addr::new(198, 51, 100, 3)),
+    port: 53,
+};
+
+/// Address of the plain "ISP" resolver used by the baseline configuration.
+pub const ISP_RESOLVER: SimAddr = SimAddr {
+    ip: IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 53)),
+    port: 53,
+};
+
+/// Address of the application host (the Chronos client of Figure 1).
+pub const CLIENT_ADDR: SimAddr = SimAddr {
+    ip: IpAddr::V4(std::net::Ipv4Addr::new(192, 0, 2, 10)),
+    port: 40000,
+};
+
+/// What a compromised DoH resolver does, mapped onto the poisoning modes of
+/// the DNS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolverCompromise {
+    /// Replace every answer for the pool domain with attacker addresses.
+    ReplaceWithAttackerAddresses(usize),
+    /// Keep the honest answer but append this many attacker addresses
+    /// (answer inflation).
+    InflateWithAttackerAddresses(usize),
+    /// Answer the pool domain with an empty record set.
+    EmptyAnswer,
+}
+
+/// Parameters of a Figure 1 scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Simulation seed; every random choice derives from it.
+    pub seed: u64,
+    /// Number of DoH resolvers installed (the first `n` of the well-known
+    /// directory).
+    pub resolvers: usize,
+    /// Number of benign NTP servers published in `pool.ntpns.org`.
+    pub ntp_servers: usize,
+    /// Indexes of resolvers that are compromised, with their behaviour.
+    pub compromised: Vec<(usize, ResolverCompromise)>,
+    /// Time shift (seconds) applied by attacker-operated NTP servers.
+    pub attacker_time_shift: f64,
+    /// One-way link latency applied between all hosts.
+    pub link_latency: Duration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            resolvers: 3,
+            ntp_servers: 8,
+            compromised: Vec::new(),
+            attacker_time_shift: 1000.0,
+            link_latency: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A fully wired Figure 1 scenario.
+pub struct Scenario {
+    /// The simulated network with every service registered.
+    pub net: SimNet,
+    /// Directory of installed DoH resolvers (first `resolvers` entries of
+    /// the well-known list).
+    pub directory: ResolverDirectory,
+    /// The resolvers actually installed.
+    pub resolver_infos: Vec<ResolverInfo>,
+    /// The pool domain (`pool.ntpns.org.`).
+    pub pool_domain: Name,
+    /// Addresses of the benign NTP servers published in the pool domain.
+    pub benign_ntp: Vec<IpAddr>,
+    /// Addresses of the attacker-operated NTP servers (used by compromised
+    /// resolvers when they replace or inflate answers).
+    pub attacker_ntp: Vec<IpAddr>,
+    /// The scenario configuration it was built from.
+    pub config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Builds the scenario: DNS hierarchy, DoH resolvers, ISP resolver and
+    /// NTP servers.
+    pub fn build(config: ScenarioConfig) -> Self {
+        let net = SimNet::new(config.seed);
+        net.set_default_link(
+            LinkConfig::with_latency(config.link_latency).jitter(Duration::from_millis(2)),
+        );
+
+        let pool_domain: Name = "pool.ntpns.org".parse().expect("valid name");
+        let benign_ntp: Vec<IpAddr> = (1..=config.ntp_servers)
+            .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(203, 0, 113, i as u8)))
+            .collect();
+        // A generous supply of attacker-operated servers so that inflation
+        // attacks can outnumber the honest pool when truncation is disabled.
+        let attacker_ntp: Vec<IpAddr> = (1..=config.ntp_servers.max(4) * 8)
+            .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(198, 18, (i / 250) as u8, (i % 250) as u8)))
+            .collect();
+
+        install_dns_hierarchy(&net, &pool_domain, &benign_ntp);
+
+        // NTP servers: benign ones behind the pool records, malicious ones
+        // behind the attacker addresses.
+        let benign_addrs: Vec<SimAddr> = benign_ntp
+            .iter()
+            .map(|&ip| SimAddr::new(ip, sdoh_netsim::ports::NTP))
+            .collect();
+        register_pool(&net, &benign_addrs, 0, 0.0, config.seed ^ 0xA11CE);
+        let attacker_addrs: Vec<SimAddr> = attacker_ntp
+            .iter()
+            .map(|&ip| SimAddr::new(ip, sdoh_netsim::ports::NTP))
+            .collect();
+        register_pool(
+            &net,
+            &attacker_addrs,
+            attacker_addrs.len(),
+            config.attacker_time_shift,
+            config.seed ^ 0xBAD,
+        );
+
+        // The plain ISP resolver (baseline): an honest recursive resolver
+        // reachable over Do53.
+        let isp = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: vec![ROOT_SERVER],
+                ..RecursiveConfig::default()
+            },
+            net.clock(),
+        );
+        net.register(ISP_RESOLVER, Do53Service::new(isp));
+
+        // The DoH resolver fleet.
+        let directory = ResolverDirectory::well_known(config.seed);
+        let resolver_infos = directory.take(config.resolvers);
+        for (index, info) in resolver_infos.iter().enumerate() {
+            let recursive = RecursiveResolver::new(
+                RecursiveConfig {
+                    root_hints: vec![ROOT_SERVER],
+                    ..RecursiveConfig::default()
+                },
+                net.clock(),
+            );
+            let compromise = config
+                .compromised
+                .iter()
+                .find(|(i, _)| *i == index)
+                .map(|(_, behaviour)| behaviour.clone());
+            let handler: Box<dyn QueryHandler> = match compromise {
+                None => Box::new(recursive),
+                Some(behaviour) => {
+                    let mode = match behaviour {
+                        ResolverCompromise::ReplaceWithAttackerAddresses(count) => {
+                            PoisonMode::ReplaceAddresses(
+                                attacker_ntp.iter().take(count.max(1)).copied().collect(),
+                            )
+                        }
+                        ResolverCompromise::InflateWithAttackerAddresses(count) => {
+                            PoisonMode::InflateWith(
+                                attacker_ntp.iter().take(count.max(1)).copied().collect(),
+                            )
+                        }
+                        ResolverCompromise::EmptyAnswer => PoisonMode::EmptyAnswer,
+                    };
+                    Box::new(PoisonedResolver::new(
+                        recursive,
+                        PoisonConfig::new(pool_domain.clone(), mode),
+                    ))
+                }
+            };
+            net.register(info.addr, DohServerService::new(info.clone(), handler));
+        }
+
+        Scenario {
+            net,
+            directory,
+            resolver_infos,
+            pool_domain,
+            benign_ntp,
+            attacker_ntp,
+            config,
+        }
+    }
+
+    /// A secure pool generator over this scenario's DoH resolvers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the generator constructor.
+    pub fn pool_generator(&self, config: PoolConfig) -> PoolResult<SecurePoolGenerator> {
+        let sources: Vec<Box<dyn AddressSource>> = self
+            .resolver_infos
+            .iter()
+            .map(|info| {
+                Box::new(DohSource::new(info.clone()).method(DohMethod::Get))
+                    as Box<dyn AddressSource>
+            })
+            .collect();
+        SecurePoolGenerator::new(config, sources)
+    }
+
+    /// Ground truth for guarantee checking: attacker NTP addresses are
+    /// malicious, everything else benign.
+    pub fn ground_truth(&self) -> sdoh_core::GroundTruth {
+        sdoh_core::GroundTruth::with_malicious(self.attacker_ntp.iter().copied())
+    }
+}
+
+/// Installs the root → org → ntpns.org DNS hierarchy serving `pool_domain`.
+fn install_dns_hierarchy(net: &SimNet, pool_domain: &Name, pool_addresses: &[IpAddr]) {
+    // Root zone delegates org. to the org server.
+    let mut root_zone = Zone::new(Name::root());
+    root_zone.add_record(Record::new(
+        "org".parse().expect("valid"),
+        86_400,
+        RData::Ns("b0.org.afilias-nst.org".parse().expect("valid")),
+    ));
+    root_zone.add_record(Record::new(
+        "b0.org.afilias-nst.org".parse().expect("valid"),
+        86_400,
+        RData::A(match ORG_SERVER.ip {
+            IpAddr::V4(v4) => v4,
+            IpAddr::V6(_) => unreachable!("org server is v4"),
+        }),
+    ));
+    let mut root_catalog = Catalog::new();
+    root_catalog.add_zone(root_zone);
+    net.register(ROOT_SERVER, Do53Service::new(Authority::new(root_catalog)));
+
+    // org. zone delegates ntpns.org.
+    let mut org_zone = Zone::new("org".parse().expect("valid"));
+    org_zone.add_record(Record::new(
+        "ntpns.org".parse().expect("valid"),
+        86_400,
+        RData::Ns("c.ntpns.org".parse().expect("valid")),
+    ));
+    org_zone.add_record(Record::new(
+        "c.ntpns.org".parse().expect("valid"),
+        86_400,
+        RData::A(match NTPNS_SERVER.ip {
+            IpAddr::V4(v4) => v4,
+            IpAddr::V6(_) => unreachable!("ntpns server is v4"),
+        }),
+    ));
+    let mut org_catalog = Catalog::new();
+    org_catalog.add_zone(org_zone);
+    net.register(ORG_SERVER, Do53Service::new(Authority::new(org_catalog)));
+
+    // ntpns.org zone with the pool records.
+    let mut zone = Zone::new("ntpns.org".parse().expect("valid"));
+    zone.add_record(Record::new(
+        "ntpns.org".parse().expect("valid"),
+        86_400,
+        RData::Ns("c.ntpns.org".parse().expect("valid")),
+    ));
+    zone.add_record(Record::new(
+        "c.ntpns.org".parse().expect("valid"),
+        86_400,
+        RData::A(match NTPNS_SERVER.ip {
+            IpAddr::V4(v4) => v4,
+            IpAddr::V6(_) => unreachable!("ntpns server is v4"),
+        }),
+    ));
+    for &addr in pool_addresses {
+        zone.add_record(Record::address(pool_domain.clone(), 300, addr));
+    }
+    let mut catalog = Catalog::new();
+    catalog.add_zone(zone);
+    net.register(NTPNS_SERVER, Do53Service::new(Authority::new(catalog)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdoh_core::{check_guarantee, CombinationMode};
+    use sdoh_dns_server::{ClientExchanger, StubResolver};
+
+    #[test]
+    fn default_scenario_serves_the_pool_domain_both_ways() {
+        let scenario = Scenario::build(ScenarioConfig::default());
+        let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+
+        // Baseline: plain DNS through the ISP resolver.
+        let stub = StubResolver::new(ISP_RESOLVER);
+        let plain = stub
+            .lookup_ipv4(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        assert_eq!(plain.len(), scenario.config.ntp_servers);
+
+        // Proposal: Algorithm 1 over the DoH fleet.
+        let generator = scenario.pool_generator(PoolConfig::algorithm1()).unwrap();
+        let report = generator
+            .generate(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        assert_eq!(
+            report.pool.len(),
+            scenario.config.ntp_servers * scenario.config.resolvers
+        );
+        let check = check_guarantee(&report.pool, &scenario.ground_truth(), 0.5);
+        assert!(check.holds);
+        assert!((check.benign_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compromised_minority_keeps_the_guarantee() {
+        let scenario = Scenario::build(ScenarioConfig {
+            resolvers: 3,
+            compromised: vec![(0, ResolverCompromise::ReplaceWithAttackerAddresses(8))],
+            ..ScenarioConfig::default()
+        });
+        let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+        let generator = scenario.pool_generator(PoolConfig::algorithm1()).unwrap();
+        let report = generator
+            .generate(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        let check = check_guarantee(&report.pool, &scenario.ground_truth(), 0.5);
+        assert!(check.holds, "1 of 3 compromised resolvers keeps x >= 1/2");
+        assert!(check.malicious_fraction <= 1.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn inflation_is_neutralised_by_truncation_but_not_without_it() {
+        let build = || {
+            Scenario::build(ScenarioConfig {
+                resolvers: 3,
+                compromised: vec![(1, ResolverCompromise::InflateWithAttackerAddresses(32))],
+                ..ScenarioConfig::default()
+            })
+        };
+        let scenario = build();
+        let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+        let report = scenario
+            .pool_generator(PoolConfig::algorithm1())
+            .unwrap()
+            .generate(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        let truth = scenario.ground_truth();
+        let with_truncation = check_guarantee(&report.pool, &truth, 0.5);
+        assert!(with_truncation.holds);
+
+        let scenario = build();
+        let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+        let report = scenario
+            .pool_generator(
+                PoolConfig::default().with_mode(CombinationMode::CombineWithoutTruncation),
+            )
+            .unwrap()
+            .generate(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        let without_truncation = check_guarantee(&report.pool, &scenario.ground_truth(), 0.5);
+        assert!(
+            !without_truncation.holds,
+            "without truncation the inflated answer dominates the pool"
+        );
+    }
+
+    #[test]
+    fn empty_answer_compromise_is_a_dos_not_a_capture() {
+        let scenario = Scenario::build(ScenarioConfig {
+            resolvers: 3,
+            compromised: vec![(2, ResolverCompromise::EmptyAnswer)],
+            ..ScenarioConfig::default()
+        });
+        let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+        let report = scenario
+            .pool_generator(PoolConfig::algorithm1())
+            .unwrap()
+            .generate(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        assert!(report.pool.is_empty(), "footnote 2: empty answers DoS the pool");
+        assert!(!sdoh_core::attacker_controls_fraction(
+            &report.pool,
+            &scenario.ground_truth(),
+            0.5
+        ));
+    }
+}

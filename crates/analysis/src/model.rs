@@ -76,11 +76,17 @@ mod tests {
     #[test]
     fn minimum_compromised_resolvers() {
         // ceil(2/3 * 3) = 2 — the paper's "p^2 with only 3 resolvers".
-        assert_eq!(AttackModel::figure1_example(0.1).min_compromised_resolvers(), 2);
+        assert_eq!(
+            AttackModel::figure1_example(0.1).min_compromised_resolvers(),
+            2
+        );
         assert_eq!(AttackModel::new(3, 0.1, 0.5).min_compromised_resolvers(), 2);
         assert_eq!(AttackModel::new(4, 0.1, 0.5).min_compromised_resolvers(), 2);
         assert_eq!(AttackModel::new(5, 0.1, 0.5).min_compromised_resolvers(), 3);
-        assert_eq!(AttackModel::new(15, 0.1, 2.0 / 3.0).min_compromised_resolvers(), 10);
+        assert_eq!(
+            AttackModel::new(15, 0.1, 2.0 / 3.0).min_compromised_resolvers(),
+            10
+        );
         // Degenerate cases.
         assert_eq!(AttackModel::new(0, 0.1, 0.5).min_compromised_resolvers(), 0);
         assert_eq!(AttackModel::new(3, 0.1, 0.0).min_compromised_resolvers(), 1);

@@ -54,7 +54,11 @@ impl MonteCarloEstimate {
 
 /// Estimates the probability that the attacker compromises at least
 /// `M = ceil(x N)` resolvers, by direct sampling of the compromise events.
-pub fn estimate_resolver_compromise(model: &AttackModel, trials: u64, seed: u64) -> MonteCarloEstimate {
+pub fn estimate_resolver_compromise(
+    model: &AttackModel,
+    trials: u64,
+    seed: u64,
+) -> MonteCarloEstimate {
     let mut rng = StdRng::seed_from_u64(seed);
     let threshold = model.min_compromised_resolvers();
     let mut successes = 0u64;
@@ -62,9 +66,8 @@ pub fn estimate_resolver_compromise(model: &AttackModel, trials: u64, seed: u64)
         let compromised = (0..model.resolvers)
             .filter(|_| rng.gen::<f64>() < model.p_attack)
             .count();
-        if compromised >= threshold && threshold > 0 {
-            successes += 1;
-        } else if threshold == 0 {
+        // threshold == 0 means the attacker's goal is trivially reached.
+        if threshold == 0 || compromised >= threshold {
             successes += 1;
         }
     }

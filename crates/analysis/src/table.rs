@@ -131,7 +131,11 @@ mod tests {
         let mut table = Table::new("Attack probability", &["N", "p", "P[success]"]);
         assert!(table.is_empty());
         table.push_row(["3", "0.1", "0.01"]);
-        table.push_row(vec!["5".to_string(), "0.1".to_string(), "0.001".to_string()]);
+        table.push_row(vec![
+            "5".to_string(),
+            "0.1".to_string(),
+            "0.001".to_string(),
+        ]);
         assert_eq!(table.len(), 2);
         assert_eq!(table.title(), "Attack probability");
 

@@ -9,7 +9,9 @@ use sdoh_ntp::{
 fn bench_packet_codec(c: &mut Criterion) {
     let packet = NtpPacket::client_request(NtpTimestamp::from_seconds_f64(3_900_000_123.5));
     let wire = packet.encode();
-    c.bench_function("ntp/packet_encode", |b| b.iter(|| black_box(&packet).encode()));
+    c.bench_function("ntp/packet_encode", |b| {
+        b.iter(|| black_box(&packet).encode())
+    });
     c.bench_function("ntp/packet_decode", |b| {
         b.iter(|| NtpPacket::decode(black_box(&wire)).unwrap())
     });

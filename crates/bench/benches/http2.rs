@@ -11,11 +11,16 @@ fn bench_hpack(c: &mut Criterion) {
         (":method".into(), "GET".into()),
         (":scheme".into(), "https".into()),
         (":authority".into(), "dns.google".into()),
-        (":path".into(), "/dns-query?dns=AAABAAABAAAAAAAAA2ZvbwNiYXIAAAEAAQ".into()),
+        (
+            ":path".into(),
+            "/dns-query?dns=AAABAAABAAAAAAAAA2ZvbwNiYXIAAAEAAQ".into(),
+        ),
         ("accept".into(), "application/dns-message".into()),
     ];
     let block = hpack::encode(&headers);
-    c.bench_function("h2/hpack_encode", |b| b.iter(|| hpack::encode(black_box(&headers))));
+    c.bench_function("h2/hpack_encode", |b| {
+        b.iter(|| hpack::encode(black_box(&headers)))
+    });
     c.bench_function("h2/hpack_decode", |b| {
         b.iter(|| hpack::decode(black_box(&block)).unwrap())
     });
@@ -31,7 +36,10 @@ fn bench_request_response_exchange(c: &mut Criterion) {
             let sid = client.send_request(&request);
             let requests = server.receive(&client.take_output()).unwrap();
             let (rid, _req) = &requests[0];
-            server.send_response(*rid, &Response::ok("application/dns-message", vec![0u8; 64]));
+            server.send_response(
+                *rid,
+                &Response::ok("application/dns-message", vec![0u8; 64]),
+            );
             let responses = client.receive(&server.take_output()).unwrap();
             assert_eq!(responses[0].0, sid);
         })
@@ -50,5 +58,10 @@ fn bench_secure_channel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hpack, bench_request_response_exchange, bench_secure_channel);
+criterion_group!(
+    benches,
+    bench_hpack,
+    bench_request_response_exchange,
+    bench_secure_channel
+);
 criterion_main!(benches);

@@ -81,10 +81,58 @@ fn bench_end_to_end_doh(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential vs concurrent fan-out over the same 5-resolver scenario: the
+/// host-time cost of the session batch driver against driving the same
+/// exchanges one at a time, plus the virtual-latency gap printed once as a
+/// side channel (the concurrency win the redesign exists for).
+fn bench_fanout_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/fanout");
+    group.sample_size(20);
+    for &n in &[3usize, 5] {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed: 2,
+            resolvers: n,
+            ntp_servers: 8,
+            ..ScenarioConfig::default()
+        });
+        let generator = scenario.pool_generator(PoolConfig::algorithm1()).unwrap();
+        group.bench_with_input(BenchmarkId::new("concurrent", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+                generator
+                    .generate(&mut exchanger, &scenario.pool_domain)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+                generator
+                    .generate_sequential(&mut exchanger, &scenario.pool_domain)
+                    .unwrap()
+            })
+        });
+
+        // Virtual latency (simulated wall clock) is the quantity the
+        // concurrency redesign improves; report it alongside host time.
+        let (_, concurrent) = scenario.generate_pool(PoolConfig::algorithm1()).unwrap();
+        let (_, sequential) = scenario
+            .generate_pool_sequential(PoolConfig::algorithm1())
+            .unwrap();
+        println!(
+            "pool/fanout/virtual_latency/{n}: concurrent {:.1} ms vs sequential {:.1} ms",
+            concurrent.as_secs_f64() * 1000.0,
+            sequential.as_secs_f64() * 1000.0,
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_algorithm1_pure,
     bench_majority_vote,
-    bench_end_to_end_doh
+    bench_end_to_end_doh,
+    bench_fanout_modes
 );
 criterion_main!(benches);

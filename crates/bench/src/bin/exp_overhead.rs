@@ -1,4 +1,7 @@
 //! E8: pool-generation overhead vs. number of resolvers.
 fn main() {
-    println!("{}", sdoh_bench::overhead::run(&[1, 2, 3, 4, 5, 8, 12, 16], 13));
+    println!(
+        "{}",
+        sdoh_bench::overhead::run(&[1, 2, 3, 4, 5, 8, 12, 16], 13)
+    );
 }

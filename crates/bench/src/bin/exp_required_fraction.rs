@@ -1,4 +1,7 @@
 //! E2: required fraction of compromised resolvers (Section III-a).
 fn main() {
-    println!("{}", sdoh_bench::required_fraction::run(&[3, 5, 7, 15], 4, 0.5));
+    println!(
+        "{}",
+        sdoh_bench::required_fraction::run(&[3, 5, 7, 15], 4, 0.5)
+    );
 }

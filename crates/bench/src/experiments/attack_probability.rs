@@ -2,8 +2,7 @@
 //! `p_attack^M`, exponentially small in the number of resolvers.
 
 use sdoh_analysis::{
-    resolvers_for_security_gain, sweep_attack_probability, sweep_resolver_count, sweep_table,
-    Table,
+    resolvers_for_security_gain, sweep_attack_probability, sweep_resolver_count, sweep_table, Table,
 };
 
 /// Regenerates the attack-probability series: sweep over the number of

@@ -36,7 +36,11 @@ impl TimeSyncSetup {
 pub fn run(attacker_shift: f64, seed: u64) -> Table {
     let mut table = Table::new(
         format!("E5: achieved clock shift with {attacker_shift} s attacker time servers"),
-        &["configuration", "clock shift after one sync (s)", "pool captured"],
+        &[
+            "configuration",
+            "clock shift after one sync (s)",
+            "pool captured",
+        ],
     );
     for setup in [
         TimeSyncSetup::PlainDnsPlainNtp,
@@ -129,7 +133,10 @@ mod tests {
 
         assert!(captured1 && captured2, "plain DNS pools are captured");
         assert!(!captured3, "the DoH pool is not captured");
-        assert!(plain_ntp > shift * 0.9, "plain NTP fully hijacked: {plain_ntp}");
+        assert!(
+            plain_ntp > shift * 0.9,
+            "plain NTP fully hijacked: {plain_ntp}"
+        );
         assert!(
             plain_chronos > shift * 0.5,
             "Chronos over a poisoned pool is hijacked: {plain_chronos}"

@@ -5,8 +5,8 @@ use std::net::IpAddr;
 
 use sdoh_analysis::{fmt_percent, Table};
 use sdoh_core::{
-    check_guarantee, AddressSource, DualStackPolicy, GroundTruth, PoolConfig,
-    SecurePoolGenerator, StaticSource,
+    check_guarantee, AddressSource, DualStackPolicy, GroundTruth, PoolConfig, SecurePoolGenerator,
+    StaticSource,
 };
 use sdoh_dns_server::ClientExchanger;
 use sdoh_netsim::{SimAddr, SimNet};
@@ -75,11 +75,9 @@ fn simulate(policy: DualStackPolicy) -> [String; 6] {
         Box::new(compromised),
     ];
     let truth = GroundTruth::with_malicious((1..=4).map(evil_v6));
-    let generator = SecurePoolGenerator::new(
-        PoolConfig::algorithm1().with_dual_stack(policy),
-        sources,
-    )
-    .expect("generator");
+    let generator =
+        SecurePoolGenerator::new(PoolConfig::algorithm1().with_dual_stack(policy), sources)
+            .expect("generator");
     let net = SimNet::new(10);
     let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
     let report = generator

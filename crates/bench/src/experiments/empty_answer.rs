@@ -52,8 +52,7 @@ fn simulate(n: usize, empty: usize, seed: u64) -> (usize, bool) {
         .expect("generator")
         .generate(&mut exchanger, &scenario.pool_domain)
         .expect("generation");
-    let captured =
-        attacker_controls_fraction(&report.pool, &scenario.ground_truth(), 0.5);
+    let captured = attacker_controls_fraction(&report.pool, &scenario.ground_truth(), 0.5);
     (report.pool.len(), captured)
 }
 

@@ -32,12 +32,7 @@ pub fn run(total_resolvers: usize, seed: u64) -> Table {
     table
 }
 
-fn simulate(
-    total: usize,
-    compromised: usize,
-    mode: CombinationMode,
-    seed: u64,
-) -> [String; 6] {
+fn simulate(total: usize, compromised: usize, mode: CombinationMode, seed: u64) -> [String; 6] {
     let scenario = Scenario::build(ScenarioConfig {
         seed: seed + (total * 100 + compromised) as u64,
         resolvers: total,

@@ -26,24 +26,34 @@ pub fn pool_spoofer(
     target_domain: Name,
     attacker_addresses: Vec<IpAddr>,
 ) -> OffPathSpoofer {
-    OffPathSpoofer::new(SpoofStrategy::FixedProbability(p), move |query_bytes, _rng| {
-        let query = Message::decode(query_bytes).ok()?;
-        let question = query.question()?;
-        if !question.rtype.is_address() || !question.name.is_subdomain_of(&target_domain) {
-            return None;
-        }
-        let mut builder = MessageBuilder::response_to(&query).recursion_available(true);
-        for addr in &attacker_addresses {
-            builder = builder.answer_address(300, *addr);
-        }
-        builder.build().encode().ok()
-    })
+    OffPathSpoofer::new(
+        SpoofStrategy::FixedProbability(p),
+        move |query_bytes, _rng| {
+            let query = Message::decode(query_bytes).ok()?;
+            let question = query.question()?;
+            if !question.rtype.is_address() || !question.name.is_subdomain_of(&target_domain) {
+                return None;
+            }
+            let mut builder = MessageBuilder::response_to(&query).recursion_available(true);
+            for addr in &attacker_addresses {
+                builder = builder.answer_address(300, *addr);
+            }
+            builder.build().encode().ok()
+        },
+    )
     .with_targets(victims)
 }
 
 /// Attacker address block shared by the experiments.
 pub fn attacker_addresses(count: usize) -> Vec<IpAddr> {
     (1..=count)
-        .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(198, 18, (i / 250) as u8, (i % 250) as u8)))
+        .map(|i| {
+            IpAddr::V4(std::net::Ipv4Addr::new(
+                198,
+                18,
+                (i / 250) as u8,
+                (i % 250) as u8,
+            ))
+        })
         .collect()
 }

@@ -50,9 +50,8 @@ pub fn run(spoof_probabilities: &[f64], trials: u64, seed: u64) -> Table {
             trials,
             seed + i as u64 * 1000 + 500,
         );
-        let analytic = sdoh_analysis::attack_probability_exact(&sdoh_analysis::AttackModel::new(
-            3, p, 0.5,
-        ));
+        let analytic =
+            sdoh_analysis::attack_probability_exact(&sdoh_analysis::AttackModel::new(3, p, 0.5));
         table.push_row([
             format!("{p:.2}"),
             fmt_probability(plain),

@@ -54,7 +54,11 @@ fn simulate(n: usize, compromised: usize, k: usize, y: f64) -> (f64, bool) {
 
     let sources: Vec<Box<dyn AddressSource>> = (0..n)
         .map(|i| {
-            let answer = if i < compromised { evil.clone() } else { benign.clone() };
+            let answer = if i < compromised {
+                evil.clone()
+            } else {
+                benign.clone()
+            };
             Box::new(StaticSource::answering(format!("resolver-{i}"), answer))
                 as Box<dyn AddressSource>
         })

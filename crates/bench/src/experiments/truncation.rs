@@ -64,7 +64,10 @@ mod tests {
         let (with, holds_with) = malicious_share(32, CombinationMode::TruncateAndCombine, 3);
         let (without, holds_without) =
             malicious_share(32, CombinationMode::CombineWithoutTruncation, 4);
-        assert!(with < 1e-9, "truncation keeps the inflated tail out: {with}");
+        assert!(
+            with < 1e-9,
+            "truncation keeps the inflated tail out: {with}"
+        );
         assert!(holds_with);
         assert!(
             without > 0.5,

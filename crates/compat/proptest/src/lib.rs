@@ -1,0 +1,599 @@
+//! Stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's
+//! property-based tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`/`boxed`, `any`, ranges, [`strategy::Just`], tuple and
+//! `collection::vec` composition, a character-class regex string generator
+//! and `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed; there is no shrinking — a failing case panics with the
+//! assertion message, which is enough signal for this deterministic
+//! simulator workspace.
+
+pub mod test_runner {
+    //! Run configuration and the deterministic case generator.
+
+    /// Subset of proptest's run configuration: the number of cases.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used for case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator whose stream is a pure function of `label`
+        /// (the property name), so every run regenerates the same cases.
+        pub fn deterministic(label: &str) -> Self {
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            for b in label.bytes() {
+                state = state.rotate_left(9) ^ u64::from(b).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            }
+            TestRng { state }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; returns 0 for an empty bound.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe alias used by [`BoxedStrategy`].
+    pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+    /// Object-safe core of [`Strategy`].
+    pub trait DynStrategy {
+        /// The generated value type.
+        type Value;
+        /// Generates one value.
+        fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.as_ref().dyn_new_value(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given options; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let ix = rng.below(self.options.len() as u64) as usize;
+            self.options[ix].new_value(rng)
+        }
+    }
+
+    /// Types with a canonical generation strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generates one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+
+    impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (A::arbitrary(rng), B::arbitrary(rng))
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $ix:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        length: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `length`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.length.end.saturating_sub(self.length.start).max(1);
+            let len = self.length.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Character-class regex string generation.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating strings matching a character-class regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexStringStrategy {
+        pattern: String,
+    }
+
+    impl Strategy for RegexStringStrategy {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            generate(&self.pattern, rng)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {:?}: {e}", self.pattern))
+        }
+    }
+
+    /// Builds a string strategy from a regex pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unsupported construct. The
+    /// supported grammar is a sequence of literal characters and `[...]`
+    /// classes (ranges, literals, `&&[^...]` subtraction), each optionally
+    /// followed by a `{min,max}` or `{n}` quantifier.
+    pub fn string_regex(pattern: &str) -> Result<RegexStringStrategy, String> {
+        parse(pattern)?;
+        Ok(RegexStringStrategy {
+            pattern: pattern.to_string(),
+        })
+    }
+
+    struct Element {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Vec<char>, String> {
+        // Called after consuming '['; an optional leading '^' negates.
+        let negated = chars.peek() == Some(&'^') && {
+            chars.next();
+            true
+        };
+        let mut set: Vec<char> = Vec::new();
+        let mut subtract: Vec<char> = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next().ok_or("unterminated character class")?;
+            match c {
+                ']' => break,
+                '&' if chars.peek() == Some(&'&') => {
+                    chars.next();
+                    if chars.next() != Some('[') {
+                        return Err("expected class after && intersection".into());
+                    }
+                    let inner = parse_class(chars)?;
+                    // `x&&[^y]` keeps x minus y; the nested parser already
+                    // resolved the negation against the printable range, so
+                    // intersect with it.
+                    let kept: Vec<char> =
+                        set.iter().copied().filter(|c| inner.contains(c)).collect();
+                    subtract.clear();
+                    set = kept;
+                    prev = None;
+                }
+                '-' if prev.is_some() && chars.peek().is_some() && chars.peek() != Some(&']') => {
+                    let hi = chars.next().ok_or("unterminated range")?;
+                    let lo = prev.take().ok_or("range without lower bound")?;
+                    if lo > hi {
+                        return Err(format!("inverted range {lo}-{hi}"));
+                    }
+                    // The lower bound was already pushed as a literal.
+                    for code in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            set.push(ch);
+                        }
+                    }
+                }
+                '\\' => {
+                    let escaped = chars.next().ok_or("dangling escape")?;
+                    set.push(escaped);
+                    prev = Some(escaped);
+                }
+                other => {
+                    set.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        set.retain(|c| !subtract.contains(c));
+        set.sort_unstable();
+        set.dedup();
+        if negated {
+            // Complement within printable ASCII.
+            let all: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+            set = all.into_iter().filter(|c| !set.contains(c)).collect();
+        }
+        if set.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(set)
+    }
+
+    fn parse(pattern: &str) -> Result<Vec<Element>, String> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let choices = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => vec![chars.next().ok_or("dangling escape")?],
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                    return Err(format!("unsupported regex construct {c:?}"));
+                }
+                literal => vec![literal],
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().map_err(|_| "bad quantifier")?,
+                        hi.parse().map_err(|_| "bad quantifier")?,
+                    ),
+                    None => {
+                        let n: usize = spec.parse().map_err(|_| "bad quantifier")?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err("inverted quantifier".into());
+            }
+            elements.push(Element { choices, min, max });
+        }
+        Ok(elements)
+    }
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`string_regex`].
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> Result<String, String> {
+        let elements = parse(pattern)?;
+        let mut out = String::new();
+        for element in &elements {
+            let span = element.max - element.min + 1;
+            let count = element.min + rng.below(span as u64) as usize;
+            for _ in 0..count {
+                let ix = rng.below(element.choices.len() as u64) as usize;
+                out.push(element.choices[ix]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+pub mod prelude {
+    //! The commonly used names, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a property-test condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&$strategy, &mut __rng);)+
+                    { $body }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z][a-z0-9-]{0,12}", &mut rng).unwrap();
+            assert!(!s.is_empty() && s.len() <= 13);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = crate::string::generate("[ -~&&[^\"]]{0,24}", &mut rng).unwrap();
+            assert!(t.chars().all(|c| (' '..='~').contains(&c) && c != '"'));
+        }
+    }
+
+    #[test]
+    fn union_and_ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("union");
+        let strategy = prop_oneof![Just(1u32), Just(2u32), (5u32..9).prop_map(|v| v)];
+        for _ in 0..100 {
+            let v = strategy.new_value(&mut rng);
+            assert!(v == 1 || v == 2 || (5..9).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(x in any::<u16>(), v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(u32::from(x) <= u32::from(u16::MAX));
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation and
+//! future interoperability but never serialises anything (there is no
+//! `serde_json` in the tree), so the derives can expand to nothing: the
+//! sibling `serde` stand-in provides blanket implementations of both
+//! traits. The `serde` helper attribute is still declared so annotated
+//! fields would not break compilation.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

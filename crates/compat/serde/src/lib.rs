@@ -1,0 +1,27 @@
+//! Stand-in for the `serde` facade.
+//!
+//! This workspace cannot reach a crate registry, so the handful of external
+//! dependencies are replaced by minimal in-tree equivalents. The codebase
+//! derives `Serialize`/`Deserialize` on its public data types but never
+//! drives an actual serialiser, which lets this facade reduce the traits to
+//! markers with blanket implementations: every `#[derive(Serialize)]` (a
+//! no-op from the sibling `serde_derive` stand-in) still type-checks, and
+//! any `T: Serialize` bound is satisfied.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}

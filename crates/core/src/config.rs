@@ -196,8 +196,10 @@ mod tests {
             .with_min_responses(0)
             .validate()
             .is_err());
-        let mut config = PoolConfig::default();
-        config.majority_threshold = 1.0;
+        let config = PoolConfig {
+            majority_threshold: 1.0,
+            ..PoolConfig::default()
+        };
         assert!(config.validate().is_err());
     }
 }

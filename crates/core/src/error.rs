@@ -22,18 +22,21 @@ pub enum PoolError {
     EmptyPool,
     /// The configuration is internally inconsistent.
     InvalidConfig(String),
+    /// A driver misused the sans-IO session API (responded to an unknown or
+    /// completed transaction, or finished with exchanges outstanding).
+    Session(String),
 }
 
 impl fmt::Display for PoolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PoolError::NoResolvers => write!(f, "no DoH resolvers configured"),
-            PoolError::NotEnoughResponses { answered, required } => write!(
-                f,
-                "only {answered} resolvers answered, {required} required"
-            ),
+            PoolError::NotEnoughResponses { answered, required } => {
+                write!(f, "only {answered} resolvers answered, {required} required")
+            }
             PoolError::EmptyPool => write!(f, "the combined address pool is empty"),
             PoolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PoolError::Session(msg) => write!(f, "session misuse: {msg}"),
         }
     }
 }
@@ -57,6 +60,7 @@ mod tests {
             },
             PoolError::EmptyPool,
             PoolError::InvalidConfig("x out of range".into()),
+            PoolError::Session("unknown transaction".into()),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -1,17 +1,23 @@
 //! The secure server-pool generation procedure (Algorithm 1 of the paper)
 //! and its variants.
-
-use std::net::IpAddr;
+//!
+//! [`SecurePoolGenerator`] holds the configured resolver set; the actual
+//! lookup logic lives in the sans-IO [`PoolSession`](crate::PoolSession)
+//! state machine, for which this type is a thin convenience driver:
+//! [`SecurePoolGenerator::generate`] fans the N resolver exchanges out
+//! concurrently through [`Exchanger::exchange_all`], and
+//! [`SecurePoolGenerator::generate_sequential`] preserves the historical
+//! one-exchange-at-a-time behaviour for comparisons.
 
 use sdoh_dns_server::Exchanger;
-use sdoh_dns_wire::{Name, RrType};
+use sdoh_dns_wire::Name;
 use sdoh_doh::{DohMethod, ResolverDirectory};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{CombinationMode, DualStackPolicy, FailurePolicy, PoolConfig};
+use crate::config::{CombinationMode, PoolConfig};
 use crate::error::{PoolError, PoolResult};
-use crate::majority::majority_vote;
 use crate::pool::AddressPool;
+use crate::session::{drive, drive_sequential, PoolSession};
 use crate::source::{AddressSource, DohSource};
 
 /// Outcome of querying one resolver during pool generation.
@@ -124,8 +130,23 @@ impl SecurePoolGenerator {
         self.sources.len()
     }
 
+    /// Plans one lookup of `domain` as a sans-IO [`PoolSession`] without
+    /// performing any I/O. `seed` feeds the deterministic DNS transaction-id
+    /// stream; drivers that don't care pass any constant.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation errors (the constructor already validated,
+    /// so in practice this cannot fail for a constructed generator).
+    pub fn session(&self, domain: &Name, seed: u64) -> PoolResult<PoolSession<'_>> {
+        PoolSession::new(self.config.clone(), &self.sources, domain, seed)
+    }
+
     /// Runs pool generation for `domain` according to the configured
-    /// dual-stack policy.
+    /// dual-stack policy, querying all N resolvers **concurrently**: over a
+    /// transport with in-flight concurrency (the simulator-backed
+    /// exchangers), the lookup costs the slowest resolver's round trips,
+    /// not the sum.
     ///
     /// # Errors
     ///
@@ -136,124 +157,35 @@ impl SecurePoolGenerator {
         exchanger: &mut dyn Exchanger,
         domain: &Name,
     ) -> PoolResult<GenerationReport> {
-        match self.config.dual_stack {
-            DualStackPolicy::Ipv4Only => self.generate_for_types(exchanger, domain, &[RrType::A]),
-            DualStackPolicy::Ipv6Only => {
-                self.generate_for_types(exchanger, domain, &[RrType::Aaaa])
-            }
-            DualStackPolicy::Union => {
-                self.generate_for_types(exchanger, domain, &[RrType::A, RrType::Aaaa])
-            }
-            DualStackPolicy::PerFamily => {
-                let v4 = self.generate_for_types(exchanger, domain, &[RrType::A])?;
-                let v6 = self.generate_for_types(exchanger, domain, &[RrType::Aaaa])?;
-                let mut pool = v4.pool.clone();
-                pool.extend_from(&v6.pool);
-                let mut truncate_lengths = v4.truncate_lengths.clone();
-                truncate_lengths.extend(v6.truncate_lengths.clone());
-                Ok(GenerationReport {
-                    pool,
-                    mode: self.config.mode,
-                    sources: v4.sources.clone(),
-                    truncate_lengths,
-                })
-            }
-        }
+        let mut session = self.session(domain, seed_from(exchanger))?;
+        drive(&mut session, exchanger)?;
+        session.finish()
     }
 
-    /// Runs one generation pass where each resolver's answer list is the
-    /// concatenation of its answers for the given record types.
-    fn generate_for_types(
+    /// Runs pool generation querying the resolvers **one at a time** — the
+    /// pre-session behaviour, kept for latency comparisons and transports
+    /// without concurrency support. Produces the same report as
+    /// [`SecurePoolGenerator::generate`] whenever answers don't depend on
+    /// timing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SecurePoolGenerator::generate`].
+    pub fn generate_sequential(
         &self,
         exchanger: &mut dyn Exchanger,
         domain: &Name,
-        rtypes: &[RrType],
     ) -> PoolResult<GenerationReport> {
-        let mut outcomes: Vec<(String, SourceOutcome)> = Vec::new();
-        let mut answers: Vec<(String, Vec<IpAddr>)> = Vec::new();
-
-        for source in &self.sources {
-            let name = source.source_name();
-            let mut combined: Vec<IpAddr> = Vec::new();
-            let mut failure: Option<String> = None;
-            for &rtype in rtypes {
-                match source.fetch(exchanger, domain, rtype) {
-                    Ok(addresses) => combined.extend(addresses),
-                    Err(err) => {
-                        failure = Some(err.to_string());
-                        break;
-                    }
-                }
-            }
-            match failure {
-                None => {
-                    outcomes.push((name.clone(), SourceOutcome::Answered(combined.len())));
-                    answers.push((name, combined));
-                }
-                Some(err) => {
-                    outcomes.push((name.clone(), SourceOutcome::Failed(err)));
-                    if self.config.failure_policy == FailurePolicy::TreatAsEmpty {
-                        answers.push((name, Vec::new()));
-                    }
-                }
-            }
-        }
-
-        let usable = answers.len();
-        if usable < self.config.min_responses {
-            return Err(PoolError::NotEnoughResponses {
-                answered: usable,
-                required: self.config.min_responses,
-            });
-        }
-
-        let type_label = rtypes
-            .iter()
-            .map(|t| t.to_string())
-            .collect::<Vec<_>>()
-            .join("+");
-
-        let (pool, truncate_lengths) = match self.config.mode {
-            CombinationMode::TruncateAndCombine => {
-                let truncate = answers.iter().map(|(_, l)| l.len()).min().unwrap_or(0);
-                let mut pool = AddressPool::new();
-                for (name, list) in &answers {
-                    for &addr in list.iter().take(truncate) {
-                        pool.push(addr, name.clone());
-                    }
-                }
-                (pool, vec![(type_label, truncate)])
-            }
-            CombinationMode::CombineWithoutTruncation => {
-                let mut pool = AddressPool::new();
-                for (name, list) in &answers {
-                    for &addr in list {
-                        pool.push(addr, name.clone());
-                    }
-                }
-                let max = answers.iter().map(|(_, l)| l.len()).max().unwrap_or(0);
-                (pool, vec![(type_label, max)])
-            }
-            CombinationMode::MajorityVote => {
-                let lists: Vec<Vec<IpAddr>> =
-                    answers.iter().map(|(_, l)| l.clone()).collect();
-                let winners =
-                    majority_vote(&lists, usable, self.config.majority_threshold);
-                let mut pool = AddressPool::new();
-                for (addr, support) in winners {
-                    pool.push(addr, format!("majority({support}/{usable})"));
-                }
-                (pool, Vec::new())
-            }
-        };
-
-        Ok(GenerationReport {
-            pool,
-            mode: self.config.mode,
-            sources: outcomes,
-            truncate_lengths,
-        })
+        let mut session = self.session(domain, seed_from(exchanger))?;
+        drive_sequential(&mut session, exchanger)?;
+        session.finish()
     }
+}
+
+/// Derives the session id seed from the exchanger's randomness, keeping the
+/// DNS transaction ids tied to the simulation seed.
+pub(crate) fn seed_from(exchanger: &mut dyn Exchanger) -> u64 {
+    (u64::from(exchanger.next_id()) << 16) | u64::from(exchanger.next_id())
 }
 
 impl std::fmt::Debug for SecurePoolGenerator {
@@ -268,9 +200,11 @@ impl std::fmt::Debug for SecurePoolGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{DualStackPolicy, FailurePolicy};
     use crate::source::StaticSource;
     use sdoh_dns_server::ClientExchanger;
     use sdoh_netsim::{SimAddr, SimNet};
+    use std::net::IpAddr;
 
     fn ip(last: u8) -> IpAddr {
         format!("203.0.113.{last}").parse().unwrap()
@@ -300,7 +234,10 @@ mod tests {
         let sources = vec![
             boxed(StaticSource::answering("r1", vec![ip(1), ip(2), ip(3)])),
             boxed(StaticSource::answering("r2", vec![ip(4), ip(5)])),
-            boxed(StaticSource::answering("r3", vec![ip(6), ip(7), ip(8), ip(9)])),
+            boxed(StaticSource::answering(
+                "r3",
+                vec![ip(6), ip(7), ip(8), ip(9)],
+            )),
         ];
         let report = run(PoolConfig::algorithm1(), sources).unwrap();
         assert_eq!(report.pool.len(), 6);
@@ -326,8 +263,7 @@ mod tests {
         let report = run(PoolConfig::algorithm1(), sources).unwrap();
         // Truncated to 3 per resolver: the attacker controls exactly 1/3.
         assert_eq!(report.pool.len(), 9);
-        let malicious_fraction =
-            1.0 - report.pool.benign_fraction(|a| !attacker_list.contains(&a));
+        let malicious_fraction = 1.0 - report.pool.benign_fraction(|a| !attacker_list.contains(&a));
         assert!((malicious_fraction - 1.0 / 3.0).abs() < 1e-12);
 
         // Ablation: without truncation the attacker owns the pool majority.
@@ -341,8 +277,7 @@ mod tests {
             sources,
         )
         .unwrap();
-        let malicious_fraction =
-            1.0 - report.pool.benign_fraction(|a| !attacker_list.contains(&a));
+        let malicious_fraction = 1.0 - report.pool.benign_fraction(|a| !attacker_list.contains(&a));
         assert!(malicious_fraction > 0.5);
     }
 

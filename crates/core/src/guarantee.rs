@@ -64,11 +64,7 @@ pub struct GuaranteeCheck {
 
 /// Checks whether `pool` contains at least a fraction `required` of benign
 /// servers according to `truth`.
-pub fn check_guarantee(
-    pool: &AddressPool,
-    truth: &GroundTruth,
-    required: f64,
-) -> GuaranteeCheck {
+pub fn check_guarantee(pool: &AddressPool, truth: &GroundTruth, required: f64) -> GuaranteeCheck {
     let benign_fraction = pool.benign_fraction(|addr| !truth.is_malicious(addr));
     let holds = !pool.is_empty() && benign_fraction >= required;
     GuaranteeCheck {
@@ -143,7 +139,11 @@ mod tests {
         let check = check_guarantee(&AddressPool::new(), &truth, 0.5);
         assert!(!check.holds);
         assert_eq!(check.pool_size, 0);
-        assert!(!attacker_controls_fraction(&AddressPool::new(), &truth, 0.1));
+        assert!(!attacker_controls_fraction(
+            &AddressPool::new(),
+            &truth,
+            0.1
+        ));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! alternative:
 //!
 //! * query the pool domain through **N distributed DoH resolvers** over
-//!   authenticated channels ([`SecurePoolGenerator`], [`DohSource`]),
+//!   authenticated channels, **concurrently** — the paper's client fans the
+//!   N queries out in parallel, so a lookup costs the slowest resolver's
+//!   round trips, not the sum,
 //! * combine the answers with **Algorithm 1** — truncate every list to the
 //!   shortest list's length and concatenate
 //!   ([`CombinationMode::TruncateAndCombine`]) — so that each resolver
@@ -22,6 +24,27 @@
 //! * and check the guarantee — "the pool contains a fraction of at least
 //!   `x` benign servers" — against experiment ground truth
 //!   ([`check_guarantee`]).
+//!
+//! # Architecture: a sans-IO session plus drivers
+//!
+//! The lookup logic is a **sans-IO state machine**, [`PoolSession`]: it
+//! *describes* the N resolver exchanges ([`Action::Transmit`]), accepts
+//! their outcomes in any order ([`PoolSession::handle_response`]) and
+//! combines the answers ([`PoolSession::finish`]) — it never touches a
+//! transport itself. Drivers perform the described I/O:
+//!
+//! * [`SecurePoolGenerator::generate`] — the convenience driver; it batches
+//!   every transmit through `Exchanger::exchange_all`, which the
+//!   simulator-backed exchangers execute concurrently,
+//! * [`SecurePoolGenerator::generate_sequential`] — one exchange at a time,
+//!   the pre-session behaviour, kept for latency comparisons,
+//! * [`drive`] / [`drive_sequential`] — the same two loops over an
+//!   externally constructed session, for callers that want the
+//!   [`SessionEvent`] progress stream or custom scheduling.
+//!
+//! Because answers are assembled in configuration order, the generated pool
+//! is **identical for every response interleaving** — a property the test
+//! suite checks over random permutations.
 //!
 //! # Example: Algorithm 1 over three resolvers
 //!
@@ -45,6 +68,34 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Example: driving a session by hand
+//!
+//! ```
+//! use sdoh_core::{Action, AddressSource, PoolConfig, PoolSession, StaticSource};
+//! use sdoh_netsim::SimInstant;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sources: Vec<Box<dyn AddressSource>> = vec![
+//!     Box::new(StaticSource::answering("r1", vec!["203.0.113.1".parse()?])),
+//!     Box::new(StaticSource::answering("r2", vec!["203.0.113.2".parse()?])),
+//! ];
+//! let mut session =
+//!     PoolSession::new(PoolConfig::algorithm1(), &sources, &"pool.ntp.org".parse()?, 7)?;
+//! // Static sources resolve without I/O: the session only delivers events
+//! // and completes. A DoH source would yield Action::Transmit here, one
+//! // per resolver, before asking the driver to wait.
+//! loop {
+//!     match session.poll(SimInstant::EPOCH) {
+//!         Action::Deliver(event) => println!("{event:?}"),
+//!         Action::Done => break,
+//!         other => unreachable!("static sources never transmit: {other:?}"),
+//!     }
+//! }
+//! assert_eq!(session.finish()?.pool.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,13 +107,19 @@ mod guarantee;
 mod lookup;
 mod majority;
 mod pool;
+mod session;
 mod source;
 
 pub use config::{CombinationMode, DualStackPolicy, FailurePolicy, PoolConfig};
 pub use error::{PoolError, PoolResult};
 pub use generator::{GenerationReport, SecurePoolGenerator, SourceOutcome};
 pub use guarantee::{attacker_controls_fraction, check_guarantee, GroundTruth, GuaranteeCheck};
-pub use lookup::SecurePoolResolver;
+pub use lookup::{ResolverMetrics, SecurePoolResolver};
 pub use majority::{majority_vote, support_counts};
 pub use pool::{AddressPool, PoolEntry};
-pub use source::{AddressSource, DohSource, FetchError, PlainDnsSource, StaticSource};
+pub use session::{
+    drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,
+};
+pub use source::{
+    AddressSource, DohSource, FetchError, FetchStart, PendingFetch, PlainDnsSource, StaticSource,
+};

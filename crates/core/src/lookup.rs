@@ -7,17 +7,58 @@
 //! generation underneath and returning the combined (or majority-filtered)
 //! addresses as a plain DNS response.
 
+use std::time::Duration;
+
 use sdoh_dns_server::{Exchanger, QueryHandler};
 use sdoh_dns_wire::{Message, MessageBuilder, Rcode, Record, RrType};
 
 use crate::generator::SecurePoolGenerator;
 
+/// Operational counters of a [`SecurePoolResolver`], fed by real per-query
+/// outcomes: a query is counted as served only once pool generation
+/// actually produced an answer, failures distinguish rejected queries from
+/// generation failures, and latency is the measured virtual time spent in
+/// the distributed lookup (the dominant cost the overhead experiment
+/// quantifies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverMetrics {
+    /// Address queries received (after protocol-level rejection).
+    pub queries: u64,
+    /// Queries answered from a successfully generated pool.
+    pub served: u64,
+    /// Queries that failed because pool generation failed (SERVFAIL).
+    pub failures: u64,
+    /// Queries rejected before generation (no question / non-address type).
+    pub rejected: u64,
+    /// Per-resolver lookups (one per resolver per dual-stack pass) that
+    /// produced a usable answer, counted from the session's event stream
+    /// across all generations — served *and* failed.
+    pub source_answers: u64,
+    /// Per-resolver lookups that failed, across all generations.
+    pub source_failures: u64,
+    /// Virtual time the most recent pool generation took.
+    pub last_generation_latency: Duration,
+    /// Total virtual time spent generating pools.
+    pub total_generation_latency: Duration,
+}
+
+impl ResolverMetrics {
+    /// Mean virtual latency per attempted generation.
+    pub fn average_generation_latency(&self) -> Duration {
+        let attempts = self.served + self.failures;
+        if attempts == 0 {
+            Duration::ZERO
+        } else {
+            self.total_generation_latency / attempts as u32
+        }
+    }
+}
+
 /// A DNS query handler backed by secure pool generation.
 pub struct SecurePoolResolver {
     generator: SecurePoolGenerator,
     answer_ttl: u32,
-    queries: u64,
-    failures: u64,
+    metrics: ResolverMetrics,
 }
 
 impl SecurePoolResolver {
@@ -26,8 +67,7 @@ impl SecurePoolResolver {
         SecurePoolResolver {
             generator,
             answer_ttl: 60,
-            queries: 0,
-            failures: 0,
+            metrics: ResolverMetrics::default(),
         }
     }
 
@@ -42,15 +82,20 @@ impl SecurePoolResolver {
         &self.generator
     }
 
-    /// Number of address queries served.
+    /// Snapshot of the operational counters.
+    pub fn metrics(&self) -> ResolverMetrics {
+        self.metrics
+    }
+
+    /// Number of address queries received.
     pub fn queries(&self) -> u64 {
-        self.queries
+        self.metrics.queries
     }
 
     /// Number of queries that could not be answered (pool generation
     /// failed).
     pub fn failures(&self) -> u64 {
-        self.failures
+        self.metrics.failures
     }
 }
 
@@ -58,17 +103,47 @@ impl QueryHandler for SecurePoolResolver {
     fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
         let question = match query.question() {
             Some(q) => q.clone(),
-            None => return Message::error_response(query, Rcode::FormErr),
+            None => {
+                self.metrics.rejected += 1;
+                return Message::error_response(query, Rcode::FormErr);
+            }
         };
         // The operation mode only supports address lookups (Section II).
         if !question.rtype.is_address() {
+            self.metrics.rejected += 1;
             return Message::error_response(query, Rcode::NotImp);
         }
-        self.queries += 1;
-        match self.generator.generate(exchanger, &question.name) {
+        self.metrics.queries += 1;
+        let started = exchanger.now();
+        // Drive the session directly (rather than through `generate`) so
+        // the per-lookup SessionEvent stream is available: it carries the
+        // real per-resolver outcomes even when generation ends in an error,
+        // including the passes that succeeded before another pass failed.
+        let seed = crate::generator::seed_from(exchanger);
+        let outcome = self
+            .generator
+            .session(&question.name, seed)
+            .and_then(|mut session| {
+                let events = crate::session::drive(&mut session, exchanger)?;
+                for event in &events {
+                    match event {
+                        crate::SessionEvent::SourceAnswered { .. } => {
+                            self.metrics.source_answers += 1;
+                        }
+                        crate::SessionEvent::SourceFailed { .. } => {
+                            self.metrics.source_failures += 1;
+                        }
+                    }
+                }
+                session.finish()
+            });
+        let elapsed = exchanger.now().saturating_duration_since(started);
+        self.metrics.last_generation_latency = elapsed;
+        self.metrics.total_generation_latency += elapsed;
+        match outcome {
             Ok(report) => {
-                let mut builder =
-                    MessageBuilder::response_to(query).recursion_available(true);
+                self.metrics.served += 1;
+                let mut builder = MessageBuilder::response_to(query).recursion_available(true);
                 for entry in report.pool.iter() {
                     // Only return addresses of the queried family even when
                     // the generator is configured for dual-stack union.
@@ -88,7 +163,7 @@ impl QueryHandler for SecurePoolResolver {
                 builder.build()
             }
             Err(_) => {
-                self.failures += 1;
+                self.metrics.failures += 1;
                 Message::error_response(query, Rcode::ServFail)
             }
         }
@@ -103,8 +178,7 @@ impl std::fmt::Debug for SecurePoolResolver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SecurePoolResolver")
             .field("generator", &self.generator)
-            .field("queries", &self.queries)
-            .field("failures", &self.failures)
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -177,11 +251,9 @@ mod tests {
             Box::new(StaticSource::failing("dead1")),
             Box::new(StaticSource::failing("dead2")),
         ];
-        let generator = SecurePoolGenerator::new(
-            PoolConfig::algorithm1().with_min_responses(2),
-            sources,
-        )
-        .unwrap();
+        let generator =
+            SecurePoolGenerator::new(PoolConfig::algorithm1().with_min_responses(2), sources)
+                .unwrap();
         let mut resolver = SecurePoolResolver::new(generator);
         let query = Message::query(4, "pool.ntp.org".parse().unwrap(), RrType::A);
         let response = resolver.handle_query(&mut exchanger, &query);

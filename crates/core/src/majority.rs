@@ -25,11 +25,7 @@ pub fn support_counts(lists: &[Vec<IpAddr>]) -> BTreeMap<IpAddr, usize> {
 /// With `threshold = 0.5` this is the classic majority vote the paper
 /// describes: "the majority DNS resolver only includes an address in the
 /// final response, if it is given by a majority of the DoH resolvers".
-pub fn majority_vote(
-    lists: &[Vec<IpAddr>],
-    total: usize,
-    threshold: f64,
-) -> Vec<(IpAddr, usize)> {
+pub fn majority_vote(lists: &[Vec<IpAddr>], total: usize, threshold: f64) -> Vec<(IpAddr, usize)> {
     if total == 0 {
         return Vec::new();
     }
@@ -63,15 +59,14 @@ mod tests {
 
     #[test]
     fn strict_majority_with_three_resolvers() {
-        let lists = vec![
-            vec![ip(1), ip(2)],
-            vec![ip(1), ip(3)],
-            vec![ip(1), ip(2)],
-        ];
+        let lists = vec![vec![ip(1), ip(2)], vec![ip(1), ip(3)], vec![ip(1), ip(2)]];
         let winners = majority_vote(&lists, 3, 0.5);
         let addresses: Vec<IpAddr> = winners.iter().map(|(a, _)| *a).collect();
         assert!(addresses.contains(&ip(1)), "3/3 support");
-        assert!(addresses.contains(&ip(2)), "2/3 support is a strict majority");
+        assert!(
+            addresses.contains(&ip(2)),
+            "2/3 support is a strict majority"
+        );
         assert!(!addresses.contains(&ip(3)), "1/3 support is not");
     }
 
@@ -80,16 +75,15 @@ mod tests {
         let lists = vec![vec![ip(1)], vec![ip(1)], vec![ip(2)], vec![ip(3)]];
         let winners = majority_vote(&lists, 4, 0.5);
         let addresses: Vec<IpAddr> = winners.iter().map(|(a, _)| *a).collect();
-        assert!(!addresses.contains(&ip(1)), "2 of 4 is not strictly more than half");
+        assert!(
+            !addresses.contains(&ip(1)),
+            "2 of 4 is not strictly more than half"
+        );
     }
 
     #[test]
     fn higher_threshold_is_stricter() {
-        let lists = vec![
-            vec![ip(1), ip(2)],
-            vec![ip(1), ip(2)],
-            vec![ip(1)],
-        ];
+        let lists = vec![vec![ip(1), ip(2)], vec![ip(1), ip(2)], vec![ip(1)]];
         let half = majority_vote(&lists, 3, 0.5);
         let two_thirds = majority_vote(&lists, 3, 2.0 / 3.0);
         assert_eq!(half.len(), 2);

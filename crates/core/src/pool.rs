@@ -101,11 +101,7 @@ impl AddressPool {
         if self.entries.is_empty() {
             return 0.0;
         }
-        let benign = self
-            .entries
-            .iter()
-            .filter(|e| is_benign(e.address))
-            .count();
+        let benign = self.entries.iter().filter(|e| is_benign(e.address)).count();
         benign as f64 / self.entries.len() as f64
     }
 

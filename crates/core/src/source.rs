@@ -1,12 +1,26 @@
 //! Address sources: the per-resolver lookup abstraction Algorithm 1 fans
 //! out over.
+//!
+//! A source exposes two layers:
+//!
+//! * the blocking [`AddressSource::fetch`], which drives one lookup to
+//!   completion over an [`Exchanger`] — convenient for tests and simple
+//!   callers, and
+//! * the sans-IO halves [`AddressSource::start_fetch`] /
+//!   [`AddressSource::handle_response`], which *describe* the exchange so a
+//!   session driver can keep many lookups from many sources in flight
+//!   concurrently ([`crate::PoolSession`]).
+//!
+//! `fetch` is a provided method implemented on top of the sans-IO halves,
+//! so a source only implements the non-blocking form.
 
+use std::any::Any;
 use std::net::IpAddr;
 
-use sdoh_dns_server::{DnsClient, Exchanger};
+use sdoh_dns_server::{DnsClient, ExchangeRequest, Exchanger};
 use sdoh_dns_wire::{Name, Rcode, RrType};
 use sdoh_doh::{DohClient, DohMethod, ResolverInfo};
-use sdoh_netsim::SimAddr;
+use sdoh_netsim::{NetResult, SimAddr};
 
 /// Why one resolver failed to produce an address list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +45,44 @@ impl std::fmt::Display for FetchError {
 
 impl std::error::Error for FetchError {}
 
+/// Opaque per-source state carried between [`AddressSource::start_fetch`]
+/// and [`AddressSource::handle_response`].
+///
+/// Each source stashes whatever it needs to decode the eventual reply (a
+/// DoH source keeps its HTTP/2 connection and expected question in here);
+/// drivers just hand the value back untouched.
+#[derive(Debug)]
+pub struct PendingFetch(Box<dyn Any>);
+
+impl PendingFetch {
+    /// Wraps source-private in-flight state.
+    pub fn new<T: Any>(state: T) -> Self {
+        PendingFetch(Box::new(state))
+    }
+
+    /// Recovers the in-flight state; `None` when the pending value belongs
+    /// to a different source type (a driver bug).
+    pub fn downcast<T: Any>(self) -> Option<T> {
+        self.0.downcast::<T>().ok().map(|b| *b)
+    }
+}
+
+/// How one fetch begins: either an exchange the driver must perform, or an
+/// immediately available answer (static/test sources).
+#[derive(Debug)]
+pub enum FetchStart {
+    /// Perform this exchange and hand the outcome to
+    /// [`AddressSource::handle_response`].
+    Transmit {
+        /// What to put on the wire.
+        request: ExchangeRequest,
+        /// State to return with the reply.
+        pending: PendingFetch,
+    },
+    /// The lookup resolved without any network traffic.
+    Immediate(Result<Vec<IpAddr>, FetchError>),
+}
+
 /// A single source of address lists — one DoH resolver, one plain resolver,
 /// or a test stub.
 pub trait AddressSource {
@@ -38,8 +90,28 @@ pub trait AddressSource {
     /// generated pool).
     fn source_name(&self) -> String;
 
+    /// Sans-IO first half of one lookup: describes the exchange needed to
+    /// resolve the address records of `rtype` for `domain`. `id` is the
+    /// transaction id to use if the source's protocol needs one.
+    fn start_fetch(&self, domain: &Name, rtype: RrType, id: u16) -> FetchStart;
+
+    /// Sans-IO second half: decodes the transport outcome of the exchange
+    /// described by [`AddressSource::start_fetch`] into an address list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when the transport failed or the reply is
+    /// invalid; an *empty list* is not an error (it is the empty-answer case
+    /// Algorithm 1 must handle).
+    fn handle_response(
+        &self,
+        pending: PendingFetch,
+        outcome: NetResult<Vec<u8>>,
+    ) -> Result<Vec<IpAddr>, FetchError>;
+
     /// Looks up the address records of `rtype` (A or AAAA) for `domain`,
-    /// returning them in answer order.
+    /// returning them in answer order. Blocking convenience driver over the
+    /// sans-IO halves.
     ///
     /// # Errors
     ///
@@ -50,7 +122,20 @@ pub trait AddressSource {
         exchanger: &mut dyn Exchanger,
         domain: &Name,
         rtype: RrType,
-    ) -> Result<Vec<IpAddr>, FetchError>;
+    ) -> Result<Vec<IpAddr>, FetchError> {
+        match self.start_fetch(domain, rtype, exchanger.next_id()) {
+            FetchStart::Immediate(result) => result,
+            FetchStart::Transmit { request, pending } => {
+                let outcome = exchanger.exchange(
+                    request.dst,
+                    request.channel,
+                    &request.payload,
+                    request.timeout,
+                );
+                self.handle_response(pending, outcome)
+            }
+        }
+    }
 }
 
 /// An [`AddressSource`] backed by a DoH resolver (the paper's design).
@@ -76,31 +161,48 @@ impl DohSource {
     }
 }
 
+fn doh_error(e: sdoh_doh::DohError) -> FetchError {
+    match e {
+        sdoh_doh::DohError::Network(err) => FetchError::Transport(err.to_string()),
+        sdoh_doh::DohError::HttpStatus(code) => {
+            FetchError::ErrorResponse(format!("http status {code}"))
+        }
+        other => FetchError::Protocol(other.to_string()),
+    }
+}
+
 impl AddressSource for DohSource {
     fn source_name(&self) -> String {
         self.name.clone()
     }
 
-    fn fetch(
+    fn start_fetch(&self, domain: &Name, rtype: RrType, id: u16) -> FetchStart {
+        match self.client.begin_query(id, domain, rtype) {
+            // DohTransmit and ExchangeRequest are both re-exports of the
+            // simulator's batch-request type, so the transmit passes through.
+            Ok((transmit, prepared)) => FetchStart::Transmit {
+                request: transmit,
+                pending: PendingFetch::new((prepared, rtype)),
+            },
+            Err(e) => FetchStart::Immediate(Err(doh_error(e))),
+        }
+    }
+
+    fn handle_response(
         &self,
-        exchanger: &mut dyn Exchanger,
-        domain: &Name,
-        rtype: RrType,
+        pending: PendingFetch,
+        outcome: NetResult<Vec<u8>>,
     ) -> Result<Vec<IpAddr>, FetchError> {
+        let (prepared, rtype) = pending
+            .downcast::<(sdoh_doh::PreparedDohQuery, RrType)>()
+            .ok_or_else(|| FetchError::Protocol("mismatched pending fetch state".into()))?;
+        let reply = outcome.map_err(|e| FetchError::Transport(e.to_string()))?;
         let response = self
             .client
-            .query(exchanger, domain, rtype)
-            .map_err(|e| match e {
-                sdoh_doh::DohError::Network(err) => FetchError::Transport(err.to_string()),
-                sdoh_doh::DohError::HttpStatus(code) => {
-                    FetchError::ErrorResponse(format!("http status {code}"))
-                }
-                other => FetchError::Protocol(other.to_string()),
-            })?;
+            .finish_query(prepared, &reply)
+            .map_err(doh_error)?;
         if response.header.rcode != Rcode::NoError && response.header.rcode != Rcode::NxDomain {
-            return Err(FetchError::ErrorResponse(
-                response.header.rcode.to_string(),
-            ));
+            return Err(FetchError::ErrorResponse(response.header.rcode.to_string()));
         }
         Ok(sdoh_dns_wire::addresses_of_type(&response, rtype))
     }
@@ -124,29 +226,44 @@ impl PlainDnsSource {
     }
 }
 
+fn dns_error(e: sdoh_dns_server::ResolveError) -> FetchError {
+    match e {
+        sdoh_dns_server::ResolveError::Network(err) => FetchError::Transport(err.to_string()),
+        sdoh_dns_server::ResolveError::ErrorResponse(rcode) => {
+            FetchError::ErrorResponse(rcode.to_string())
+        }
+        other => FetchError::Protocol(other.to_string()),
+    }
+}
+
 impl AddressSource for PlainDnsSource {
     fn source_name(&self) -> String {
         self.name.clone()
     }
 
-    fn fetch(
+    fn start_fetch(&self, domain: &Name, rtype: RrType, id: u16) -> FetchStart {
+        match self.client.begin_query(id, domain, rtype) {
+            Ok((request, prepared)) => FetchStart::Transmit {
+                request,
+                pending: PendingFetch::new((prepared, rtype)),
+            },
+            Err(e) => FetchStart::Immediate(Err(dns_error(e))),
+        }
+    }
+
+    fn handle_response(
         &self,
-        exchanger: &mut dyn Exchanger,
-        domain: &Name,
-        rtype: RrType,
+        pending: PendingFetch,
+        outcome: NetResult<Vec<u8>>,
     ) -> Result<Vec<IpAddr>, FetchError> {
+        let (prepared, rtype) = pending
+            .downcast::<(sdoh_dns_server::PreparedDnsQuery, RrType)>()
+            .ok_or_else(|| FetchError::Protocol("mismatched pending fetch state".into()))?;
+        let reply = outcome.map_err(|e| FetchError::Transport(e.to_string()))?;
         let response = self
             .client
-            .query(exchanger, domain, rtype)
-            .map_err(|e| match e {
-                sdoh_dns_server::ResolveError::Network(err) => {
-                    FetchError::Transport(err.to_string())
-                }
-                sdoh_dns_server::ResolveError::ErrorResponse(rcode) => {
-                    FetchError::ErrorResponse(rcode.to_string())
-                }
-                other => FetchError::Protocol(other.to_string()),
-            })?;
+            .finish_query(prepared, &reply)
+            .map_err(dns_error)?;
         Ok(sdoh_dns_wire::addresses_of_type(&response, rtype))
     }
 }
@@ -189,19 +306,26 @@ impl AddressSource for StaticSource {
         self.name.clone()
     }
 
-    fn fetch(
-        &self,
-        _exchanger: &mut dyn Exchanger,
-        _domain: &Name,
-        rtype: RrType,
-    ) -> Result<Vec<IpAddr>, FetchError> {
+    fn start_fetch(&self, _domain: &Name, rtype: RrType, _id: u16) -> FetchStart {
         if self.fail {
-            return Err(FetchError::Transport("static source configured to fail".into()));
+            return FetchStart::Immediate(Err(FetchError::Transport(
+                "static source configured to fail".into(),
+            )));
         }
-        Ok(match rtype {
+        FetchStart::Immediate(Ok(match rtype {
             RrType::Aaaa => self.v6.clone(),
             _ => self.v4.clone(),
-        })
+        }))
+    }
+
+    fn handle_response(
+        &self,
+        _pending: PendingFetch,
+        _outcome: NetResult<Vec<u8>>,
+    ) -> Result<Vec<IpAddr>, FetchError> {
+        Err(FetchError::Protocol(
+            "static sources never have in-flight exchanges".into(),
+        ))
     }
 }
 
@@ -245,7 +369,11 @@ mod tests {
             .unwrap();
         assert_eq!(v4.len(), 3);
         let v6 = source
-            .fetch(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::Aaaa)
+            .fetch(
+                &mut exchanger,
+                &"pool.ntp.org".parse().unwrap(),
+                RrType::Aaaa,
+            )
             .unwrap();
         assert_eq!(v6.len(), 1);
     }

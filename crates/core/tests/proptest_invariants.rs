@@ -134,7 +134,7 @@ proptest! {
             .map(|l| l.into_iter().map(benign).collect())
             .collect();
         let counts = support_counts(&lists);
-        for (_, support) in &counts {
+        for support in counts.values() {
             prop_assert!(*support <= lists.len());
             prop_assert!(*support >= 1);
         }

@@ -1,0 +1,170 @@
+//! Property tests of the sans-IO session's core invariant: delivering the
+//! resolver responses in **any permutation order** produces a pool
+//! identical to the sequential driver's — determinism and
+//! order-independence of the concurrent fan-out.
+
+use proptest::prelude::*;
+
+use sdoh_core::{
+    Action, AddressSource, DohSource, DualStackPolicy, PoolConfig, PoolSession, SecurePoolGenerator,
+};
+use sdoh_dns_server::{Authority, Catalog, ClientExchanger, Zone};
+use sdoh_doh::{DohMethod, DohServerService, ResolverDirectory, ResolverInfo};
+use sdoh_netsim::{SimAddr, SimNet};
+
+/// Deterministic permutation of `0..n` from a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    sdoh_netsim::SimRng::seed_from_u64(seed).shuffle(&mut order);
+    order
+}
+
+fn pool_catalog() -> Catalog {
+    let mut zone = Zone::new("ntpns.org".parse().unwrap());
+    for i in 1..=6u8 {
+        zone.add_address(
+            "pool.ntpns.org".parse().unwrap(),
+            format!("203.0.113.{i}").parse().unwrap(),
+        );
+    }
+    zone.add_address(
+        "pool.ntpns.org".parse().unwrap(),
+        "2001:db8::7".parse().unwrap(),
+    );
+    let mut catalog = Catalog::new();
+    catalog.add_zone(zone);
+    catalog
+}
+
+/// Builds a simulation with `resolvers` DoH servers; resolver 0 is left
+/// unregistered (so its exchange times out) when `first_dead` is set.
+fn build_net(seed: u64, resolvers: usize, first_dead: bool) -> (SimNet, Vec<ResolverInfo>) {
+    let net = SimNet::new(seed);
+    let infos = ResolverDirectory::well_known(seed).take(resolvers);
+    for (index, info) in infos.iter().enumerate() {
+        if first_dead && index == 0 {
+            continue;
+        }
+        net.register(
+            info.addr,
+            DohServerService::new(info.clone(), Authority::new(pool_catalog())),
+        );
+    }
+    (net, infos)
+}
+
+fn sources_for(infos: &[ResolverInfo]) -> Vec<Box<dyn AddressSource>> {
+    infos
+        .iter()
+        .map(|info| {
+            Box::new(DohSource::new(info.clone()).method(DohMethod::Get)) as Box<dyn AddressSource>
+        })
+        .collect()
+}
+
+/// Drives a session by hand: performs every transmit in plan order, then
+/// feeds the collected outcomes back in the given permutation.
+fn run_permuted(
+    config: PoolConfig,
+    net: &SimNet,
+    infos: &[ResolverInfo],
+    session_seed: u64,
+    perm_seed: u64,
+) -> sdoh_core::PoolResult<sdoh_core::GenerationReport> {
+    let sources = sources_for(infos);
+    let domain = "pool.ntpns.org".parse().unwrap();
+    let mut session = PoolSession::new(config, &sources, &domain, session_seed)?;
+
+    let mut transmits = Vec::new();
+    loop {
+        match session.poll(net.now()) {
+            Action::Transmit(t) => transmits.push(t),
+            Action::Deliver(_) => {}
+            Action::WaitUntil(_) | Action::Done => break,
+        }
+    }
+
+    let client = SimAddr::v4(10, 0, 0, 1, 40000);
+    let outcomes: Vec<_> = transmits
+        .iter()
+        .map(|t| {
+            net.transact(
+                client,
+                t.request.dst,
+                t.request.channel,
+                &t.request.payload,
+                t.request.timeout,
+            )
+        })
+        .collect();
+
+    for &position in &permutation(transmits.len(), perm_seed) {
+        session
+            .handle_response(transmits[position].transaction, outcomes[position].clone())
+            .expect("valid transaction");
+    }
+    while let Action::Deliver(_) = session.poll(net.now()) {}
+    session.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 1: every delivery permutation produces exactly the pool
+    /// the sequential driver produces, slot for slot and source for source.
+    #[test]
+    fn any_delivery_order_matches_the_sequential_driver(
+        resolvers in 1usize..5,
+        net_seed in any::<u64>(),
+        session_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        first_dead in any::<bool>(),
+    ) {
+        let config = PoolConfig::algorithm1();
+
+        let (reference_net, infos) = build_net(net_seed, resolvers, first_dead);
+        let generator =
+            SecurePoolGenerator::new(config.clone(), sources_for(&infos)).unwrap();
+        let mut exchanger =
+            ClientExchanger::new(&reference_net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let sequential =
+            generator.generate_sequential(&mut exchanger, &"pool.ntpns.org".parse().unwrap());
+
+        let (permuted_net, infos) = build_net(net_seed, resolvers, first_dead);
+        let permuted = run_permuted(config, &permuted_net, &infos, session_seed, perm_seed);
+
+        // Errors (a lone resolver being dead yields NotEnoughResponses)
+        // must match too, not only successful reports.
+        prop_assert_eq!(&permuted, &sequential);
+        if first_dead {
+            if let Ok(report) = &permuted {
+                prop_assert_eq!(report.failed(), 1, "the dead resolver must be reported");
+            }
+        }
+    }
+
+    /// The invariant holds for dual-stack union lookups too, where each
+    /// source contributes two interleavable transactions (A and AAAA).
+    #[test]
+    fn union_lookups_are_order_independent(
+        resolvers in 1usize..4,
+        net_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let config = PoolConfig::algorithm1().with_dual_stack(DualStackPolicy::Union);
+
+        let (reference_net, infos) = build_net(net_seed, resolvers, false);
+        let generator =
+            SecurePoolGenerator::new(config.clone(), sources_for(&infos)).unwrap();
+        let mut exchanger =
+            ClientExchanger::new(&reference_net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let sequential = generator
+            .generate_sequential(&mut exchanger, &"pool.ntpns.org".parse().unwrap())
+            .unwrap();
+
+        let (permuted_net, infos) = build_net(net_seed, resolvers, false);
+        let permuted = run_permuted(config, &permuted_net, &infos, 99, perm_seed).unwrap();
+
+        prop_assert_eq!(permuted, sequential);
+    }
+}

@@ -116,9 +116,7 @@ mod tests {
         assert_eq!(catalog.len(), 3);
         assert!(!catalog.is_empty());
         assert!(catalog.find_exact(&"b.test".parse().unwrap()).is_some());
-        assert!(catalog
-            .find_exact_mut(&"c.test".parse().unwrap())
-            .is_some());
+        assert!(catalog.find_exact_mut(&"c.test".parse().unwrap()).is_some());
         assert_eq!(catalog.zones().count(), 3);
     }
 }

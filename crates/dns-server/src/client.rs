@@ -7,7 +7,7 @@ use sdoh_dns_wire::{Message, Name, Rcode, RrType};
 use sdoh_netsim::{ChannelKind, SimAddr};
 
 use crate::error::{ResolveError, ResolveResult};
-use crate::exchange::Exchanger;
+use crate::exchange::{ExchangeRequest, Exchanger};
 
 /// Default query timeout.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(3);
@@ -63,6 +63,9 @@ impl DnsClient {
 
     /// Sends a single query and returns the validated response message.
     ///
+    /// This is the blocking convenience wrapper over the sans-IO halves
+    /// [`DnsClient::begin_query`] / [`DnsClient::finish_query`].
+    ///
     /// # Errors
     ///
     /// Returns [`ResolveError::Network`] for transport failures,
@@ -76,18 +79,63 @@ impl DnsClient {
         name: &Name,
         rtype: RrType,
     ) -> ResolveResult<Message> {
-        let mut query = Message::query(exchanger.next_id(), name.clone(), rtype);
+        let (request, prepared) = self.begin_query(exchanger.next_id(), name, rtype)?;
+        let reply_bytes = exchanger.exchange(
+            request.dst,
+            request.channel,
+            &request.payload,
+            request.timeout,
+        )?;
+        self.finish_query(prepared, &reply_bytes)
+    }
+
+    /// Sans-IO first half of a query: encodes the wire request without
+    /// performing any exchange. `id` becomes the DNS transaction id the
+    /// response must echo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError::Wire`] when the query cannot be encoded.
+    pub fn begin_query(
+        &self,
+        id: u16,
+        name: &Name,
+        rtype: RrType,
+    ) -> ResolveResult<(ExchangeRequest, PreparedDnsQuery)> {
+        let mut query = Message::query(id, name.clone(), rtype);
         query.header.recursion_desired = self.recursion_desired;
         let wire = query.encode()?;
-        let reply_bytes = exchanger.exchange(self.server, self.channel, &wire, self.timeout)?;
-        let response = Message::decode(&reply_bytes)?;
-        if !response.answers_query(&query) {
+        Ok((
+            ExchangeRequest::new(self.server, self.channel, wire, self.timeout),
+            PreparedDnsQuery { query },
+        ))
+    }
+
+    /// Sans-IO second half of a query: decodes `reply_bytes` and validates
+    /// it the way a standard resolver would (id echo, response bit, question
+    /// echo, acceptable rcode).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DnsClient::query`], minus transport errors.
+    pub fn finish_query(
+        &self,
+        prepared: PreparedDnsQuery,
+        reply_bytes: &[u8],
+    ) -> ResolveResult<Message> {
+        let response = Message::decode(reply_bytes)?;
+        if !response.answers_query(&prepared.query) {
             return Err(ResolveError::Mismatched);
         }
         match response.header.rcode {
             Rcode::NoError | Rcode::NxDomain => Ok(response),
             other => Err(ResolveError::ErrorResponse(other)),
         }
+    }
+
+    /// The query timeout in use.
+    pub fn timeout_value(&self) -> Duration {
+        self.timeout
     }
 
     /// Sends an A query and returns the addresses in the answer section.
@@ -101,6 +149,20 @@ impl DnsClient {
         name: &Name,
     ) -> ResolveResult<Vec<std::net::IpAddr>> {
         Ok(self.query(exchanger, name, RrType::A)?.answer_addresses())
+    }
+}
+
+/// In-flight state of one plain-DNS query between [`DnsClient::begin_query`]
+/// and [`DnsClient::finish_query`].
+#[derive(Debug, Clone)]
+pub struct PreparedDnsQuery {
+    query: Message,
+}
+
+impl PreparedDnsQuery {
+    /// The DNS query this prepared exchange will resolve.
+    pub fn query(&self) -> &Message {
+        &self.query
     }
 }
 
@@ -155,7 +217,11 @@ mod tests {
 
         let client = DnsClient::new(server);
         let err = client
-            .query(&mut exchanger, &"www.example.com".parse().unwrap(), RrType::A)
+            .query(
+                &mut exchanger,
+                &"www.example.com".parse().unwrap(),
+                RrType::A,
+            )
             .unwrap_err();
         assert_eq!(err, ResolveError::ErrorResponse(Rcode::Refused));
     }

@@ -2,10 +2,29 @@
 //! payload and waits for the response, independent of whether it runs
 //! "outside" the simulation (driven by an experiment) or "inside" a service
 //! handler (driven by another query).
+//!
+//! Besides the one-at-a-time [`Exchanger::exchange`], the trait offers
+//! [`Exchanger::exchange_all`]: a batch of independent exchanges that a
+//! capable transport performs **concurrently** (one batch costs the slowest
+//! exchange's virtual latency, not the sum). Both simulator-backed
+//! exchangers — [`ClientExchanger`] for experiment drivers and
+//! [`sdoh_netsim::Ctx`] for code inside a service handler — fan batches out
+//! through [`sdoh_netsim::SimNet::transact_concurrent`]; the default
+//! implementation falls back to driving the batch sequentially so that any
+//! custom exchanger keeps working unchanged.
 
 use std::time::Duration;
 
-use sdoh_netsim::{ChannelKind, Ctx, NetResult, SimAddr, SimNet};
+use sdoh_netsim::{ChannelKind, Ctx, NetResult, SimAddr, SimInstant, SimNet};
+
+/// One request of a batch handed to [`Exchanger::exchange_all`] — the
+/// simulator's batch-request type, re-exported under the exchange
+/// vocabulary.
+pub use sdoh_netsim::ConcurrentRequest as ExchangeRequest;
+
+/// Outcome of one exchange of a batch, in delivery order — the simulator's
+/// batch-outcome type, re-exported under the exchange vocabulary.
+pub use sdoh_netsim::ConcurrentOutcome as ExchangeOutcome;
 
 /// Anything able to perform a request/response exchange with an endpoint.
 pub trait Exchanger {
@@ -26,6 +45,36 @@ pub trait Exchanger {
 
     /// Draws a fresh 16-bit identifier from the simulation randomness.
     fn next_id(&mut self) -> u16;
+
+    /// Current virtual time as seen by this exchanger.
+    fn now(&self) -> SimInstant;
+
+    /// Performs a batch of independent exchanges, returning the outcomes in
+    /// delivery order.
+    ///
+    /// Transports that support in-flight concurrency (the simulator-backed
+    /// exchangers) overlap the exchanges so the batch costs the slowest
+    /// exchange, not the sum; this default implementation preserves the
+    /// one-at-a-time behaviour for exchangers that don't override it.
+    fn exchange_all(&mut self, requests: Vec<ExchangeRequest>) -> Vec<ExchangeOutcome> {
+        requests
+            .into_iter()
+            .enumerate()
+            .map(|(index, request)| {
+                let result = self.exchange(
+                    request.dst,
+                    request.channel,
+                    &request.payload,
+                    request.timeout,
+                );
+                ExchangeOutcome {
+                    index,
+                    completed_at: self.now(),
+                    result,
+                }
+            })
+            .collect()
+    }
 }
 
 /// An [`Exchanger`] for code running outside any service: an experiment
@@ -56,11 +105,20 @@ impl Exchanger for ClientExchanger<'_> {
         payload: &[u8],
         timeout: Duration,
     ) -> NetResult<Vec<u8>> {
-        self.net.transact(self.source, dst, channel, payload, timeout)
+        self.net
+            .transact(self.source, dst, channel, payload, timeout)
     }
 
     fn next_id(&mut self) -> u16 {
         self.net.random_id()
+    }
+
+    fn now(&self) -> SimInstant {
+        self.net.now()
+    }
+
+    fn exchange_all(&mut self, requests: Vec<ExchangeRequest>) -> Vec<ExchangeOutcome> {
+        self.net.transact_concurrent(self.source, requests)
     }
 }
 
@@ -78,12 +136,20 @@ impl Exchanger for Ctx<'_> {
     fn next_id(&mut self) -> u16 {
         self.random_id()
     }
+
+    fn now(&self) -> SimInstant {
+        Ctx::now(self)
+    }
+
+    fn exchange_all(&mut self, requests: Vec<ExchangeRequest>) -> Vec<ExchangeOutcome> {
+        self.call_concurrent(requests)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdoh_netsim::{FnService, ServiceResponse};
+    use sdoh_netsim::{FnService, LinkConfig, ServiceResponse};
 
     #[test]
     fn client_exchanger_roundtrips() {
@@ -102,6 +168,7 @@ mod tests {
             .unwrap();
         assert_eq!(reply, b"ping");
         let _ = exchanger.next_id();
+        assert!(exchanger.now() > SimInstant::EPOCH);
     }
 
     #[test]
@@ -136,5 +203,95 @@ mod tests {
             )
             .unwrap();
         assert_eq!(reply, b"hi-forwarded");
+    }
+
+    #[test]
+    fn client_exchanger_batch_overlaps_in_time() {
+        let net = SimNet::new(7);
+        let client = SimAddr::v4(10, 0, 0, 1, 40000);
+        let servers: Vec<SimAddr> = (1..=3).map(|i| SimAddr::v4(192, 0, 2, i, 53)).collect();
+        for &server in &servers {
+            net.register(
+                server,
+                FnService::new("echo", |_ctx, _from, _ch, p: &[u8]| {
+                    ServiceResponse::Reply(p.to_vec())
+                }),
+            );
+            net.set_link(
+                client.ip,
+                server.ip,
+                LinkConfig::with_latency(Duration::from_millis(25)),
+            );
+        }
+        let mut exchanger = ClientExchanger::new(&net, client);
+        let t0 = exchanger.now();
+        let outcomes = exchanger.exchange_all(
+            servers
+                .iter()
+                .map(|&dst| {
+                    ExchangeRequest::new(
+                        dst,
+                        ChannelKind::Secure,
+                        b"q".to_vec(),
+                        Duration::from_secs(1),
+                    )
+                })
+                .collect(),
+        );
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        // Three concurrent 50 ms round trips cost 50 ms, not 150 ms.
+        assert_eq!(
+            exchanger.now().saturating_duration_since(t0),
+            Duration::from_millis(50)
+        );
+    }
+
+    #[test]
+    fn default_exchange_all_is_sequential() {
+        // A minimal custom exchanger exercising the provided method.
+        struct Loopback(u64);
+        impl Exchanger for Loopback {
+            fn exchange(
+                &mut self,
+                _dst: SimAddr,
+                _channel: ChannelKind,
+                payload: &[u8],
+                _timeout: Duration,
+            ) -> NetResult<Vec<u8>> {
+                self.0 += 1;
+                Ok(payload.to_vec())
+            }
+
+            fn next_id(&mut self) -> u16 {
+                7
+            }
+
+            fn now(&self) -> SimInstant {
+                SimInstant::from_nanos(self.0)
+            }
+        }
+
+        let mut exchanger = Loopback(0);
+        let outcomes = exchanger.exchange_all(vec![
+            ExchangeRequest::new(
+                SimAddr::v4(1, 1, 1, 1, 53),
+                ChannelKind::Plain,
+                b"a".to_vec(),
+                Duration::from_secs(1),
+            ),
+            ExchangeRequest::new(
+                SimAddr::v4(2, 2, 2, 2, 53),
+                ChannelKind::Plain,
+                b"b".to_vec(),
+                Duration::from_secs(1),
+            ),
+        ]);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].index, 0);
+        assert_eq!(outcomes[1].index, 1);
+        assert_eq!(outcomes[1].result.as_deref().unwrap(), b"b");
+        // Sequential fallback: the second completion is strictly later.
+        assert!(outcomes[1].completed_at > outcomes[0].completed_at);
     }
 }

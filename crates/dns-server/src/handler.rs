@@ -56,7 +56,10 @@ where
 {
     /// Creates a handler from a closure.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnHandler { name: name.into(), f }
+        FnHandler {
+            name: name.into(),
+            f,
+        }
     }
 }
 
@@ -75,7 +78,9 @@ where
 
 impl<F> std::fmt::Debug for FnHandler<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnHandler").field("name", &self.name).finish()
+        f.debug_struct("FnHandler")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

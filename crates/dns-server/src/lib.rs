@@ -61,9 +61,9 @@ mod zonefile;
 pub use authority::Authority;
 pub use cache::{CachedAnswer, DnsCache};
 pub use catalog::Catalog;
-pub use client::{DnsClient, DEFAULT_TIMEOUT};
+pub use client::{DnsClient, PreparedDnsQuery, DEFAULT_TIMEOUT};
 pub use error::{ResolveError, ResolveResult, ZoneFileError};
-pub use exchange::{ClientExchanger, Exchanger};
+pub use exchange::{ClientExchanger, ExchangeOutcome, ExchangeRequest, Exchanger};
 pub use forwarder::ForwardingResolver;
 pub use handler::{FnHandler, QueryHandler};
 pub use poison::{PoisonConfig, PoisonMode, PoisonedResolver};

@@ -100,8 +100,7 @@ impl<H: QueryHandler> PoisonedResolver<H> {
         };
         match &self.config.mode {
             PoisonMode::ReplaceAddresses(addresses) => {
-                let mut builder =
-                    MessageBuilder::response_to(query).recursion_available(true);
+                let mut builder = MessageBuilder::response_to(query).recursion_available(true);
                 for addr in addresses {
                     builder = builder.answer(Record::address(
                         question.name.clone(),
@@ -182,7 +181,9 @@ mod tests {
     }
 
     fn attacker_addrs(n: u8) -> Vec<IpAddr> {
-        (1..=n).map(|i| format!("198.18.0.{i}").parse().unwrap()).collect()
+        (1..=n)
+            .map(|i| format!("198.18.0.{i}").parse().unwrap())
+            .collect()
     }
 
     fn run_query(resolver: &mut dyn QueryHandler, name: &str) -> Message {
@@ -205,10 +206,7 @@ mod tests {
 
         let honest = run_query(&mut resolver, "other.ntp.org");
         assert_eq!(honest.answer_addresses().len(), 1);
-        assert_eq!(
-            honest.answer_addresses()[0].to_string(),
-            "203.0.113.100"
-        );
+        assert_eq!(honest.answer_addresses()[0].to_string(), "203.0.113.100");
         assert_eq!(resolver.poisoned_queries(), 1);
     }
 
@@ -226,10 +224,7 @@ mod tests {
 
     #[test]
     fn empty_answer_mode() {
-        let config = PoisonConfig::new(
-            "pool.ntp.org".parse().unwrap(),
-            PoisonMode::EmptyAnswer,
-        );
+        let config = PoisonConfig::new("pool.ntp.org".parse().unwrap(), PoisonMode::EmptyAnswer);
         let mut resolver = PoisonedResolver::new(honest_authority(), config);
         let response = run_query(&mut resolver, "pool.ntp.org");
         assert_eq!(response.header.rcode, Rcode::NoError);

@@ -106,7 +106,8 @@ impl RecursiveResolver {
                 return Err(ResolveError::TooManyIterations);
             }
 
-            let response = self.query_first_responsive(exchanger, &servers, &current_name, rtype)?;
+            let response =
+                self.query_first_responsive(exchanger, &servers, &current_name, rtype)?;
 
             if response.header.rcode == Rcode::NxDomain {
                 let mut result = response.clone();
@@ -347,7 +348,11 @@ alias IN CNAME pool
         );
         let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(8, 8, 8, 8, 33000));
         let response = resolver
-            .resolve(&mut exchanger, &"pool.ntpns.org".parse().unwrap(), RrType::A)
+            .resolve(
+                &mut exchanger,
+                &"pool.ntpns.org".parse().unwrap(),
+                RrType::A,
+            )
             .unwrap();
         assert_eq!(response.answer_addresses().len(), 4);
     }
@@ -372,10 +377,7 @@ alias IN CNAME pool
             )
             .unwrap();
         assert_eq!(response.answer_addresses().len(), 4);
-        assert!(response
-            .answers
-            .iter()
-            .any(|r| r.rtype() == RrType::Cname));
+        assert!(response.answers.iter().any(|r| r.rtype() == RrType::Cname));
     }
 
     #[test]
@@ -428,8 +430,7 @@ alias IN CNAME pool
     #[test]
     fn no_roots_is_a_configuration_error() {
         let net = SimNet::new(104);
-        let mut resolver =
-            RecursiveResolver::new(RecursiveConfig::default(), net.clock());
+        let mut resolver = RecursiveResolver::new(RecursiveConfig::default(), net.clock());
         let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(8, 8, 8, 8, 33000));
         let err = resolver
             .resolve(&mut exchanger, &"x.test".parse().unwrap(), RrType::A)
@@ -454,7 +455,11 @@ alias IN CNAME pool
         let client = DnsClient::new(resolver_addr);
         let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
         let response = client
-            .query(&mut exchanger, &"pool.ntpns.org".parse().unwrap(), RrType::A)
+            .query(
+                &mut exchanger,
+                &"pool.ntpns.org".parse().unwrap(),
+                RrType::A,
+            )
             .unwrap();
         assert_eq!(response.answer_addresses().len(), 4);
         assert!(response.header.recursion_available);
@@ -477,7 +482,11 @@ alias IN CNAME pool
         let client = DnsClient::new(resolver_addr).recursion_desired(false);
         let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
         let err = client
-            .query(&mut exchanger, &"pool.ntpns.org".parse().unwrap(), RrType::A)
+            .query(
+                &mut exchanger,
+                &"pool.ntpns.org".parse().unwrap(),
+                RrType::A,
+            )
             .unwrap_err();
         assert_eq!(err, ResolveError::ErrorResponse(Rcode::Refused));
     }

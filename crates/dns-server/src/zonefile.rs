@@ -190,7 +190,10 @@ fn parse_rdata(
             Ok(RData::Ptr(parse_name(target, origin, line)?))
         }
         "MX" => {
-            let pref = parse_u16(require(tokens.first(), line, "MX needs a preference")?, line)?;
+            let pref = parse_u16(
+                require(tokens.first(), line, "MX needs a preference")?,
+                line,
+            )?;
             let target = require(tokens.get(1), line, "MX record needs an exchange")?;
             Ok(RData::Mx(Mx::new(pref, parse_name(target, origin, line)?)))
         }

@@ -8,9 +8,10 @@ use crate::error::WireResult;
 use crate::wire::{WireReader, WireWriter};
 
 /// DNS OPCODE values (RFC 1035 §4.1.1, RFC 2136).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Opcode {
     /// A standard query.
+    #[default]
     Query,
     /// An inverse query (obsolete).
     IQuery,
@@ -64,16 +65,11 @@ impl fmt::Display for Opcode {
     }
 }
 
-impl Default for Opcode {
-    fn default() -> Self {
-        Opcode::Query
-    }
-}
-
 /// DNS response codes (RCODE).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Rcode {
     /// No error condition.
+    #[default]
     NoError,
     /// The server was unable to interpret the query.
     FormErr,
@@ -139,12 +135,6 @@ impl fmt::Display for Rcode {
             Rcode::Refused => write!(f, "REFUSED"),
             Rcode::Unknown(c) => write!(f, "RCODE{c}"),
         }
-    }
-}
-
-impl Default for Rcode {
-    fn default() -> Self {
-        Rcode::NoError
     }
 }
 

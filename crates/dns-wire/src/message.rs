@@ -236,7 +236,11 @@ impl fmt::Display for Message {
             f,
             ";; id {} {} {} qd {} an {} ns {} ar {}",
             self.header.id,
-            if self.header.response { "response" } else { "query" },
+            if self.header.response {
+                "response"
+            } else {
+                "query"
+            },
             self.header.rcode,
             self.questions.len(),
             self.answers.len(),
@@ -445,8 +449,10 @@ mod tests {
     fn extended_rcode_combines() {
         let mut msg = Message::new();
         msg.header.rcode = Rcode::Unknown(0); // low bits 0
-        let mut edns = Edns::default();
-        edns.extended_rcode = 1; // 1 << 4 = 16 => BADVERS
+        let edns = Edns {
+            extended_rcode: 1, // 1 << 4 = 16 => BADVERS
+            ..Edns::default()
+        };
         msg.set_edns(edns);
         assert_eq!(msg.rcode(), Rcode::Unknown(16));
     }

@@ -78,7 +78,7 @@ mod tests {
         let soa = Soa::new(
             "ns1.ntpns.org".parse().unwrap(),
             "hostmaster.ntpns.org".parse().unwrap(),
-            2024_01_01,
+            20_240_101,
         );
         let mut w = WireWriter::new();
         soa.encode(&mut w).unwrap();

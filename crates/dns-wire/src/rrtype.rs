@@ -142,9 +142,12 @@ impl RrType {
 }
 
 /// DNS CLASS code points (RFC 1035 §3.2.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum RrClass {
     /// The Internet class; effectively the only class in use.
+    #[default]
     In,
     /// The CHAOS class, used for server identification queries.
     Ch,
@@ -202,12 +205,6 @@ impl fmt::Display for RrClass {
             RrClass::Any => write!(f, "ANY"),
             RrClass::Unknown(c) => write!(f, "CLASS{c}"),
         }
-    }
-}
-
-impl Default for RrClass {
-    fn default() -> Self {
-        RrClass::In
     }
 }
 

@@ -305,8 +305,7 @@ impl<'a> WireReader<'a> {
                             expected: "compression pointer",
                         });
                     }
-                    let target =
-                        (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
+                    let target = (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
                     if !followed_pointer {
                         end_pos = pos + 2;
                         followed_pointer = true;

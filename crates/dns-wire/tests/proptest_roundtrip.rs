@@ -32,13 +32,10 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Ptr),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..4)
             .prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>()).prop_map(|(m, r, s)| {
-            RData::Soa(Soa::new(m, r, s))
-        }),
-        proptest::collection::vec(any::<u8>(), 0..48).prop_map(|data| RData::Unknown {
-            rtype: 4242,
-            data
-        }),
+        (arb_name(), arb_name(), any::<u32>())
+            .prop_map(|(m, r, s)| { RData::Soa(Soa::new(m, r, s)) }),
+        proptest::collection::vec(any::<u8>(), 0..48)
+            .prop_map(|data| RData::Unknown { rtype: 4242, data }),
     ]
 }
 

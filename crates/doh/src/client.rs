@@ -9,7 +9,7 @@ use sdoh_netsim::ChannelKind;
 use crate::directory::ResolverInfo;
 use crate::error::{DohError, DohResult};
 use crate::h2::ClientConnection;
-use crate::http::{Request, Response};
+use crate::http::Request;
 use crate::secure::{self, SecureEnvelope};
 
 /// The media type DoH exchanges use.
@@ -68,6 +68,9 @@ impl DohClient {
 
     /// Performs one DoH query and returns the decoded DNS response.
     ///
+    /// This is the blocking convenience wrapper over the sans-IO halves
+    /// [`DohClient::begin_query`] / [`DohClient::finish_query`].
+    ///
     /// # Errors
     ///
     /// Returns [`DohError`] for transport failures, secure-channel
@@ -79,16 +82,109 @@ impl DohClient {
         name: &Name,
         rtype: RrType,
     ) -> DohResult<Message> {
-        // RFC 8484 §4.1: use DNS id 0 with GET for cache friendliness.
         let id = match self.method {
             DohMethod::Get => 0,
             DohMethod::Post => exchanger.next_id(),
         };
+        let (transmit, prepared) = self.begin_query(id, name, rtype)?;
+        let reply = exchanger.exchange(
+            transmit.dst,
+            transmit.channel,
+            &transmit.payload,
+            transmit.timeout,
+        )?;
+        self.finish_query(prepared, &reply)
+    }
+
+    /// Sans-IO first half of a query: builds everything that must go on the
+    /// wire without performing any exchange.
+    ///
+    /// Returns the [`DohTransmit`] describing the bytes to send and the
+    /// [`PreparedDohQuery`] holding the connection state needed to decode
+    /// the eventual reply with [`DohClient::finish_query`]. A driver may
+    /// keep any number of prepared queries in flight concurrently.
+    ///
+    /// `id` is the DNS transaction id; per RFC 8484 §4.1 pass 0 for GET
+    /// (cache friendliness) and a random id for POST.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DohError::Wire`] when the query cannot be encoded.
+    pub fn begin_query(
+        &self,
+        id: u16,
+        name: &Name,
+        rtype: RrType,
+    ) -> DohResult<(DohTransmit, PreparedDohQuery)> {
+        // RFC 8484 §4.1: use DNS id 0 with GET for cache friendliness.
+        let id = match self.method {
+            DohMethod::Get => 0,
+            DohMethod::Post => id,
+        };
         let dns_query = Message::query(id, name.clone(), rtype);
         let query_wire = dns_query.encode()?;
-
         let request = self.build_request(&query_wire);
-        let response = self.perform(exchanger, &request)?;
+
+        let mut connection = ClientConnection::new();
+        let stream_id = connection.send_request(&request);
+        let h2_bytes = connection.take_output();
+
+        let envelope = SecureEnvelope {
+            server_name: self.resolver.name.clone(),
+            record: secure::seal(&self.resolver.key, secure::SEQ_CLIENT, &h2_bytes),
+        };
+        Ok((
+            DohTransmit::new(
+                self.resolver.addr,
+                ChannelKind::Secure,
+                envelope.encode(),
+                self.timeout,
+            ),
+            PreparedDohQuery {
+                connection,
+                stream_id,
+                query: dns_query,
+            },
+        ))
+    }
+
+    /// Sans-IO second half of a query: decodes, authenticates and validates
+    /// the reply bytes produced by the exchange described by the matching
+    /// [`DohTransmit`].
+    ///
+    /// # Errors
+    ///
+    /// Same error surface as [`DohClient::query`], minus the transport
+    /// errors (the driver owns those).
+    pub fn finish_query(
+        &self,
+        prepared: PreparedDohQuery,
+        reply_bytes: &[u8],
+    ) -> DohResult<Message> {
+        let PreparedDohQuery {
+            mut connection,
+            stream_id,
+            query,
+        } = prepared;
+
+        let reply_envelope = SecureEnvelope::decode(reply_bytes)?;
+        if reply_envelope.server_name != self.resolver.name {
+            return Err(DohError::ChannelAuthentication(format!(
+                "expected {} but the channel authenticated as {}",
+                self.resolver.name, reply_envelope.server_name
+            )));
+        }
+        let server_h2 = secure::open(
+            &self.resolver.key,
+            secure::SEQ_SERVER,
+            &reply_envelope.record,
+        )?;
+        let responses = connection.receive(&server_h2)?;
+        let response = responses
+            .into_iter()
+            .find(|(sid, _)| *sid == stream_id)
+            .map(|(_, response)| response)
+            .ok_or_else(|| DohError::Protocol("no response on the request stream".into()))?;
 
         if !response.status.is_success() {
             return Err(DohError::HttpStatus(response.status.as_u16()));
@@ -103,7 +199,7 @@ impl DohClient {
         }
         let dns_response = Message::decode(&response.body)?;
         // The DoH server must echo the question; ids may legitimately be 0.
-        match (dns_response.question(), dns_query.question()) {
+        match (dns_response.question(), query.question()) {
             (Some(a), Some(b)) if a == b => {}
             _ => {
                 return Err(DohError::Protocol(
@@ -147,41 +243,29 @@ impl DohClient {
             .with_header("content-type", DNS_MESSAGE_CONTENT_TYPE),
         }
     }
+}
 
-    fn perform(&self, exchanger: &mut dyn Exchanger, request: &Request) -> DohResult<Response> {
-        let mut connection = ClientConnection::new();
-        let stream_id = connection.send_request(request);
-        let h2_bytes = connection.take_output();
+/// Everything a driver must put on the wire for one DoH query — the
+/// simulator's batch-request type re-exported under the DoH vocabulary
+/// (`dst` is the resolver endpoint, `channel` always
+/// [`ChannelKind::Secure`], `payload` the sealed envelope carrying the
+/// HTTP/2 request). The caller owns the transport.
+pub use sdoh_netsim::ConcurrentRequest as DohTransmit;
 
-        let envelope = SecureEnvelope {
-            server_name: self.resolver.name.clone(),
-            record: secure::seal(&self.resolver.key, secure::SEQ_CLIENT, &h2_bytes),
-        };
-        let reply_bytes = exchanger.exchange(
-            self.resolver.addr,
-            ChannelKind::Secure,
-            &envelope.encode(),
-            self.timeout,
-        )?;
+/// In-flight state of one DoH query between [`DohClient::begin_query`] and
+/// [`DohClient::finish_query`]: the HTTP/2 client connection, the stream the
+/// request went out on, and the query to validate the response against.
+#[derive(Debug)]
+pub struct PreparedDohQuery {
+    connection: ClientConnection,
+    stream_id: u32,
+    query: Message,
+}
 
-        let reply_envelope = SecureEnvelope::decode(&reply_bytes)?;
-        if reply_envelope.server_name != self.resolver.name {
-            return Err(DohError::ChannelAuthentication(format!(
-                "expected {} but the channel authenticated as {}",
-                self.resolver.name, reply_envelope.server_name
-            )));
-        }
-        let server_h2 = secure::open(
-            &self.resolver.key,
-            secure::SEQ_SERVER,
-            &reply_envelope.record,
-        )?;
-        let responses = connection.receive(&server_h2)?;
-        responses
-            .into_iter()
-            .find(|(sid, _)| *sid == stream_id)
-            .map(|(_, response)| response)
-            .ok_or_else(|| DohError::Protocol("no response on the request stream".into()))
+impl PreparedDohQuery {
+    /// The DNS query this prepared exchange will resolve.
+    pub fn query(&self) -> &Message {
+        &self.query
     }
 }
 

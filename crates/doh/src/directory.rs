@@ -54,16 +54,34 @@ impl ResolverDirectory {
             ("dns.google", SimAddr::v4(8, 8, 8, 8, ports::HTTPS)),
             ("cloudflare-dns.com", SimAddr::v4(1, 1, 1, 1, ports::HTTPS)),
             ("dns.quad9.net", SimAddr::v4(9, 9, 9, 9, ports::HTTPS)),
-            ("doh.opendns.com", SimAddr::v4(208, 67, 222, 222, ports::HTTPS)),
-            ("dns.adguard-dns.com", SimAddr::v4(94, 140, 14, 14, ports::HTTPS)),
-            ("doh.cleanbrowsing.org", SimAddr::v4(185, 228, 168, 9, ports::HTTPS)),
+            (
+                "doh.opendns.com",
+                SimAddr::v4(208, 67, 222, 222, ports::HTTPS),
+            ),
+            (
+                "dns.adguard-dns.com",
+                SimAddr::v4(94, 140, 14, 14, ports::HTTPS),
+            ),
+            (
+                "doh.cleanbrowsing.org",
+                SimAddr::v4(185, 228, 168, 9, ports::HTTPS),
+            ),
             ("doh.dns.sb", SimAddr::v4(185, 222, 222, 222, ports::HTTPS)),
             ("dns.mullvad.net", SimAddr::v4(194, 242, 2, 2, ports::HTTPS)),
-            ("doh.libredns.gr", SimAddr::v4(116, 202, 176, 26, ports::HTTPS)),
+            (
+                "doh.libredns.gr",
+                SimAddr::v4(116, 202, 176, 26, ports::HTTPS),
+            ),
             ("dns.switch.ch", SimAddr::v4(130, 59, 31, 248, ports::HTTPS)),
             ("doh.ffmuc.net", SimAddr::v4(5, 1, 66, 255, ports::HTTPS)),
-            ("dns.digitale-gesellschaft.ch", SimAddr::v4(185, 95, 218, 42, ports::HTTPS)),
-            ("doh.applied-privacy.net", SimAddr::v4(146, 255, 56, 98, ports::HTTPS)),
+            (
+                "dns.digitale-gesellschaft.ch",
+                SimAddr::v4(185, 95, 218, 42, ports::HTTPS),
+            ),
+            (
+                "doh.applied-privacy.net",
+                SimAddr::v4(146, 255, 56, 98, ports::HTTPS),
+            ),
             ("dns.njal.la", SimAddr::v4(95, 215, 19, 53, ports::HTTPS)),
             ("doh.seby.io", SimAddr::v4(139, 99, 222, 72, ports::HTTPS)),
             ("dns.alidns.com", SimAddr::v4(223, 5, 5, 5, ports::HTTPS)),

@@ -396,8 +396,7 @@ fn response_from_parts(parts: PartialMessage) -> Result<Response, H2Error> {
             headers.append(name, value);
         }
     }
-    let status =
-        status.ok_or_else(|| H2Error::Protocol("response without :status".into()))?;
+    let status = status.ok_or_else(|| H2Error::Protocol("response without :status".into()))?;
     Ok(Response {
         status: StatusCode::from(status),
         headers,

@@ -167,7 +167,13 @@ impl Frame {
                 if *end_headers {
                     flag |= flags::END_HEADERS;
                 }
-                encode_header(out, block.len(), FrameType::Headers.code(), flag, *stream_id);
+                encode_header(
+                    out,
+                    block.len(),
+                    FrameType::Headers.code(),
+                    flag,
+                    *stream_id,
+                );
                 out.put_slice(block);
             }
             Frame::Settings { ack, params } => {
@@ -254,8 +260,10 @@ impl Frame {
                 block: payload.to_vec(),
             },
             FrameType::Settings => {
-                if payload.len() % 6 != 0 {
-                    return Err(H2Error::Protocol("settings length not a multiple of 6".into()));
+                if !payload.len().is_multiple_of(6) {
+                    return Err(H2Error::Protocol(
+                        "settings length not a multiple of 6".into(),
+                    ));
                 }
                 let params = payload
                     .chunks_exact(6)
@@ -297,7 +305,9 @@ impl Frame {
             }
             FrameType::WindowUpdate => {
                 if payload.len() != 4 {
-                    return Err(H2Error::Protocol("window update payload must be 4 octets".into()));
+                    return Err(H2Error::Protocol(
+                        "window update payload must be 4 octets".into(),
+                    ));
                 }
                 Frame::WindowUpdate {
                     stream_id,
@@ -307,11 +317,15 @@ impl Frame {
             }
             FrameType::RstStream => {
                 if payload.len() != 4 {
-                    return Err(H2Error::Protocol("rst stream payload must be 4 octets".into()));
+                    return Err(H2Error::Protocol(
+                        "rst stream payload must be 4 octets".into(),
+                    ));
                 }
                 Frame::RstStream {
                     stream_id,
-                    error_code: u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]),
+                    error_code: u32::from_be_bytes([
+                        payload[0], payload[1], payload[2], payload[3],
+                    ]),
                 }
             }
             FrameType::Unknown(code) => Frame::Unknown {
@@ -324,7 +338,13 @@ impl Frame {
     }
 }
 
-fn encode_header(out: &mut BytesMut, length: usize, frame_type: u8, frame_flags: u8, stream_id: u32) {
+fn encode_header(
+    out: &mut BytesMut,
+    length: usize,
+    frame_type: u8,
+    frame_flags: u8,
+    stream_id: u32,
+) {
     out.put_u8(((length >> 16) & 0xFF) as u8);
     out.put_u8(((length >> 8) & 0xFF) as u8);
     out.put_u8((length & 0xFF) as u8);
@@ -432,10 +452,7 @@ mod tests {
         let mut buf = BytesMut::new();
         encode_header(&mut buf, 5, FrameType::Settings.code(), 0, 0);
         buf.put_slice(&[0u8; 5]);
-        assert!(matches!(
-            Frame::decode(&buf),
-            Err(H2Error::Protocol(_))
-        ));
+        assert!(matches!(Frame::decode(&buf), Err(H2Error::Protocol(_))));
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl Request {
     }
 
     /// Creates a POST request for `path` on `authority` carrying `body`.
-    pub fn post(
-        authority: impl Into<String>,
-        path: impl Into<String>,
-        body: Vec<u8>,
-    ) -> Self {
+    pub fn post(authority: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
         Request {
             method: Method::Post,
             path: path.into(),
@@ -166,16 +162,16 @@ mod tests {
 
     #[test]
     fn request_constructors_and_query_params() {
-        let req = Request::get("dns.google", "/dns-query?dns=AAAA&ct=application%2Fdns-message")
-            .with_header("accept", "application/dns-message");
+        let req = Request::get(
+            "dns.google",
+            "/dns-query?dns=AAAA&ct=application%2Fdns-message",
+        )
+        .with_header("accept", "application/dns-message");
         assert_eq!(req.method, Method::Get);
         assert_eq!(req.path_without_query(), "/dns-query");
         assert_eq!(req.query_param("dns"), Some("AAAA"));
         assert_eq!(req.query_param("missing"), None);
-        assert_eq!(
-            req.headers.get("Accept"),
-            Some("application/dns-message")
-        );
+        assert_eq!(req.headers.get("Accept"), Some("application/dns-message"));
 
         let post = Request::post("dns.google", "/dns-query", vec![1, 2, 3]);
         assert_eq!(post.body.len(), 3);

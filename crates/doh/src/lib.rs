@@ -54,7 +54,9 @@ pub mod http;
 pub mod secure;
 mod server;
 
-pub use client::{DohClient, DohMethod, DNS_MESSAGE_CONTENT_TYPE, DOH_PATH};
+pub use client::{
+    DohClient, DohMethod, DohTransmit, PreparedDohQuery, DNS_MESSAGE_CONTENT_TYPE, DOH_PATH,
+};
 pub use directory::{ResolverDirectory, ResolverInfo};
 pub use error::{DohError, DohResult};
 pub use server::DohServerService;

@@ -178,7 +178,11 @@ mod tests {
         for method in [DohMethod::Get, DohMethod::Post] {
             let client = DohClient::new(info.clone()).method(method);
             let response = client
-                .query(&mut exchanger, &"www.example.org".parse().unwrap(), RrType::A)
+                .query(
+                    &mut exchanger,
+                    &"www.example.org".parse().unwrap(),
+                    RrType::A,
+                )
                 .unwrap();
             assert_eq!(response.answer_addresses().len(), 1);
         }
@@ -208,7 +212,11 @@ mod tests {
         let client = DohClient::new(wrong).timeout(Duration::from_millis(500));
         let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 7, 50000));
         let err = client
-            .query(&mut exchanger, &"www.example.org".parse().unwrap(), RrType::A)
+            .query(
+                &mut exchanger,
+                &"www.example.org".parse().unwrap(),
+                RrType::A,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::error::DohError::Network(_)));
     }

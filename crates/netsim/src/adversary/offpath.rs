@@ -47,6 +47,9 @@ impl SpoofStrategy {
     }
 }
 
+/// Callback forging a response from observed query bytes.
+pub type ForgeFn = Box<dyn FnMut(&[u8], &mut SimRng) -> Option<Vec<u8>>>;
+
 /// An off-path attacker targeting plain-channel requests to a set of victim
 /// destinations.
 ///
@@ -56,7 +59,7 @@ impl SpoofStrategy {
 pub struct OffPathSpoofer {
     strategy: SpoofStrategy,
     targets: Option<Vec<SimAddr>>,
-    forge: Box<dyn FnMut(&[u8], &mut SimRng) -> Option<Vec<u8>>>,
+    forge: ForgeFn,
     attempts: u64,
     successes: u64,
 }
@@ -156,9 +159,18 @@ mod tests {
 
     #[test]
     fn fixed_probability_bounds() {
-        assert_eq!(SpoofStrategy::FixedProbability(0.4).success_probability(), 0.4);
-        assert_eq!(SpoofStrategy::FixedProbability(4.0).success_probability(), 1.0);
-        assert_eq!(SpoofStrategy::FixedProbability(-1.0).success_probability(), 0.0);
+        assert_eq!(
+            SpoofStrategy::FixedProbability(0.4).success_probability(),
+            0.4
+        );
+        assert_eq!(
+            SpoofStrategy::FixedProbability(4.0).success_probability(),
+            1.0
+        );
+        assert_eq!(
+            SpoofStrategy::FixedProbability(-1.0).success_probability(),
+            0.0
+        );
     }
 
     #[test]
@@ -239,14 +251,13 @@ mod tests {
 
     #[test]
     fn forge_closure_can_decline() {
-        let mut spoofer =
-            OffPathSpoofer::new(SpoofStrategy::FixedProbability(1.0), |q, _rng| {
-                if q.starts_with(b"interesting") {
-                    Some(b"forged".to_vec())
-                } else {
-                    None
-                }
-            });
+        let mut spoofer = OffPathSpoofer::new(SpoofStrategy::FixedProbability(1.0), |q, _rng| {
+            if q.starts_with(b"interesting") {
+                Some(b"forged".to_vec())
+            } else {
+                None
+            }
+        });
         let mut rng = SimRng::seed_from_u64(5);
         let dst = SimAddr::v4(1, 1, 1, 1, 53);
         assert_eq!(

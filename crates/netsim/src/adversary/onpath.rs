@@ -7,6 +7,9 @@ use crate::rng::SimRng;
 
 use super::{Adversary, Envelope, RequestVerdict, ResponseVerdict};
 
+/// Callback rewriting a response given the request and genuine response.
+pub type RewriteFn = Box<dyn FnMut(&[u8], &[u8], &mut SimRng) -> Option<Vec<u8>>>;
+
 /// A man-in-the-middle attacker that controls the paths to a set of hosts.
 ///
 /// On controlled paths the attacker can replace plaintext responses and drop
@@ -17,7 +20,7 @@ pub struct OnPathMitm {
     controlled_hosts: HashSet<IpAddr>,
     drop_probability: f64,
     drop_secure: bool,
-    replace: Option<Box<dyn FnMut(&[u8], &[u8], &mut SimRng) -> Option<Vec<u8>>>>,
+    replace: Option<RewriteFn>,
     observed_requests: u64,
     replaced_responses: u64,
     dropped: u64,
@@ -235,8 +238,8 @@ mod tests {
     #[test]
     fn rewriter_can_decline() {
         let victim = SimAddr::v4(8, 8, 8, 8, 53);
-        let mut mitm = OnPathMitm::controlling([victim.ip])
-            .with_response_rewriter(|req, _resp, _rng| {
+        let mut mitm =
+            OnPathMitm::controlling([victim.ip]).with_response_rewriter(|req, _resp, _rng| {
                 if req == b"target" {
                     Some(b"evil".to_vec())
                 } else {

@@ -39,7 +39,7 @@ pub use adversary::{
 pub use channel::ChannelKind;
 pub use link::LinkConfig;
 pub use metrics::Metrics;
-pub use network::{Ctx, NetError, NetResult, SimNet};
+pub use network::{ConcurrentOutcome, ConcurrentRequest, Ctx, NetError, NetResult, SimNet};
 pub use rng::SimRng;
 pub use service::{FnService, Service, ServiceResponse, StaticService};
 pub use time::{SimClock, SimInstant};

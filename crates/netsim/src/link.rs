@@ -104,8 +104,8 @@ mod tests {
 
     #[test]
     fn sample_delay_within_bounds() {
-        let cfg = LinkConfig::with_latency(Duration::from_millis(10))
-            .jitter(Duration::from_millis(4));
+        let cfg =
+            LinkConfig::with_latency(Duration::from_millis(10)).jitter(Duration::from_millis(4));
         let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..100 {
             let d = cfg.sample_delay(&mut rng);

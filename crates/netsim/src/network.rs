@@ -52,6 +52,44 @@ impl Error for NetError {}
 /// Result alias for network transactions.
 pub type NetResult<T> = Result<T, NetError>;
 
+/// One request of a concurrent batch ([`SimNet::transact_concurrent`]).
+#[derive(Debug, Clone)]
+pub struct ConcurrentRequest {
+    /// Destination endpoint.
+    pub dst: SimAddr,
+    /// Channel kind the request travels over.
+    pub channel: ChannelKind,
+    /// Request payload.
+    pub payload: Vec<u8>,
+    /// Per-exchange timeout.
+    pub timeout: Duration,
+}
+
+impl ConcurrentRequest {
+    /// Convenience constructor.
+    pub fn new(dst: SimAddr, channel: ChannelKind, payload: Vec<u8>, timeout: Duration) -> Self {
+        ConcurrentRequest {
+            dst,
+            channel,
+            payload,
+            timeout,
+        }
+    }
+}
+
+/// Outcome of one exchange of a concurrent batch, tagged with the index it
+/// was submitted under and the virtual instant its response arrived (or its
+/// timeout expired).
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// Position of the request in the submitted batch.
+    pub index: usize,
+    /// Virtual time at which this exchange completed.
+    pub completed_at: SimInstant,
+    /// The response payload or transport error.
+    pub result: NetResult<Vec<u8>>,
+}
+
 type SharedService = Rc<RefCell<dyn Service>>;
 
 struct NetState {
@@ -196,6 +234,73 @@ impl SimNet {
         self.transact_at_depth(src, dst, channel, payload, timeout, 0)
     }
 
+    /// Performs a batch of transactions that all depart from `src` at the
+    /// current instant and run **concurrently**: the batch's elapsed virtual
+    /// time is the *maximum* of the individual exchanges, not their sum.
+    ///
+    /// Outcomes are returned in delivery order — sorted by each exchange's
+    /// completion instant (ties broken by submission index). Which exchange
+    /// finishes first depends on the sampled link delays, so the
+    /// interleaving is deterministic in the simulation seed.
+    ///
+    /// **Caveat for clock-reading services:** the exchanges of a batch are
+    /// executed one after another with the clock rewound to the departure
+    /// instant between them. A service handling exchange *k* therefore sees
+    /// the virtual time of *its own* request's arrival (departure plus its
+    /// link delay) — correct for concurrent requests — but a single service
+    /// handling several exchanges of one batch may observe those arrival
+    /// instants out of order across invocations. Per-exchange timestamps
+    /// remain self-consistent; cross-exchange monotonicity within a batch
+    /// is not guaranteed (it isn't for real parallel requests either, but a
+    /// service accumulating "last seen time" state would notice).
+    pub fn transact_concurrent(
+        &self,
+        src: SimAddr,
+        requests: Vec<ConcurrentRequest>,
+    ) -> Vec<ConcurrentOutcome> {
+        self.transact_concurrent_at_depth(src, requests, 0)
+    }
+
+    fn transact_concurrent_at_depth(
+        &self,
+        src: SimAddr,
+        requests: Vec<ConcurrentRequest>,
+        depth: usize,
+    ) -> Vec<ConcurrentOutcome> {
+        let departed = self.clock.now();
+        let mut outcomes: Vec<ConcurrentOutcome> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(index, request)| {
+                // Each in-flight exchange starts from the shared departure
+                // instant; running them one at a time only serialises the
+                // *randomness* draws, not the virtual time.
+                self.clock.rewind_to(departed);
+                let result = self.transact_at_depth(
+                    src,
+                    request.dst,
+                    request.channel,
+                    &request.payload,
+                    request.timeout,
+                    depth,
+                );
+                ConcurrentOutcome {
+                    index,
+                    completed_at: self.clock.now(),
+                    result,
+                }
+            })
+            .collect();
+        let batch_end = outcomes
+            .iter()
+            .map(|o| o.completed_at)
+            .max()
+            .unwrap_or(departed);
+        self.clock.advance_to(batch_end);
+        outcomes.sort_by_key(|o| (o.completed_at, o.index));
+        outcomes
+    }
+
     fn link_for(&self, a: IpAddr, b: IpAddr) -> LinkConfig {
         let state = self.state.borrow();
         state
@@ -265,9 +370,7 @@ impl SimNet {
         // Adversary request hook.
         let request_verdict = {
             let mut state = self.state.borrow_mut();
-            let NetState {
-                adversary, rng, ..
-            } = &mut *state;
+            let NetState { adversary, rng, .. } = &mut *state;
             match adversary.as_mut() {
                 Some(adv) => adv.on_request(
                     &Envelope {
@@ -345,9 +448,7 @@ impl SimNet {
         // Adversary response hook.
         let response_verdict = {
             let mut state = self.state.borrow_mut();
-            let NetState {
-                adversary, rng, ..
-            } = &mut *state;
+            let NetState { adversary, rng, .. } = &mut *state;
             match adversary.as_mut() {
                 Some(adv) => adv.on_response(
                     &Envelope {
@@ -469,6 +570,14 @@ impl<'a> Ctx<'a> {
         self.net
             .transact_at_depth(self.local, dst, channel, payload, timeout, self.depth)
     }
+
+    /// Issues a batch of nested transactions that run concurrently, like
+    /// [`SimNet::transact_concurrent`]: a service fanning out to N backends
+    /// pays the slowest backend's latency, not the sum.
+    pub fn call_concurrent(&mut self, requests: Vec<ConcurrentRequest>) -> Vec<ConcurrentOutcome> {
+        self.net
+            .transact_concurrent_at_depth(self.local, requests, self.depth)
+    }
 }
 
 impl fmt::Debug for Ctx<'_> {
@@ -572,12 +681,15 @@ mod tests {
         net.register(backend, echo_service());
         net.register(
             frontend,
-            FnService::new("proxy", move |ctx: &mut Ctx<'_>, _from, ch, payload: &[u8]| {
-                match ctx.call(backend, ch, payload, TIMEOUT) {
+            FnService::new(
+                "proxy",
+                move |ctx: &mut Ctx<'_>, _from, ch, payload: &[u8]| match ctx
+                    .call(backend, ch, payload, TIMEOUT)
+                {
                     Ok(reply) => ServiceResponse::Reply(reply),
                     Err(_) => ServiceResponse::NoReply,
-                }
-            }),
+                },
+            ),
         );
         let client = SimAddr::v4(198, 51, 100, 1, 40000);
         let reply = net
@@ -592,12 +704,18 @@ mod tests {
         let looper = SimAddr::v4(192, 0, 2, 12, 53);
         net.register(
             looper,
-            FnService::new("loop", move |ctx: &mut Ctx<'_>, _from, ch, payload: &[u8]| {
-                match ctx.call(looper, ch, payload, Duration::from_secs(3600)) {
+            FnService::new(
+                "loop",
+                move |ctx: &mut Ctx<'_>, _from, ch, payload: &[u8]| match ctx.call(
+                    looper,
+                    ch,
+                    payload,
+                    Duration::from_secs(3600),
+                ) {
                     Ok(reply) => ServiceResponse::Reply(reply),
                     Err(_) => ServiceResponse::NoReply,
-                }
-            }),
+                },
+            ),
         );
         let err = net
             .transact(
@@ -726,6 +844,143 @@ mod tests {
         assert!(net.is_registered(addr));
         assert!(net.unregister(addr));
         assert!(!net.unregister(addr));
+    }
+
+    #[test]
+    fn concurrent_batch_costs_the_slowest_exchange() {
+        let net = SimNet::new(20);
+        let client = SimAddr::v4(198, 51, 100, 1, 40000);
+        let servers: Vec<SimAddr> = (1..=3).map(|i| SimAddr::v4(192, 0, 2, i, 53)).collect();
+        for (i, &server) in servers.iter().enumerate() {
+            net.register(server, echo_service());
+            net.set_link(
+                client.ip,
+                server.ip,
+                LinkConfig::with_latency(Duration::from_millis(10 * (i as u64 + 1))),
+            );
+        }
+        let t0 = net.now();
+        let outcomes = net.transact_concurrent(
+            client,
+            servers
+                .iter()
+                .map(|&dst| ConcurrentRequest {
+                    dst,
+                    channel: ChannelKind::Plain,
+                    payload: b"ping".to_vec(),
+                    timeout: TIMEOUT,
+                })
+                .collect(),
+        );
+        // 10/20/30 ms one-way latency: the batch ends when the slowest
+        // round trip (60 ms) completes, not after 20+40+60 ms.
+        assert_eq!(
+            net.now().saturating_duration_since(t0),
+            Duration::from_millis(60)
+        );
+        // Delivery order follows per-exchange completion instants.
+        let order: Vec<usize> = outcomes.iter().map(|o| o.index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        assert!(outcomes
+            .windows(2)
+            .all(|w| w[0].completed_at <= w[1].completed_at));
+        assert_eq!(net.metrics().requests, 3);
+    }
+
+    #[test]
+    fn concurrent_timeout_does_not_stall_the_batch() {
+        let net = SimNet::new(21);
+        let client = SimAddr::v4(198, 51, 100, 1, 40000);
+        let fast = SimAddr::v4(192, 0, 2, 1, 53);
+        let dead = SimAddr::v4(192, 0, 2, 2, 53);
+        net.register(fast, echo_service());
+        net.register(dead, StaticService::silent());
+        net.set_link(
+            client.ip,
+            fast.ip,
+            LinkConfig::with_latency(Duration::from_millis(5)),
+        );
+        let t0 = net.now();
+        let outcomes = net.transact_concurrent(
+            client,
+            vec![
+                ConcurrentRequest {
+                    dst: dead,
+                    channel: ChannelKind::Plain,
+                    payload: b"x".to_vec(),
+                    timeout: Duration::from_millis(100),
+                },
+                ConcurrentRequest {
+                    dst: fast,
+                    channel: ChannelKind::Plain,
+                    payload: b"x".to_vec(),
+                    timeout: Duration::from_millis(100),
+                },
+            ],
+        );
+        // The fast exchange is delivered first even though it was submitted
+        // second; the batch ends when the timeout expires.
+        assert_eq!(outcomes[0].index, 1);
+        assert!(outcomes[0].result.is_ok());
+        assert_eq!(outcomes[1].result, Err(NetError::Timeout));
+        // The batch ends when the timed-out exchange gives up (its forward
+        // link delay plus the full timeout window), not after the sum of
+        // both exchanges.
+        let elapsed = net.now().saturating_duration_since(t0);
+        assert!(elapsed >= Duration::from_millis(100));
+        assert!(elapsed < Duration::from_millis(150), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn empty_concurrent_batch_is_a_no_op() {
+        let net = SimNet::new(22);
+        let t0 = net.now();
+        let outcomes = net.transact_concurrent(SimAddr::v4(10, 0, 0, 1, 40000), Vec::new());
+        assert!(outcomes.is_empty());
+        assert_eq!(net.now(), t0);
+    }
+
+    #[test]
+    fn nested_concurrent_calls_respect_depth() {
+        let net = SimNet::new(23);
+        let client = SimAddr::v4(198, 51, 100, 1, 40000);
+        let frontend = SimAddr::v4(192, 0, 2, 10, 53);
+        let backends: Vec<SimAddr> = (1..=3)
+            .map(|i| SimAddr::v4(192, 0, 2, 100 + i, 53))
+            .collect();
+        for &b in &backends {
+            net.register(b, echo_service());
+        }
+        let fan_out = backends.clone();
+        net.register(
+            frontend,
+            FnService::new("fanout", move |ctx: &mut Ctx<'_>, _from, ch, p: &[u8]| {
+                let outcomes = ctx.call_concurrent(
+                    fan_out
+                        .iter()
+                        .map(|&dst| ConcurrentRequest {
+                            dst,
+                            channel: ch,
+                            payload: p.to_vec(),
+                            timeout: TIMEOUT,
+                        })
+                        .collect(),
+                );
+                let mut combined = Vec::new();
+                for outcome in outcomes {
+                    if let Ok(bytes) = outcome.result {
+                        combined.extend_from_slice(&bytes);
+                    }
+                }
+                ServiceResponse::Reply(combined)
+            }),
+        );
+        let reply = net
+            .transact(client, frontend, ChannelKind::Plain, b"ab", TIMEOUT)
+            .unwrap();
+        assert_eq!(reply, b"ababab");
+        assert_eq!(net.metrics().requests, 4);
     }
 
     #[test]

@@ -108,6 +108,16 @@ impl SimClock {
     pub fn elapsed_since(&self, start: SimInstant) -> Duration {
         self.now().saturating_duration_since(start)
     }
+
+    /// Rewinds the clock to `instant`.
+    ///
+    /// Only the simulator core may do this: it models concurrency by running
+    /// the exchanges of one batch sequentially, restarting each from the
+    /// batch's departure instant. From the outside the clock stays
+    /// monotonic — the batch as a whole ends at the latest completion.
+    pub(crate) fn rewind_to(&self, instant: SimInstant) {
+        *self.now.lock() = instant;
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,12 @@ use sdoh_netsim::{
     SpoofStrategy,
 };
 
-fn run_workload(seed: u64, requests: u32, loss: f64, spoof: f64) -> (Vec<Result<Vec<u8>, String>>, u64, sdoh_netsim::Metrics) {
+fn run_workload(
+    seed: u64,
+    requests: u32,
+    loss: f64,
+    spoof: f64,
+) -> (Vec<Result<Vec<u8>, String>>, u64, sdoh_netsim::Metrics) {
     let net = SimNet::new(seed);
     net.set_default_link(
         LinkConfig::with_latency(Duration::from_millis(7))
@@ -39,7 +44,13 @@ fn run_workload(seed: u64, requests: u32, loss: f64, spoof: f64) -> (Vec<Result<
             ChannelKind::Secure
         };
         let result = net
-            .transact(client, server, channel, format!("req-{i}").as_bytes(), Duration::from_secs(1))
+            .transact(
+                client,
+                server,
+                channel,
+                format!("req-{i}").as_bytes(),
+                Duration::from_secs(1),
+            )
             .map_err(|e| e.to_string());
         outcomes.push(result);
     }

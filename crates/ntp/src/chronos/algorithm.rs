@@ -162,10 +162,7 @@ impl ChronosClient {
     ) -> NtpResult<(f64, usize)> {
         let samples = self.ntp.sample_pool(net, clock, pool);
         if samples.is_empty() {
-            return Err(NtpError::NotEnoughSamples {
-                got: 0,
-                needed: 1,
-            });
+            return Err(NtpError::NotEnoughSamples { got: 0, needed: 1 });
         }
         let mut offsets: Vec<f64> = samples.iter().map(|(_, s)| s.offset).collect();
         offsets.sort_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
@@ -213,7 +210,11 @@ mod tests {
         let mut chronos = client(1);
         let outcome = chronos.update(&net, &mut clock, &pool).unwrap();
         assert_eq!(outcome.mode, ChronosMode::Normal);
-        assert!(clock.offset_from_true().abs() < 0.05, "offset {}", clock.offset_from_true());
+        assert!(
+            clock.offset_from_true().abs() < 0.05,
+            "offset {}",
+            clock.offset_from_true()
+        );
     }
 
     #[test]
@@ -280,12 +281,7 @@ mod tests {
             trim: 2,
             ..ChronosConfig::default()
         };
-        assert!(ChronosClient::new(
-            bad,
-            NtpClient::new(SimAddr::v4(10, 0, 0, 1, 123)),
-            1
-        )
-        .is_err());
+        assert!(ChronosClient::new(bad, NtpClient::new(SimAddr::v4(10, 0, 0, 1, 123)), 1).is_err());
     }
 
     #[test]

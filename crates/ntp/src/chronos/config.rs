@@ -46,7 +46,9 @@ impl ChronosConfig {
     /// sample or parameters are out of range.
     pub fn validate(&self) -> NtpResult<()> {
         if self.sample_size == 0 {
-            return Err(NtpError::InvalidConfig("sample_size must be positive".into()));
+            return Err(NtpError::InvalidConfig(
+                "sample_size must be positive".into(),
+            ));
         }
         if 2 * self.trim >= self.sample_size {
             return Err(NtpError::InvalidConfig(format!(

@@ -40,12 +40,7 @@ impl NtpClient {
     /// Returns transport errors, [`NtpError::MalformedPacket`] for
     /// undecodable responses and [`NtpError::Mismatched`] when the response
     /// does not echo the request's transmit timestamp.
-    pub fn sample(
-        &self,
-        net: &SimNet,
-        clock: &LocalClock,
-        server: IpAddr,
-    ) -> NtpResult<NtpSample> {
+    pub fn sample(&self, net: &SimNet, clock: &LocalClock, server: IpAddr) -> NtpResult<NtpSample> {
         let server_addr = SimAddr::new(server, sdoh_netsim::ports::NTP);
         let t1 = clock.now();
         let request = NtpPacket::client_request(t1);

@@ -150,7 +150,8 @@ impl NtpPacket {
         if data.len() < PACKET_LEN {
             return Err(NtpError::MalformedPacket("packet shorter than 48 octets"));
         }
-        let u32_at = |i: usize| u32::from_be_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+        let u32_at =
+            |i: usize| u32::from_be_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
         let u64_at = |i: usize| {
             u64::from_be_bytes([
                 data[i],
@@ -271,8 +272,16 @@ mod tests {
         let t3 = NtpTimestamp::from_seconds_f64(1010.030); // server just before send
         let t4 = NtpTimestamp::from_seconds_f64(1000.055); // client clock at receive
         let sample = NtpSample::from_timestamps(t1, t2, t3, t4, 2);
-        assert!((sample.offset - 10.0).abs() < 1e-3, "offset {}", sample.offset);
-        assert!((sample.delay - 0.050).abs() < 1e-3, "delay {}", sample.delay);
+        assert!(
+            (sample.offset - 10.0).abs() < 1e-3,
+            "offset {}",
+            sample.offset
+        );
+        assert!(
+            (sample.delay - 0.050).abs() < 1e-3,
+            "delay {}",
+            sample.delay
+        );
     }
 
     #[test]

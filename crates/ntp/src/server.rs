@@ -262,7 +262,9 @@ mod tests {
     #[test]
     fn register_pool_splits_benign_and_malicious() {
         let net = SimNet::new(7);
-        let addrs: Vec<SimAddr> = (1..=10u8).map(|i| SimAddr::v4(203, 0, 113, i, 123)).collect();
+        let addrs: Vec<SimAddr> = (1..=10u8)
+            .map(|i| SimAddr::v4(203, 0, 113, i, 123))
+            .collect();
         let count = register_pool(&net, &addrs, 3, 1000.0, 99);
         assert_eq!(count, 10);
         for addr in &addrs {

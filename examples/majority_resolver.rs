@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("== Majority DNS resolver front end ==\n");
-    println!("compromised upstream resolver: {}", scenario.resolver_infos[1].name);
+    println!(
+        "compromised upstream resolver: {}",
+        scenario.resolver_infos[1].name
+    );
 
     let stub = StubResolver::new(frontend_addr);
     let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
@@ -49,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for addr in &addresses {
         println!(
             "  {addr}  [{}]",
-            if truth.is_malicious(*addr) { "ATTACKER" } else { "benign" }
+            if truth.is_malicious(*addr) {
+                "ATTACKER"
+            } else {
+                "benign"
+            }
         );
     }
     let malicious = addresses.iter().filter(|a| truth.is_malicious(**a)).count();

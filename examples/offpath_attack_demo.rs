@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "plain DNS baseline : {} addresses, benign fraction {:.2} -> guarantee {}",
         plain_pool.len(),
         plain_check.benign_fraction,
-        if plain_check.holds { "HOLDS" } else { "VIOLATED" }
+        if plain_check.holds {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // The proposal: Algorithm 1 over three DoH resolvers, same attacker.
@@ -83,6 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nforged responses accepted on plain channels: {}",
         metrics.forged_responses
     );
-    println!("secure-channel requests (untouched by the attacker): {}", metrics.secure_requests);
+    println!(
+        "secure-channel requests (untouched by the attacker): {}",
+        metrics.secure_requests
+    );
     Ok(())
 }

@@ -10,10 +10,10 @@
 use std::net::IpAddr;
 use std::time::Duration;
 
-use sdoh_core::{PoolConfig, SecurePoolGenerator};
+use sdoh_core::{GenerationReport, PoolConfig, SecurePoolGenerator};
 use sdoh_dns_server::{
-    Authority, Catalog, Do53Service, PoisonConfig, PoisonMode, PoisonedResolver, QueryHandler,
-    RecursiveConfig, RecursiveResolver, Zone,
+    Authority, Catalog, ClientExchanger, Do53Service, PoisonConfig, PoisonMode, PoisonedResolver,
+    QueryHandler, RecursiveConfig, RecursiveResolver, Zone,
 };
 use sdoh_dns_wire::{Name, RData, Record};
 use sdoh_doh::{DohMethod, DohServerService, ResolverDirectory, ResolverInfo};
@@ -133,7 +133,14 @@ impl Scenario {
         // A generous supply of attacker-operated servers so that inflation
         // attacks can outnumber the honest pool when truncation is disabled.
         let attacker_ntp: Vec<IpAddr> = (1..=config.ntp_servers.max(4) * 8)
-            .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(198, 18, (i / 250) as u8, (i % 250) as u8)))
+            .map(|i| {
+                IpAddr::V4(std::net::Ipv4Addr::new(
+                    198,
+                    18,
+                    (i / 250) as u8,
+                    (i % 250) as u8,
+                ))
+            })
             .collect();
 
         install_dns_hierarchy(&net, &pool_domain, &benign_ntp);
@@ -241,6 +248,44 @@ impl Scenario {
     /// malicious, everything else benign.
     pub fn ground_truth(&self) -> sdoh_core::GroundTruth {
         sdoh_core::GroundTruth::with_malicious(self.attacker_ntp.iter().copied())
+    }
+
+    /// An exchanger sending from the application host of Figure 1.
+    pub fn client_exchanger(&self) -> ClientExchanger<'_> {
+        ClientExchanger::new(&self.net, CLIENT_ADDR)
+    }
+
+    /// Runs one secure pool generation over the scenario's DoH fleet with
+    /// the paper's **concurrent fan-out** (all resolvers queried in
+    /// parallel), returning the report and the elapsed virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and generation errors.
+    pub fn generate_pool(&self, config: PoolConfig) -> PoolResult<(GenerationReport, Duration)> {
+        let generator = self.pool_generator(config)?;
+        let mut exchanger = self.client_exchanger();
+        let start = self.net.now();
+        let report = generator.generate(&mut exchanger, &self.pool_domain)?;
+        Ok((report, self.net.clock().elapsed_since(start)))
+    }
+
+    /// Like [`Scenario::generate_pool`] but querying the resolvers one at a
+    /// time — the latency baseline the concurrent fan-out is measured
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and generation errors.
+    pub fn generate_pool_sequential(
+        &self,
+        config: PoolConfig,
+    ) -> PoolResult<(GenerationReport, Duration)> {
+        let generator = self.pool_generator(config)?;
+        let mut exchanger = self.client_exchanger();
+        let start = self.net.now();
+        let report = generator.generate_sequential(&mut exchanger, &self.pool_domain)?;
+        Ok((report, self.net.clock().elapsed_since(start)))
     }
 }
 
@@ -405,7 +450,10 @@ mod tests {
             .unwrap()
             .generate(&mut exchanger, &scenario.pool_domain)
             .unwrap();
-        assert!(report.pool.is_empty(), "footnote 2: empty answers DoS the pool");
+        assert!(
+            report.pool.is_empty(),
+            "footnote 2: empty answers DoS the pool"
+        );
         assert!(!sdoh_core::attacker_controls_fraction(
             &report.pool,
             &scenario.ground_truth(),

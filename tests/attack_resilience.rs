@@ -189,7 +189,11 @@ fn secure_channel_rejects_impersonation_of_a_resolver() {
     let client = DohClient::new(impostor).timeout(std::time::Duration::from_millis(500));
     let mut exchanger = ClientExchanger::new(&scenario.net, SimAddr::v4(192, 0, 2, 77, 4000));
     let err = client
-        .query(&mut exchanger, &scenario.pool_domain, secure_doh::wire::RrType::A)
+        .query(
+            &mut exchanger,
+            &scenario.pool_domain,
+            secure_doh::wire::RrType::A,
+        )
         .unwrap_err();
     assert!(matches!(
         err,

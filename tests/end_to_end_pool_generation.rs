@@ -2,9 +2,7 @@
 //! wire format up to the generated pool, exercised through the simulated
 //! DoH resolvers.
 
-use secure_doh::core::{
-    check_guarantee, PoolConfig, SecurePoolResolver,
-};
+use secure_doh::core::{check_guarantee, PoolConfig, SecurePoolResolver};
 use secure_doh::dns::{ClientExchanger, DnsClient, Do53Service, StubResolver};
 use secure_doh::netsim::SimAddr;
 use secure_doh::scenario::{
@@ -132,9 +130,10 @@ fn majority_front_end_serves_unmodified_stub_resolvers() {
     let generator = scenario
         .pool_generator(PoolConfig::majority_resolver())
         .unwrap();
-    scenario
-        .net
-        .register(frontend, Do53Service::new(SecurePoolResolver::new(generator)));
+    scenario.net.register(
+        frontend,
+        Do53Service::new(SecurePoolResolver::new(generator)),
+    );
 
     let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
     let truth = scenario.ground_truth();

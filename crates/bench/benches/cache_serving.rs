@@ -1,0 +1,120 @@
+//! Benchmarks of the pool-serving subsystem: per-query host cost of the
+//! cached front end against the uncached generate-per-query baseline, and
+//! the coalesced batch path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdoh_core::{CacheConfig, CachingPoolResolver, PoolConfig, SecurePoolResolver};
+use sdoh_dns_server::{ClientExchanger, QueryHandler};
+use sdoh_dns_wire::{Message, RrType, Ttl};
+use secure_doh::scenario::{Scenario, ScenarioConfig, CLIENT_ADDR};
+
+const DOMAINS: usize = 4;
+
+fn scenario() -> Scenario {
+    Scenario::build(ScenarioConfig {
+        seed: 3,
+        resolvers: 3,
+        ntp_servers: 8,
+        pool_domains: DOMAINS,
+        ..ScenarioConfig::default()
+    })
+}
+
+fn query(id: u16, scenario: &Scenario, client: usize) -> Message {
+    Message::query(
+        id,
+        scenario.pool_domains[client % DOMAINS].clone(),
+        RrType::A,
+    )
+}
+
+/// One query against the uncached baseline: a full distributed generation
+/// every iteration.
+fn bench_uncached_query(c: &mut Criterion) {
+    let scenario = scenario();
+    let mut resolver =
+        SecurePoolResolver::new(scenario.pool_generator(PoolConfig::algorithm1()).unwrap());
+    let mut id: u16 = 0;
+    c.bench_function("serve/uncached_query", |b| {
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+            resolver.handle_query(&mut exchanger, &query(id, &scenario, id as usize))
+        })
+    });
+}
+
+/// One query against the warm cache: the steady-state serving cost.
+fn bench_cached_hit(c: &mut Criterion) {
+    let scenario = scenario();
+    // A TTL far beyond the measured virtual time keeps every iteration a
+    // fresh hit.
+    let config = CacheConfig::default()
+        .with_ttl(Ttl::from_secs(u32::MAX))
+        .with_stale_window(Duration::ZERO);
+    let mut resolver = CachingPoolResolver::new(
+        scenario.pool_generator(PoolConfig::algorithm1()).unwrap(),
+        config,
+    );
+    let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+    for i in 0..DOMAINS as u16 {
+        resolver.handle_query(&mut exchanger, &query(i + 1, &scenario, i as usize));
+    }
+    let mut id: u16 = 100;
+    c.bench_function("serve/cached_hit", |b| {
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+            resolver.handle_query(&mut exchanger, &query(id, &scenario, id as usize))
+        })
+    });
+}
+
+/// A cold burst of coalesced queries: N clients, DOMAINS flights.
+fn bench_coalesced_cold_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/coalesced_cold_burst");
+    group.sample_size(20);
+    for &clients in &[16usize, 64] {
+        let scenario = scenario();
+        let generator = scenario.pool_generator(PoolConfig::algorithm1()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, _| {
+            b.iter(|| {
+                // Zero TTL: nothing is cached, every burst is cold and every
+                // iteration pays exactly DOMAINS coalesced generations.
+                let mut resolver = CachingPoolResolver::new(
+                    scenario.pool_generator(PoolConfig::algorithm1()).unwrap(),
+                    CacheConfig::default()
+                        .with_ttl(Ttl::ZERO)
+                        .with_negative_ttl(Ttl::ZERO),
+                );
+                let queries: Vec<Message> = (0..clients)
+                    .map(|i| query(i as u16 + 1, &scenario, i))
+                    .collect();
+                let mut exchanger = ClientExchanger::new(&scenario.net, CLIENT_ADDR);
+                resolver.serve_batch(&mut exchanger, &queries)
+            })
+        });
+        let _ = generator;
+    }
+    group.finish();
+
+    // Side channel: the serving economics in virtual time, printed once —
+    // the quantity E11 (exp_cache_serving) tabulates in full.
+    let table = sdoh_bench::cache_serving::run(&[100], 3, 3);
+    for row in table.rows() {
+        println!(
+            "serve/economics/{}: {} queries, {} generations, {} q/gen, {} ms mean",
+            row[0], row[2], row[3], row[5], row[6]
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_uncached_query,
+    bench_cached_hit,
+    bench_coalesced_cold_burst
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! E11: cached vs uncached pool serving under client-population load.
+fn main() {
+    println!(
+        "{}",
+        sdoh_bench::cache_serving::run(&[25, 50, 100, 200], 4, 11)
+    );
+}

@@ -1,6 +1,7 @@
 //! One module per experiment of the index in `DESIGN.md`.
 
 pub mod attack_probability;
+pub mod cache_serving;
 pub mod chronos_timeshift;
 pub mod dualstack;
 pub mod empty_answer;

@@ -1,4 +1,4 @@
-//! E4 — the off-path attack of [1] against plain-DNS pool generation vs.
+//! E4 — the off-path attack of \[1\] against plain-DNS pool generation vs.
 //! the distributed DoH proposal.
 //!
 //! The attacker spoofs DNS answers on plain (Do53) paths with a per-query

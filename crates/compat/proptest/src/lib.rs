@@ -1,7 +1,7 @@
 //! Stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest API this workspace's
-//! property-based tests use: the [`proptest!`] macro, [`Strategy`] with
+//! property-based tests use: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
 //! `prop_map`/`boxed`, `any`, ranges, [`strategy::Just`], tuple and
 //! `collection::vec` composition, a character-class regex string generator
 //! and `prop_assert*` macros. Cases are generated from a deterministic

@@ -69,6 +69,57 @@
 //! # }
 //! ```
 //!
+//! # Serving at scale: the [`serve`] subsystem
+//!
+//! Generation is expensive by design; serving need not be. The [`serve`]
+//! module adds the layer between client queries and pool generation:
+//!
+//! * a **sharded TTL cache** of generation reports keyed by
+//!   `(domain, address family)`, with LRU eviction and negative caching
+//!   of failures ([`PoolCache`]),
+//! * **singleflight coalescing** so a burst of concurrent misses for one
+//!   domain shares a single fan-out ([`Singleflight`],
+//!   [`CachingPoolResolver::serve_batch`]),
+//! * **stale-while-revalidate** — expired entries are served immediately
+//!   within a stale window while a background refresh regenerates them
+//!   ([`RefreshScheduler`], [`CachingPoolResolver::run_due_refreshes`]),
+//! * [`ServeSession`] — the sans-IO session overlapping the generations of
+//!   a whole serving batch in one fan-out.
+//!
+//! [`CachingPoolResolver`] wraps it all as a drop-in `QueryHandler`:
+//! serving cost falls from one generation **per query** to one generation
+//! per `(domain, TTL window)`, while every served answer still comes out
+//! of a real generation — the benign-fraction guarantee is untouched.
+//!
+//! ```
+//! use sdoh_core::{
+//!     AddressSource, CacheConfig, CachingPoolResolver, PoolConfig, SecurePoolGenerator,
+//!     StaticSource,
+//! };
+//! use sdoh_dns_server::{ClientExchanger, QueryHandler};
+//! use sdoh_dns_wire::{Message, RrType};
+//! use sdoh_netsim::{SimAddr, SimNet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sources: Vec<Box<dyn AddressSource>> = vec![
+//!     Box::new(StaticSource::answering("dns.google", vec!["203.0.113.1".parse()?])),
+//!     Box::new(StaticSource::answering("dns.quad9.net", vec!["203.0.113.2".parse()?])),
+//! ];
+//! let generator = SecurePoolGenerator::new(PoolConfig::algorithm1(), sources)?;
+//! let mut resolver = CachingPoolResolver::new(generator, CacheConfig::default());
+//!
+//! let net = SimNet::new(1);
+//! let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+//! let query = Message::query(1, "pool.ntp.org".parse()?, RrType::A);
+//! let first = resolver.handle_query(&mut exchanger, &query);   // miss: generates
+//! let second = resolver.handle_query(&mut exchanger, &query);  // hit: no fan-out
+//! assert_eq!(first.answer_addresses(), second.answer_addresses());
+//! assert_eq!(resolver.metrics().generations, 1);
+//! assert_eq!(resolver.metrics().hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Example: driving a session by hand
 //!
 //! ```
@@ -107,6 +158,7 @@ mod guarantee;
 mod lookup;
 mod majority;
 mod pool;
+pub mod serve;
 mod session;
 mod source;
 
@@ -117,6 +169,10 @@ pub use guarantee::{attacker_controls_fraction, check_guarantee, GroundTruth, Gu
 pub use lookup::{ResolverMetrics, SecurePoolResolver};
 pub use majority::{majority_vote, support_counts};
 pub use pool::{AddressPool, PoolEntry};
+pub use serve::{
+    AddressFamily, CacheConfig, CacheLookup, CachingPoolResolver, PoolCache, PoolKey,
+    RefreshScheduler, ServeMetrics, ServeSession, Singleflight,
+};
 pub use session::{
     drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,
 };

@@ -10,9 +10,9 @@
 use std::time::Duration;
 
 use sdoh_dns_server::{Exchanger, QueryHandler};
-use sdoh_dns_wire::{Message, MessageBuilder, Rcode, Record, RrType};
+use sdoh_dns_wire::{Message, MessageBuilder, Question, Rcode, Record, RrType, Ttl};
 
-use crate::generator::SecurePoolGenerator;
+use crate::generator::{GenerationReport, SecurePoolGenerator};
 
 /// Operational counters of a [`SecurePoolResolver`], fed by real per-query
 /// outcomes: a query is counted as served only once pool generation
@@ -49,15 +49,48 @@ impl ResolverMetrics {
         if attempts == 0 {
             Duration::ZERO
         } else {
-            self.total_generation_latency / attempts as u32
+            // `Duration` only divides by `u32`; saturate the divisor instead
+            // of silently truncating it (an `as u32` cast of 2^32 attempts
+            // would wrap to 0 and panic, and wrap to tiny divisors above
+            // that, inflating the reported mean).
+            self.total_generation_latency / u32::try_from(attempts).unwrap_or(u32::MAX)
         }
     }
+}
+
+/// Builds the DNS response serving `report`'s pool for `question`,
+/// returning only addresses of the queried family (even when the generator
+/// is configured for dual-stack union) with the given answer TTL. Shared by
+/// [`SecurePoolResolver`] and the caching front end
+/// ([`CachingPoolResolver`](crate::CachingPoolResolver)).
+pub(crate) fn pool_response(
+    query: &Message,
+    question: &Question,
+    report: &GenerationReport,
+    ttl: Ttl,
+) -> Message {
+    let mut builder = MessageBuilder::response_to(query).recursion_available(true);
+    for entry in report.pool.iter() {
+        let matches_family = match question.rtype {
+            RrType::A => entry.address.is_ipv4(),
+            RrType::Aaaa => entry.address.is_ipv6(),
+            _ => false,
+        };
+        if matches_family {
+            builder = builder.answer(Record::address(
+                question.name.clone(),
+                ttl.as_secs(),
+                entry.address,
+            ));
+        }
+    }
+    builder.build()
 }
 
 /// A DNS query handler backed by secure pool generation.
 pub struct SecurePoolResolver {
     generator: SecurePoolGenerator,
-    answer_ttl: u32,
+    answer_ttl: Ttl,
     metrics: ResolverMetrics,
 }
 
@@ -66,14 +99,14 @@ impl SecurePoolResolver {
     pub fn new(generator: SecurePoolGenerator) -> Self {
         SecurePoolResolver {
             generator,
-            answer_ttl: 60,
+            answer_ttl: Ttl::from_secs(60),
             metrics: ResolverMetrics::default(),
         }
     }
 
     /// Sets the TTL attached to synthesised answer records.
-    pub fn answer_ttl(mut self, ttl: u32) -> Self {
-        self.answer_ttl = ttl;
+    pub fn answer_ttl(mut self, ttl: impl Into<Ttl>) -> Self {
+        self.answer_ttl = ttl.into();
         self
     }
 
@@ -143,24 +176,7 @@ impl QueryHandler for SecurePoolResolver {
         match outcome {
             Ok(report) => {
                 self.metrics.served += 1;
-                let mut builder = MessageBuilder::response_to(query).recursion_available(true);
-                for entry in report.pool.iter() {
-                    // Only return addresses of the queried family even when
-                    // the generator is configured for dual-stack union.
-                    let matches_family = match question.rtype {
-                        RrType::A => entry.address.is_ipv4(),
-                        RrType::Aaaa => entry.address.is_ipv6(),
-                        _ => false,
-                    };
-                    if matches_family {
-                        builder = builder.answer(Record::address(
-                            question.name.clone(),
-                            self.answer_ttl,
-                            entry.address,
-                        ));
-                    }
-                }
-                builder.build()
+                pool_response(query, &question, &report, self.answer_ttl)
             }
             Err(_) => {
                 self.metrics.failures += 1;
@@ -267,7 +283,8 @@ mod tests {
         // majority resolver on port 53 just works.
         let net = SimNet::new(74);
         let frontend_addr = SimAddr::v4(10, 0, 0, 53, 53);
-        let resolver = resolver_with_static_sources(PoolConfig::algorithm1()).answer_ttl(120);
+        let resolver =
+            resolver_with_static_sources(PoolConfig::algorithm1()).answer_ttl(Ttl::from_secs(120));
         net.register(frontend_addr, Do53Service::new(resolver));
 
         let stub = StubResolver::new(frontend_addr);
@@ -283,6 +300,44 @@ mod tests {
             .query(&mut exchanger, &"pool.ntp.org".parse().unwrap(), RrType::A)
             .unwrap();
         assert!(response.answers.iter().all(|r| r.ttl == 120));
+    }
+
+    #[test]
+    fn average_latency_saturates_instead_of_truncating_the_divisor() {
+        // Regression: the divisor used to be cast with `as u32`, so 2^32
+        // attempts wrapped to 0 (a divide-by-zero panic) and 2^32 + k
+        // wrapped to k, wildly inflating the mean. The divisor now
+        // saturates at u32::MAX.
+        let wrapped_to_zero = ResolverMetrics {
+            served: u64::from(u32::MAX) + 1,
+            total_generation_latency: Duration::from_secs(1 << 33),
+            ..ResolverMetrics::default()
+        };
+        let average = wrapped_to_zero.average_generation_latency();
+        assert!(average > Duration::ZERO, "must not panic nor return junk");
+        assert_eq!(average, Duration::from_secs(1 << 33) / u32::MAX);
+
+        // 2^32 + 2 attempts used to divide by 2; with saturation the mean
+        // is (slightly under) latency / 2^32, not latency / 2.
+        let wrapped_to_two = ResolverMetrics {
+            served: u64::from(u32::MAX) + 3,
+            total_generation_latency: Duration::from_secs(1 << 33),
+            ..ResolverMetrics::default()
+        };
+        assert!(wrapped_to_two.average_generation_latency() < Duration::from_secs(3));
+
+        // The ordinary path is unchanged.
+        let normal = ResolverMetrics {
+            served: 3,
+            failures: 1,
+            total_generation_latency: Duration::from_secs(8),
+            ..ResolverMetrics::default()
+        };
+        assert_eq!(normal.average_generation_latency(), Duration::from_secs(2));
+        assert_eq!(
+            ResolverMetrics::default().average_generation_latency(),
+            Duration::ZERO
+        );
     }
 
     #[test]

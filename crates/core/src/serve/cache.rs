@@ -1,0 +1,659 @@
+//! The sharded TTL pool cache.
+//!
+//! [`PoolCache`] stores [`GenerationReport`]s keyed by
+//! `(domain, address family)` so that the expensive distributed generation
+//! runs once per TTL window instead of once per client query. The cache is
+//! split into shards selected by key hash — bounding the scan cost of any
+//! single operation and mirroring how a production deployment would shard
+//! to reduce lock contention — with LRU eviction inside each shard,
+//! **negative caching** of generation failures (a failed fan-out is
+//! remembered briefly instead of being retried by every queued client), and
+//! a **stale window** after expiry during which an entry is still served
+//! while a refresh regenerates it (stale-while-revalidate).
+//!
+//! The cache is sans-IO like the rest of the crate: it never reads a clock.
+//! Every operation takes `now` explicitly, so it composes with the
+//! simulator's virtual time and with any driver's notion of "now".
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+use sdoh_dns_wire::{Name, Question, RrType, Ttl};
+use sdoh_netsim::SimInstant;
+
+use crate::generator::GenerationReport;
+
+/// The address family of a cached pool — the second half of the cache key.
+///
+/// A pool generated for A queries and one generated for AAAA queries are
+/// distinct cache entries even under dual-stack generation policies,
+/// matching the front end's behaviour of filtering the served answer to the
+/// queried family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AddressFamily {
+    /// IPv4 (`A` queries).
+    V4,
+    /// IPv6 (`AAAA` queries).
+    V6,
+}
+
+impl AddressFamily {
+    /// The family an address query of `rtype` asks for; `None` for
+    /// non-address types.
+    pub fn of(rtype: RrType) -> Option<Self> {
+        match rtype {
+            RrType::A => Some(AddressFamily::V4),
+            RrType::Aaaa => Some(AddressFamily::V6),
+            _ => None,
+        }
+    }
+
+    /// The record type serving this family.
+    pub fn rtype(self) -> RrType {
+        match self {
+            AddressFamily::V4 => RrType::A,
+            AddressFamily::V6 => RrType::Aaaa,
+        }
+    }
+}
+
+/// Cache key of a generated pool: the pool domain plus the queried family.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PoolKey {
+    /// The pool domain the generation looked up.
+    pub domain: Name,
+    /// The address family the clients asked for.
+    pub family: AddressFamily,
+}
+
+impl PoolKey {
+    /// Creates a key.
+    pub fn new(domain: Name, family: AddressFamily) -> Self {
+        PoolKey { domain, family }
+    }
+
+    /// The key a DNS question maps to; `None` for non-address questions.
+    pub fn for_question(question: &Question) -> Option<Self> {
+        AddressFamily::of(question.rtype).map(|family| PoolKey::new(question.name.clone(), family))
+    }
+}
+
+impl std::fmt::Display for PoolKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.domain, self.family.rtype())
+    }
+}
+
+/// Configuration of a [`PoolCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total number of entries the cache may hold across all shards.
+    pub capacity: usize,
+    /// Number of shards the key space is hashed over.
+    pub shards: usize,
+    /// Lifetime of a successfully generated pool; doubles as the answer TTL
+    /// budget the front end serves from.
+    pub ttl: Ttl,
+    /// How long past expiry an entry may still be served while a background
+    /// refresh regenerates it. Zero disables stale-while-revalidate.
+    pub stale_window: Duration,
+    /// Lifetime of a cached generation *failure* (negative caching).
+    /// Negative entries have no stale window.
+    pub negative_ttl: Ttl,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 1024,
+            shards: 8,
+            ttl: Ttl::from_secs(60),
+            stale_window: Duration::from_secs(60),
+            negative_ttl: Ttl::from_secs(5),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Sets the capacity, returning `self` for chaining.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the shard count, returning `self` for chaining.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the pool TTL, returning `self` for chaining.
+    pub fn with_ttl(mut self, ttl: impl Into<Ttl>) -> Self {
+        self.ttl = ttl.into();
+        self
+    }
+
+    /// Sets the stale window, returning `self` for chaining.
+    pub fn with_stale_window(mut self, window: Duration) -> Self {
+        self.stale_window = window;
+        self
+    }
+
+    /// Sets the negative TTL, returning `self` for chaining.
+    pub fn with_negative_ttl(mut self, ttl: impl Into<Ttl>) -> Self {
+        self.negative_ttl = ttl.into();
+        self
+    }
+}
+
+/// A cached generation outcome handed back by [`PoolCache::get`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPool {
+    /// The generation outcome: a report, or the error string of a failed
+    /// generation (negative entry).
+    pub value: Result<GenerationReport, String>,
+    /// When the generation that produced this entry completed.
+    pub generated_at: SimInstant,
+    /// When the entry stops being fresh.
+    pub expires_at: SimInstant,
+}
+
+impl CachedPool {
+    /// The fresh lifetime remaining at `now` (zero once expired) — what a
+    /// TTL-decrementing front end serves.
+    pub fn remaining(&self, now: SimInstant) -> Ttl {
+        Ttl::from_duration(self.expires_at.saturating_duration_since(now))
+    }
+}
+
+/// Outcome of a cache lookup at a given instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// The entry is within its TTL.
+    Fresh(CachedPool),
+    /// The entry is past its TTL but within the stale window: serve it,
+    /// then refresh it. Only successful generations go stale; expired
+    /// negative entries are misses.
+    Stale(CachedPool),
+    /// No usable entry.
+    Miss,
+}
+
+impl CacheLookup {
+    /// Returns `true` for [`CacheLookup::Miss`].
+    pub fn is_miss(&self) -> bool {
+        matches!(self, CacheLookup::Miss)
+    }
+}
+
+/// Operational counters of a [`PoolCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups answered from a fresh entry.
+    pub hits: u64,
+    /// Lookups answered from a stale entry (within the stale window).
+    pub stale_hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to make room (LRU within the shard).
+    pub evictions: u64,
+    /// Entries dropped because they were expired beyond use.
+    pub expirations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Result<GenerationReport, String>,
+    generated_at: SimInstant,
+    expires_at: SimInstant,
+    /// Monotone access stamp for LRU eviction.
+    last_used: u64,
+}
+
+impl Entry {
+    /// The instant past which the entry serves no purpose: successful
+    /// generations may still be served through the stale window, negative
+    /// entries die at expiry.
+    fn keep_until(&self, stale_window: Duration) -> SimInstant {
+        if self.value.is_ok() {
+            self.expires_at.saturating_add(stale_window)
+        } else {
+            self.expires_at
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<PoolKey, Entry>,
+}
+
+/// The sharded, LRU-bounded, TTL- and stale-window-aware pool cache.
+///
+/// See the module documentation for the design.
+#[derive(Debug)]
+pub struct PoolCache {
+    config: CacheConfig,
+    shards: Vec<Shard>,
+    /// The clamped total bound; never exceeded.
+    capacity: usize,
+    /// Per-shard ceiling bounding the worst-case skew of the key hash.
+    per_shard_capacity: usize,
+    tick: u64,
+    metrics: CacheMetrics,
+}
+
+impl PoolCache {
+    /// Creates a cache from a configuration (capacity and shard count are
+    /// clamped to at least 1).
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let capacity = config.capacity.max(1);
+        PoolCache {
+            config,
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            capacity,
+            per_shard_capacity: capacity.div_ceil(shards),
+            tick: 0,
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of entries currently stored across all shards (including
+    /// entries that have expired but not yet been purged).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Returns `true` when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards the key space is hashed over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot of the operational counters.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.metrics
+    }
+
+    fn shard_index(&self, key: &PoolKey) -> usize {
+        // DefaultHasher with default keys is deterministic within and
+        // across runs, keeping the simulation reproducible from its seed.
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Looks up `key` at virtual time `now`.
+    ///
+    /// A fresh entry is a hit; an expired *successful* entry within the
+    /// stale window is returned as [`CacheLookup::Stale`] (the caller
+    /// serves it and schedules a refresh); anything older — and any expired
+    /// negative entry — is dropped and reported as a miss.
+    pub fn get(&mut self, key: &PoolKey, now: SimInstant) -> CacheLookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let stale_window = self.config.stale_window;
+        let shard = self.shard_index(key);
+        let entry = match self.shards[shard].entries.get_mut(key) {
+            Some(entry) => entry,
+            None => {
+                self.metrics.misses += 1;
+                return CacheLookup::Miss;
+            }
+        };
+        let cached = CachedPool {
+            value: entry.value.clone(),
+            generated_at: entry.generated_at,
+            expires_at: entry.expires_at,
+        };
+        if now < entry.expires_at {
+            entry.last_used = tick;
+            self.metrics.hits += 1;
+            return CacheLookup::Fresh(cached);
+        }
+        let serve_stale =
+            entry.value.is_ok() && now < entry.expires_at.saturating_add(stale_window);
+        if serve_stale {
+            entry.last_used = tick;
+            self.metrics.stale_hits += 1;
+            CacheLookup::Stale(cached)
+        } else {
+            self.shards[shard].entries.remove(key);
+            self.metrics.expirations += 1;
+            self.metrics.misses += 1;
+            CacheLookup::Miss
+        }
+    }
+
+    /// Inspects the entry for `key` without touching LRU state or counters
+    /// (diagnostics and tests).
+    pub fn peek(&self, key: &PoolKey) -> Option<CachedPool> {
+        let shard = self.shard_index(key);
+        self.shards[shard].entries.get(key).map(|entry| CachedPool {
+            value: entry.value.clone(),
+            generated_at: entry.generated_at,
+            expires_at: entry.expires_at,
+        })
+    }
+
+    /// Stores a generation outcome for `key` produced at `now`. Successful
+    /// generations live for the configured TTL, failures for the negative
+    /// TTL; a zero lifetime skips insertion entirely.
+    pub fn insert(
+        &mut self,
+        key: PoolKey,
+        value: Result<GenerationReport, String>,
+        now: SimInstant,
+    ) {
+        let lifetime = match value {
+            Ok(_) => self.config.ttl,
+            Err(_) => self.config.negative_ttl,
+        };
+        if lifetime.is_zero() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let shard_index = self.shard_index(&key);
+        if !self.shards[shard_index].entries.contains_key(&key) {
+            // The total bound holds exactly; the per-shard ceiling
+            // additionally bounds the worst-case skew of the key hash.
+            if self.len() >= self.capacity {
+                self.evict_one(None, now);
+            } else if self.shards[shard_index].entries.len() >= self.per_shard_capacity {
+                self.evict_one(Some(shard_index), now);
+            }
+        }
+        self.shards[shard_index].entries.insert(
+            key,
+            Entry {
+                value,
+                generated_at: now,
+                expires_at: now.saturating_add(lifetime.as_duration()),
+                last_used: tick,
+            },
+        );
+        self.metrics.insertions += 1;
+    }
+
+    /// Evicts one entry from `scope` (one shard, or the whole cache),
+    /// preferring an entry already past any use over the least recently
+    /// used one.
+    fn evict_one(&mut self, scope: Option<usize>, now: SimInstant) {
+        let stale_window = self.config.stale_window;
+        let shards: Vec<usize> = match scope {
+            Some(shard) => vec![shard],
+            None => (0..self.shards.len()).collect(),
+        };
+        let mut dead: Option<(usize, PoolKey)> = None;
+        let mut lru: Option<(u64, usize, PoolKey)> = None;
+        'shards: for &shard in &shards {
+            for (key, entry) in &self.shards[shard].entries {
+                if now >= entry.keep_until(stale_window) {
+                    dead = Some((shard, key.clone()));
+                    break 'shards;
+                }
+                if lru.as_ref().is_none_or(|(t, _, _)| entry.last_used < *t) {
+                    lru = Some((entry.last_used, shard, key.clone()));
+                }
+            }
+        }
+        let victim = dead.or_else(|| lru.map(|(_, shard, key)| (shard, key)));
+        if let Some((shard, key)) = victim {
+            self.shards[shard].entries.remove(&key);
+            self.metrics.evictions += 1;
+        }
+    }
+
+    /// Removes the entry for `key`, returning whether one existed.
+    pub fn invalidate(&mut self, key: &PoolKey) -> bool {
+        let shard = self.shard_index(key);
+        self.shards[shard].entries.remove(key).is_some()
+    }
+
+    /// Drops every entry that is past its stale window at `now`; returns
+    /// how many were dropped.
+    pub fn purge_expired(&mut self, now: SimInstant) -> usize {
+        let stale_window = self.config.stale_window;
+        let mut dropped = 0;
+        for shard in &mut self.shards {
+            let before = shard.entries.len();
+            shard
+                .entries
+                .retain(|_, e| now < e.keep_until(stale_window));
+            dropped += before - shard.entries.len();
+        }
+        self.metrics.expirations += dropped as u64;
+        dropped
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.entries.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CombinationMode;
+    use crate::pool::AddressPool;
+
+    fn key(domain: &str) -> PoolKey {
+        PoolKey::new(domain.parse().unwrap(), AddressFamily::V4)
+    }
+
+    fn report(last: u8) -> GenerationReport {
+        let mut pool = AddressPool::new();
+        pool.push(format!("203.0.113.{last}").parse().unwrap(), "r1");
+        GenerationReport {
+            pool,
+            mode: CombinationMode::TruncateAndCombine,
+            sources: vec![("r1".into(), crate::generator::SourceOutcome::Answered(1))],
+            truncate_lengths: vec![("A".into(), 1)],
+        }
+    }
+
+    fn at(secs: u64) -> SimInstant {
+        SimInstant::from_nanos(secs * 1_000_000_000)
+    }
+
+    fn test_config() -> CacheConfig {
+        CacheConfig::default()
+            .with_ttl(Ttl::from_secs(60))
+            .with_stale_window(Duration::from_secs(30))
+            .with_negative_ttl(Ttl::from_secs(5))
+    }
+
+    #[test]
+    fn fresh_then_stale_then_miss() {
+        let mut cache = PoolCache::new(test_config());
+        cache.insert(key("pool.ntp.org"), Ok(report(1)), at(0));
+
+        match cache.get(&key("pool.ntp.org"), at(59)) {
+            CacheLookup::Fresh(hit) => {
+                assert_eq!(hit.value.as_ref().unwrap().pool.len(), 1);
+                assert_eq!(hit.remaining(at(59)), Ttl::from_secs(1));
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+        match cache.get(&key("pool.ntp.org"), at(75)) {
+            CacheLookup::Stale(hit) => {
+                assert_eq!(hit.generated_at, at(0));
+                assert_eq!(hit.remaining(at(75)), Ttl::ZERO);
+            }
+            other => panic!("expected stale, got {other:?}"),
+        }
+        assert!(cache.get(&key("pool.ntp.org"), at(91)).is_miss());
+        assert!(cache.is_empty(), "expired entry was dropped");
+        let metrics = cache.metrics();
+        assert_eq!(metrics.hits, 1);
+        assert_eq!(metrics.stale_hits, 1);
+        assert_eq!(metrics.misses, 1);
+        assert_eq!(metrics.expirations, 1);
+    }
+
+    #[test]
+    fn negative_entries_have_no_stale_window() {
+        let mut cache = PoolCache::new(test_config());
+        cache.insert(key("dead.test"), Err("not enough responses".into()), at(0));
+        match cache.get(&key("dead.test"), at(4)) {
+            CacheLookup::Fresh(hit) => assert!(hit.value.is_err()),
+            other => panic!("expected fresh negative, got {other:?}"),
+        }
+        // One second past the negative TTL: a miss, not a stale serve.
+        assert!(cache.get(&key("dead.test"), at(6)).is_miss());
+    }
+
+    #[test]
+    fn families_are_distinct_keys() {
+        let mut cache = PoolCache::new(test_config());
+        let v4 = PoolKey::new("dual.test".parse().unwrap(), AddressFamily::V4);
+        let v6 = PoolKey::new("dual.test".parse().unwrap(), AddressFamily::V6);
+        cache.insert(v4.clone(), Ok(report(1)), at(0));
+        assert!(!cache.get(&v4, at(1)).is_miss());
+        assert!(cache.get(&v6, at(1)).is_miss());
+        assert_eq!(format!("{v4}"), "dual.test./A");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_recently_used_entry() {
+        // One shard so the two keys compete for the same capacity.
+        let config = test_config().with_capacity(2).with_shards(1);
+        let mut cache = PoolCache::new(config);
+        cache.insert(key("a.test"), Ok(report(1)), at(0));
+        cache.insert(key("b.test"), Ok(report(2)), at(1));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(!cache.get(&key("a.test"), at(2)).is_miss());
+        cache.insert(key("c.test"), Ok(report(3)), at(3));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.get(&key("a.test"), at(4)).is_miss());
+        assert!(cache.get(&key("b.test"), at(4)).is_miss());
+        assert_eq!(cache.metrics().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_dead_entries_over_lru() {
+        let config = test_config().with_capacity(2).with_shards(1);
+        let mut cache = PoolCache::new(config);
+        // `live` carries the oldest LRU stamp, but `old` (inserted at t=0)
+        // is past TTL + stale window by t=120: eviction must pick the dead
+        // entry over the least recently used one.
+        cache.insert(key("live.test"), Ok(report(2)), at(100));
+        cache.insert(key("old.test"), Ok(report(1)), at(0));
+        cache.insert(key("new.test"), Ok(report(3)), at(120));
+        assert!(cache.get(&key("old.test"), at(120)).is_miss());
+        assert!(!cache.get(&key("live.test"), at(120)).is_miss());
+        assert!(!cache.get(&key("new.test"), at(120)).is_miss());
+        assert_eq!(cache.metrics().evictions, 1);
+    }
+
+    #[test]
+    fn expired_negative_entries_are_preferred_eviction_victims() {
+        // A negative entry has no stale window: once past its (short) TTL
+        // it is unusable and must be evicted before any live entry, even
+        // though the dead-check for positive entries uses TTL + stale.
+        let config = test_config().with_capacity(2).with_shards(1);
+        let mut cache = PoolCache::new(config);
+        cache.insert(key("dead.test"), Err("boom".into()), at(0)); // unusable after t=5
+        cache.insert(key("live.test"), Ok(report(1)), at(6));
+        cache.insert(key("new.test"), Ok(report(2)), at(6));
+        assert!(!cache.get(&key("live.test"), at(7)).is_miss());
+        assert!(!cache.get(&key("new.test"), at(7)).is_miss());
+        assert!(cache.get(&key("dead.test"), at(7)).is_miss());
+    }
+
+    #[test]
+    fn total_capacity_is_an_exact_bound_across_shards() {
+        // div_ceil(10, 8) = 2 per shard would allow up to 16 entries; the
+        // documented total bound must still hold exactly.
+        let config = test_config().with_capacity(10).with_shards(8);
+        let mut cache = PoolCache::new(config);
+        for i in 0..50 {
+            cache.insert(key(&format!("host{i}.test")), Ok(report(1)), at(0));
+            assert!(
+                cache.len() <= 10,
+                "{} entries after insert {i}",
+                cache.len()
+            );
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.metrics().evictions, 40);
+    }
+
+    #[test]
+    fn sharding_distributes_and_len_aggregates() {
+        let config = test_config().with_capacity(64).with_shards(4);
+        let mut cache = PoolCache::new(config);
+        for i in 0..32 {
+            cache.insert(key(&format!("host{i}.test")), Ok(report(1)), at(0));
+        }
+        assert_eq!(cache.len(), 32);
+        assert_eq!(cache.shard_count(), 4);
+        let populated = (0..4)
+            .filter(|&s| !cache.shards[s].entries.is_empty())
+            .count();
+        assert!(populated > 1, "keys spread over more than one shard");
+        assert_eq!(cache.purge_expired(at(1_000)), 32);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_and_shards_are_clamped() {
+        let config = test_config().with_capacity(0).with_shards(0);
+        let mut cache = PoolCache::new(config);
+        cache.insert(key("a.test"), Ok(report(1)), at(0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.shard_count(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut cache = PoolCache::new(test_config());
+        cache.insert(key("a.test"), Ok(report(1)), at(0));
+        assert!(cache.peek(&key("a.test")).is_some());
+        assert!(cache.invalidate(&key("a.test")));
+        assert!(!cache.invalidate(&key("a.test")));
+        cache.insert(key("b.test"), Ok(report(2)), at(0));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_ttl_skips_insertion() {
+        let mut cache = PoolCache::new(test_config().with_ttl(Ttl::ZERO));
+        cache.insert(key("a.test"), Ok(report(1)), at(0));
+        assert!(cache.is_empty());
+        let mut cache = PoolCache::new(test_config().with_negative_ttl(Ttl::ZERO));
+        cache.insert(key("a.test"), Err("boom".into()), at(0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn for_question_maps_address_types_only() {
+        let q = Question::new("pool.ntp.org".parse().unwrap(), RrType::A);
+        assert_eq!(PoolKey::for_question(&q).unwrap().family, AddressFamily::V4);
+        let q = Question::new("pool.ntp.org".parse().unwrap(), RrType::Aaaa);
+        assert_eq!(PoolKey::for_question(&q).unwrap().family, AddressFamily::V6);
+        let q = Question::new("pool.ntp.org".parse().unwrap(), RrType::Txt);
+        assert!(PoolKey::for_question(&q).is_none());
+        assert_eq!(AddressFamily::V4.rtype(), RrType::A);
+        assert_eq!(AddressFamily::V6.rtype(), RrType::Aaaa);
+    }
+}

@@ -1,0 +1,47 @@
+//! The pool-serving subsystem: cache, coalescing and background refresh.
+//!
+//! Secure pool generation is expensive by design — every lookup fans out to
+//! N DoH resolvers and cross-validates the answers — and the plain
+//! [`SecurePoolResolver`](crate::SecurePoolResolver) front end pays that
+//! cost for **every client query**. This module adds the serving layer that
+//! makes the mechanism scale to heavy client traffic:
+//!
+//! * [`PoolCache`] — a **sharded TTL cache** of [`GenerationReport`]s keyed
+//!   by `(domain, address family)`, with LRU eviction inside capacity
+//!   bounds, negative caching of generation failures and a stale window,
+//! * [`Singleflight`] — **coalescing** so concurrent misses for the same
+//!   key share one in-flight generation instead of each launching its own
+//!   fan-out,
+//! * [`RefreshScheduler`] + the stale window — **stale-while-revalidate**:
+//!   an expired entry is served immediately while a background refresh
+//!   regenerates the pool off the query path,
+//! * [`ServeSession`] — the sans-IO session driving the generations of a
+//!   whole serving batch as one overlapped fan-out (scheduled via
+//!   `poll()`/`WaitUntil`, so it composes with the simulator's virtual
+//!   clock),
+//! * [`CachingPoolResolver`] — the `QueryHandler` front end tying it all
+//!   together, with [`ServeMetrics`] (hits, misses, coalesced waiters,
+//!   stale serves, refreshes, …).
+//!
+//! Serving cost drops from one generation per query to one generation per
+//! `(domain, TTL window)` while every served answer still comes from a real
+//! generation, preserving the paper's benign-fraction guarantee.
+//!
+//! [`GenerationReport`]: crate::GenerationReport
+
+mod cache;
+mod refresh;
+mod resolver;
+mod session;
+mod singleflight;
+
+pub use cache::{
+    AddressFamily, CacheConfig, CacheLookup, CacheMetrics, CachedPool, PoolCache, PoolKey,
+};
+pub use refresh::{RefreshScheduler, RefreshTask};
+pub use resolver::{CachingPoolResolver, ServeMetrics};
+pub use session::{
+    drive_serve, FlightOutcome, ServeAction, ServeEvent, ServeSession, ServeTransactionId,
+    ServeTransmit,
+};
+pub use singleflight::{FlightJoin, Singleflight};

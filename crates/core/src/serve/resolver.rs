@@ -1,0 +1,603 @@
+//! The caching DNS front end: [`CachingPoolResolver`].
+//!
+//! [`SecurePoolResolver`](crate::SecurePoolResolver) runs a full
+//! distributed generation for **every** client query, so serving cost
+//! scales linearly with client traffic. `CachingPoolResolver` puts the
+//! serving subsystem in between: queries are answered from the sharded
+//! [`PoolCache`], cold bursts are coalesced so concurrent misses for one
+//! domain share a single fan-out ([`CachingPoolResolver::serve_batch`]),
+//! and expired entries within the stale window are served immediately while
+//! a background refresh — pumped by the driver via
+//! [`CachingPoolResolver::run_due_refreshes`], scheduled sans-IO through
+//! [`CachingPoolResolver::next_refresh_due`] — regenerates the pool off the
+//! query path. The amortised cost of serving a domain drops from one
+//! generation per query to one generation per TTL window.
+//!
+//! Every answer still comes out of a real [`GenerationReport`] produced by
+//! the paper's secure generation procedure, so the benign-fraction
+//! guarantee of served pools is exactly the guarantee of the underlying
+//! generation — caching changes *when* pools are generated, never *what*
+//! is served.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use sdoh_dns_server::{Exchanger, QueryHandler};
+use sdoh_dns_wire::{Message, Question, Rcode, Ttl};
+
+use super::cache::{CacheConfig, CacheLookup, CacheMetrics, PoolCache, PoolKey};
+use super::refresh::RefreshScheduler;
+use super::session::{drive_serve, ServeSession};
+use super::singleflight::Singleflight;
+use crate::generator::{seed_from, GenerationReport, SecurePoolGenerator};
+use crate::lookup::pool_response;
+use crate::session::SessionEvent;
+use sdoh_netsim::SimInstant;
+
+/// Operational counters of a [`CachingPoolResolver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Address queries received (after protocol-level rejection).
+    pub queries: u64,
+    /// Queries rejected before lookup (no question / non-address type).
+    pub rejected: u64,
+    /// Queries answered from a fresh cache entry.
+    pub hits: u64,
+    /// Queries answered from a stale entry while a refresh was queued
+    /// (stale-while-revalidate).
+    pub stale_serves: u64,
+    /// Queries answered SERVFAIL from a cached generation failure without
+    /// re-running the fan-out (negative caching).
+    pub negative_hits: u64,
+    /// Queries that found no usable entry and triggered (or joined) a
+    /// generation.
+    pub misses: u64,
+    /// Misses that attached to another query's in-flight generation instead
+    /// of launching their own (singleflight).
+    pub coalesced_waiters: u64,
+    /// Pool generations actually performed (demand misses + refreshes).
+    pub generations: u64,
+    /// Generations that failed and were negatively cached.
+    pub generation_failures: u64,
+    /// Background refresh generations performed.
+    pub refreshes: u64,
+    /// Per-resolver lookups that produced a usable answer, across all
+    /// generations.
+    pub source_answers: u64,
+    /// Per-resolver lookups that failed, across all generations.
+    pub source_failures: u64,
+    /// Virtual time the most recent generation batch took.
+    pub last_generation_latency: Duration,
+    /// Total virtual time spent generating pools.
+    pub total_generation_latency: Duration,
+}
+
+impl ServeMetrics {
+    /// Fraction of address queries served without a generation on the query
+    /// path (fresh + stale + negative hits).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        (self.hits + self.stale_serves + self.negative_hits) as f64 / self.queries as f64
+    }
+}
+
+/// A DNS query handler serving secure pools through the caching subsystem.
+///
+/// See the module documentation for the serving model.
+pub struct CachingPoolResolver {
+    generator: SecurePoolGenerator,
+    cache: PoolCache,
+    refresh: RefreshScheduler,
+    metrics: ServeMetrics,
+}
+
+impl CachingPoolResolver {
+    /// Wraps a generator in the serving subsystem.
+    pub fn new(generator: SecurePoolGenerator, config: CacheConfig) -> Self {
+        CachingPoolResolver {
+            generator,
+            cache: PoolCache::new(config),
+            refresh: RefreshScheduler::new(),
+            metrics: ServeMetrics::default(),
+        }
+    }
+
+    /// Access to the underlying generator.
+    pub fn generator(&self) -> &SecurePoolGenerator {
+        &self.generator
+    }
+
+    /// Access to the pool cache (diagnostics and tests).
+    pub fn cache(&self) -> &PoolCache {
+        &self.cache
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics
+    }
+
+    /// Snapshot of the cache-level counters.
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        self.cache.metrics()
+    }
+
+    /// The earliest queued refresh deadline — the instant a driver should
+    /// wake up and call [`CachingPoolResolver::run_due_refreshes`] (`None`
+    /// when nothing is queued). Composes with `WaitUntil`-style scheduling
+    /// over the simulator's virtual clock.
+    pub fn next_refresh_due(&self) -> Option<SimInstant> {
+        self.refresh.next_due()
+    }
+
+    /// Number of refreshes currently queued.
+    pub fn pending_refreshes(&self) -> usize {
+        self.refresh.len()
+    }
+
+    /// Runs every refresh whose deadline has passed as one overlapped
+    /// generation batch, off any client's query path. Returns how many
+    /// refreshes ran.
+    pub fn run_due_refreshes(&mut self, exchanger: &mut dyn Exchanger) -> usize {
+        let due = self.refresh.take_due(exchanger.now());
+        if due.is_empty() {
+            return 0;
+        }
+        let count = due.len();
+        self.generate_batch(exchanger, due, true);
+        count
+    }
+
+    /// Serves a batch of client queries that arrived together, coalescing
+    /// concurrent misses for the same key onto one generation
+    /// (singleflight) and overlapping the generations of distinct keys in
+    /// one fan-out. Responses come back in query order.
+    pub fn serve_batch(
+        &mut self,
+        exchanger: &mut dyn Exchanger,
+        queries: &[Message],
+    ) -> Vec<Message> {
+        let now = exchanger.now();
+        let mut responses: Vec<Option<Message>> = vec![None; queries.len()];
+        let mut flights: Singleflight<PoolKey> = Singleflight::new();
+        let mut questions: HashMap<usize, Question> = HashMap::new();
+        for (index, query) in queries.iter().enumerate() {
+            let question = match self.screen(query) {
+                Ok(question) => question,
+                Err(response) => {
+                    responses[index] = Some(response);
+                    continue;
+                }
+            };
+            let key = PoolKey::for_question(&question).expect("screened address question");
+            match self.lookup(&key, &question, query, now) {
+                Some(response) => responses[index] = Some(response),
+                None => {
+                    flights.join(key, index);
+                    questions.insert(index, question);
+                }
+            }
+        }
+        self.metrics.coalesced_waiters += flights.coalesced();
+        let keys: Vec<PoolKey> = flights.flights().iter().map(|(k, _)| k.clone()).collect();
+        let results = self.generate_batch(exchanger, keys, false);
+        for ((_, waiters), (_, result)) in flights.into_flights().iter().zip(&results) {
+            for &waiter in waiters {
+                let question = &questions[&waiter];
+                responses[waiter] = Some(match result {
+                    Ok(report) => {
+                        pool_response(&queries[waiter], question, report, self.cache.config().ttl)
+                    }
+                    Err(_) => Message::error_response(&queries[waiter], Rcode::ServFail),
+                });
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// Validates the protocol-level shape of a query, counting rejections.
+    fn screen(&mut self, query: &Message) -> Result<Question, Message> {
+        let question = match query.question() {
+            Some(q) => q.clone(),
+            None => {
+                self.metrics.rejected += 1;
+                return Err(Message::error_response(query, Rcode::FormErr));
+            }
+        };
+        if !question.rtype.is_address() {
+            self.metrics.rejected += 1;
+            return Err(Message::error_response(query, Rcode::NotImp));
+        }
+        self.metrics.queries += 1;
+        Ok(question)
+    }
+
+    /// Answers a query from the cache if possible; `None` means the caller
+    /// must generate (a miss). Stale hits are answered immediately and a
+    /// refresh is queued for `now`.
+    fn lookup(
+        &mut self,
+        key: &PoolKey,
+        question: &Question,
+        query: &Message,
+        now: SimInstant,
+    ) -> Option<Message> {
+        match self.cache.get(key, now) {
+            CacheLookup::Fresh(hit) => {
+                let response = match &hit.value {
+                    Ok(report) => {
+                        self.metrics.hits += 1;
+                        pool_response(query, question, report, hit.remaining(now))
+                    }
+                    Err(_) => {
+                        self.metrics.negative_hits += 1;
+                        Message::error_response(query, Rcode::ServFail)
+                    }
+                };
+                Some(response)
+            }
+            CacheLookup::Stale(hit) => {
+                self.metrics.stale_serves += 1;
+                self.refresh.schedule(key.clone(), now);
+                let response = match &hit.value {
+                    // Stale answers carry a zero TTL: clients may use them
+                    // now but must not cache them onward.
+                    Ok(report) => pool_response(query, question, report, Ttl::ZERO),
+                    Err(_) => Message::error_response(query, Rcode::ServFail),
+                };
+                Some(response)
+            }
+            CacheLookup::Miss => {
+                self.metrics.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Runs one overlapped generation per key, feeding outcomes into the
+    /// cache (failures become negative entries) and the metrics. Returns
+    /// the per-key outcomes in batch order.
+    fn generate_batch(
+        &mut self,
+        exchanger: &mut dyn Exchanger,
+        keys: Vec<PoolKey>,
+        is_refresh: bool,
+    ) -> Vec<(PoolKey, Result<GenerationReport, String>)> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let batch: Vec<(PoolKey, u64)> = keys
+            .into_iter()
+            .map(|key| {
+                let seed = seed_from(exchanger);
+                (key, seed)
+            })
+            .collect();
+        let started = exchanger.now();
+        let CachingPoolResolver {
+            generator,
+            cache,
+            metrics,
+            refresh,
+        } = self;
+        let keys: Vec<PoolKey> = batch.iter().map(|(key, _)| key.clone()).collect();
+        let outcome = ServeSession::new(generator, batch).and_then(|mut session| {
+            let events = drive_serve(&mut session, exchanger)?;
+            for event in &events {
+                match event.event {
+                    SessionEvent::SourceAnswered { .. } => metrics.source_answers += 1,
+                    SessionEvent::SourceFailed { .. } => metrics.source_failures += 1,
+                }
+            }
+            session.finish()
+        });
+        let now = exchanger.now();
+        let elapsed = now.saturating_duration_since(started);
+        metrics.last_generation_latency = elapsed;
+        metrics.total_generation_latency += elapsed;
+        let results: Vec<(PoolKey, Result<GenerationReport, String>)> = match outcome {
+            Ok(outcomes) => outcomes
+                .into_iter()
+                .map(|o| (o.key, o.result.map_err(|e| e.to_string())))
+                .collect(),
+            // A session-protocol error dooms the whole batch: every key is
+            // negatively cached so queued clients fail fast instead of
+            // re-driving a broken session.
+            Err(err) => keys
+                .into_iter()
+                .map(|key| (key, Err(err.to_string())))
+                .collect(),
+        };
+        for (key, value) in &results {
+            metrics.generations += 1;
+            if is_refresh {
+                metrics.refreshes += 1;
+            }
+            if value.is_err() {
+                metrics.generation_failures += 1;
+            }
+            cache.insert(key.clone(), value.clone(), now);
+            // The entry was just regenerated: a refresh still queued for it
+            // (its stale serve happened before this demand-path generation)
+            // would only duplicate the fan-out.
+            refresh.cancel(key);
+        }
+        results
+    }
+}
+
+impl QueryHandler for CachingPoolResolver {
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        let question = match self.screen(query) {
+            Ok(question) => question,
+            Err(response) => return response,
+        };
+        let key = PoolKey::for_question(&question).expect("screened address question");
+        let now = exchanger.now();
+        if let Some(response) = self.lookup(&key, &question, query, now) {
+            return response;
+        }
+        let results = self.generate_batch(exchanger, vec![key], false);
+        match &results[0].1 {
+            Ok(report) => pool_response(query, &question, report, self.cache.config().ttl),
+            Err(_) => Message::error_response(query, Rcode::ServFail),
+        }
+    }
+
+    fn handler_name(&self) -> &str {
+        "caching-pool-resolver"
+    }
+}
+
+impl std::fmt::Debug for CachingPoolResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingPoolResolver")
+            .field("generator", &self.generator)
+            .field("cache_entries", &self.cache.len())
+            .field("pending_refreshes", &self.refresh.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use crate::source::{AddressSource, StaticSource};
+    use sdoh_dns_server::ClientExchanger;
+    use sdoh_dns_wire::RrType;
+    use sdoh_netsim::{SimAddr, SimNet};
+    use std::net::IpAddr;
+
+    fn ip(last: u8) -> IpAddr {
+        format!("203.0.113.{last}").parse().unwrap()
+    }
+
+    fn resolver(config: CacheConfig) -> CachingPoolResolver {
+        let sources: Vec<Box<dyn AddressSource>> = vec![
+            Box::new(StaticSource::answering("r1", vec![ip(1), ip(2)])),
+            Box::new(StaticSource::answering("r2", vec![ip(2), ip(3)])),
+            Box::new(StaticSource::answering("r3", vec![ip(2), ip(1)])),
+        ];
+        CachingPoolResolver::new(
+            SecurePoolGenerator::new(PoolConfig::algorithm1(), sources).unwrap(),
+            config,
+        )
+    }
+
+    fn test_config() -> CacheConfig {
+        CacheConfig::default()
+            .with_ttl(Ttl::from_secs(60))
+            .with_stale_window(Duration::from_secs(30))
+            .with_negative_ttl(Ttl::from_secs(5))
+    }
+
+    fn query(id: u16, domain: &str) -> Message {
+        Message::query(id, domain.parse().unwrap(), RrType::A)
+    }
+
+    #[test]
+    fn repeat_queries_cost_one_generation() {
+        let net = SimNet::new(80);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        let first = resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        assert_eq!(first.answer_addresses().len(), 6);
+        for i in 2..=10 {
+            let response = resolver.handle_query(&mut exchanger, &query(i, "pool.ntp.org"));
+            assert_eq!(response.answer_addresses(), first.answer_addresses());
+        }
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.queries, 10);
+        assert_eq!(metrics.generations, 1);
+        assert_eq!(metrics.misses, 1);
+        assert_eq!(metrics.hits, 9);
+        assert!((metrics.hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn served_ttl_decrements_with_entry_age() {
+        let net = SimNet::new(81);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        let fresh = resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        assert!(fresh.answers.iter().all(|r| r.ttl == 60));
+        net.clock().advance(Duration::from_secs(25));
+        let aged = resolver.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        assert!(aged.answers.iter().all(|r| r.ttl == 35));
+    }
+
+    #[test]
+    fn stale_window_serves_immediately_and_refreshes_in_background() {
+        let net = SimNet::new(82);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        assert_eq!(resolver.next_refresh_due(), None);
+
+        // Past the TTL, within the stale window.
+        net.clock().advance(Duration::from_secs(75));
+        let before = net.now();
+        let stale = resolver.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        assert_eq!(net.now(), before, "stale serve performed no exchange");
+        assert_eq!(stale.answer_addresses().len(), 6);
+        assert!(stale.answers.iter().all(|r| r.ttl == 0));
+        assert_eq!(resolver.metrics().stale_serves, 1);
+        assert_eq!(resolver.metrics().generations, 1, "not on the query path");
+        assert_eq!(resolver.next_refresh_due(), Some(before));
+        assert_eq!(resolver.pending_refreshes(), 1);
+
+        // The background pump regenerates; the next query is a fresh hit.
+        assert_eq!(resolver.run_due_refreshes(&mut exchanger), 1);
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.generations, 2);
+        assert_eq!(metrics.refreshes, 1);
+        let fresh = resolver.handle_query(&mut exchanger, &query(3, "pool.ntp.org"));
+        assert_eq!(fresh.answer_addresses().len(), 6);
+        assert_eq!(resolver.metrics().hits, 1);
+        assert_eq!(resolver.run_due_refreshes(&mut exchanger), 0);
+    }
+
+    #[test]
+    fn demand_regeneration_cancels_the_queued_refresh() {
+        // A stale serve queues a refresh; if the entry then ages past the
+        // stale window before any pump runs, the next query regenerates on
+        // the miss path — and the queued refresh must be dropped, not run
+        // as a duplicate fan-out against the already-fresh entry.
+        let net = SimNet::new(88);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        net.clock().advance(Duration::from_secs(75));
+        resolver.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        assert_eq!(resolver.pending_refreshes(), 1, "stale serve queued it");
+        net.clock().advance(Duration::from_secs(20));
+        resolver.handle_query(&mut exchanger, &query(3, "pool.ntp.org"));
+        assert_eq!(resolver.metrics().generations, 2, "miss-path regeneration");
+        assert_eq!(resolver.pending_refreshes(), 0, "queued refresh cancelled");
+        assert_eq!(resolver.run_due_refreshes(&mut exchanger), 0);
+        assert_eq!(resolver.metrics().generations, 2);
+        assert_eq!(resolver.metrics().refreshes, 0);
+    }
+
+    #[test]
+    fn expiry_past_stale_window_regenerates_on_the_query_path() {
+        let net = SimNet::new(83);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        net.clock().advance(Duration::from_secs(91));
+        resolver.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.generations, 2);
+        assert_eq!(metrics.misses, 2);
+        assert_eq!(metrics.stale_serves, 0);
+    }
+
+    #[test]
+    fn failures_are_negatively_cached() {
+        let net = SimNet::new(84);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let sources: Vec<Box<dyn AddressSource>> = vec![
+            Box::new(StaticSource::failing("dead1")),
+            Box::new(StaticSource::failing("dead2")),
+        ];
+        let generator =
+            SecurePoolGenerator::new(PoolConfig::algorithm1().with_min_responses(2), sources)
+                .unwrap();
+        let mut resolver = CachingPoolResolver::new(generator, test_config());
+
+        let first = resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        assert_eq!(first.header.rcode, Rcode::ServFail);
+        let second = resolver.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        assert_eq!(second.header.rcode, Rcode::ServFail);
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.generations, 1, "failure answered from the cache");
+        assert_eq!(metrics.generation_failures, 1);
+        assert_eq!(metrics.negative_hits, 1);
+
+        // Past the negative TTL the fan-out is retried.
+        net.clock().advance(Duration::from_secs(6));
+        resolver.handle_query(&mut exchanger, &query(3, "pool.ntp.org"));
+        assert_eq!(resolver.metrics().generations, 2);
+    }
+
+    #[test]
+    fn serve_batch_coalesces_concurrent_misses() {
+        let net = SimNet::new(85);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        let queries: Vec<Message> = vec![
+            query(1, "a.ntp.org"),
+            query(2, "b.ntp.org"),
+            query(3, "a.ntp.org"),
+            query(4, "a.ntp.org"),
+            query(5, "b.ntp.org"),
+        ];
+        let responses = resolver.serve_batch(&mut exchanger, &queries);
+        assert_eq!(responses.len(), 5);
+        assert!(responses.iter().all(|r| r.answer_addresses().len() == 6));
+        // Same key, same flight, same pool.
+        assert_eq!(
+            responses[0].answer_addresses(),
+            responses[2].answer_addresses()
+        );
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.queries, 5);
+        assert_eq!(metrics.generations, 2, "two distinct keys");
+        assert_eq!(metrics.coalesced_waiters, 3);
+        assert_eq!(metrics.misses, 5);
+
+        // A second batch is all cache hits.
+        let responses = resolver.serve_batch(&mut exchanger, &queries);
+        assert_eq!(responses.len(), 5);
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.generations, 2);
+        assert_eq!(metrics.hits, 5);
+    }
+
+    #[test]
+    fn rejection_paths_match_the_uncached_front_end() {
+        let net = SimNet::new(86);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        let txt = Message::query(1, "pool.ntp.org".parse().unwrap(), RrType::Txt);
+        assert_eq!(
+            resolver.handle_query(&mut exchanger, &txt).header.rcode,
+            Rcode::NotImp
+        );
+        let empty = Message::new();
+        assert_eq!(
+            resolver.handle_query(&mut exchanger, &empty).header.rcode,
+            Rcode::FormErr
+        );
+        let batch = resolver.serve_batch(&mut exchanger, &[txt]);
+        assert_eq!(batch[0].header.rcode, Rcode::NotImp);
+        assert_eq!(resolver.metrics().rejected, 3);
+        assert_eq!(resolver.metrics().queries, 0);
+        assert_eq!(resolver.handler_name(), "caching-pool-resolver");
+        assert!(format!("{resolver:?}").contains("CachingPoolResolver"));
+    }
+
+    #[test]
+    fn families_cache_separately() {
+        let net = SimNet::new(87);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        let a = Message::query(1, "pool.ntp.org".parse().unwrap(), RrType::A);
+        let aaaa = Message::query(2, "pool.ntp.org".parse().unwrap(), RrType::Aaaa);
+        resolver.handle_query(&mut exchanger, &a);
+        let v6 = resolver.handle_query(&mut exchanger, &aaaa);
+        // IPv4-only generation: the AAAA answer is empty but still cached
+        // under its own key.
+        assert!(v6.answer_addresses().is_empty());
+        assert_eq!(resolver.metrics().generations, 2);
+        assert_eq!(resolver.cache().len(), 2);
+    }
+}

@@ -129,7 +129,7 @@ struct Transaction {
 
 /// Sans-IO state machine for one secure pool lookup.
 ///
-/// See the [module documentation](self) for the driving protocol.
+/// See the module documentation for the driving protocol.
 pub struct PoolSession<'a> {
     config: PoolConfig,
     sources: &'a [Box<dyn AddressSource>],

@@ -1,9 +1,8 @@
 //! A TTL-respecting resolver cache driven by the simulation clock.
 
 use std::collections::HashMap;
-use std::time::Duration;
 
-use sdoh_dns_wire::{Message, Name, Rcode, Record, RrType};
+use sdoh_dns_wire::{Message, Name, Rcode, Record, RrType, Ttl};
 use sdoh_netsim::{SimClock, SimInstant};
 
 /// A cached answer: either a set of records or a negative result.
@@ -35,7 +34,7 @@ pub struct DnsCache {
     entries: HashMap<(Name, RrType), Entry>,
     capacity: usize,
     /// TTL used for negative entries when the response carries no SOA.
-    negative_ttl: Duration,
+    negative_ttl: Ttl,
     hits: u64,
     misses: u64,
 }
@@ -47,7 +46,7 @@ impl DnsCache {
             clock,
             entries: HashMap::new(),
             capacity: capacity.max(1),
-            negative_ttl: Duration::from_secs(60),
+            negative_ttl: Ttl::from_secs(60),
             hits: 0,
             misses: 0,
         }
@@ -106,14 +105,17 @@ impl DnsCache {
                 .iter()
                 .find_map(|r| match &r.rdata {
                     sdoh_dns_wire::RData::Soa(soa) => {
-                        Some(Duration::from_secs(u64::from(soa.minimum.min(r.ttl))))
+                        Some(Ttl::from_secs(soa.minimum).min(Ttl::from_secs(r.ttl)))
                     }
                     _ => None,
                 })
                 .unwrap_or(self.negative_ttl)
         } else {
-            let min_ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
-            Duration::from_secs(u64::from(min_ttl))
+            records
+                .iter()
+                .map(|r| Ttl::from_secs(r.ttl))
+                .min()
+                .unwrap_or(Ttl::ZERO)
         };
         self.insert_with_ttl(
             name.clone(),
@@ -127,13 +129,7 @@ impl DnsCache {
     }
 
     /// Stores an answer with an explicit TTL.
-    pub fn insert_with_ttl(
-        &mut self,
-        name: Name,
-        rtype: RrType,
-        answer: CachedAnswer,
-        ttl: Duration,
-    ) {
+    pub fn insert_with_ttl(&mut self, name: Name, rtype: RrType, answer: CachedAnswer, ttl: Ttl) {
         if ttl.is_zero() {
             return;
         }
@@ -141,7 +137,7 @@ impl DnsCache {
         {
             self.evict_one();
         }
-        let expires_at = self.clock.now().saturating_add(ttl);
+        let expires_at = self.clock.now().saturating_add(ttl.as_duration());
         self.entries
             .insert((name, rtype), Entry { answer, expires_at });
     }
@@ -177,6 +173,7 @@ impl DnsCache {
 mod tests {
     use super::*;
     use sdoh_dns_wire::{MessageBuilder, RData};
+    use std::time::Duration;
 
     fn response_with_addresses(name: &Name, ttl: u32, count: u8) -> Message {
         let query = Message::query(1, name.clone(), RrType::A);

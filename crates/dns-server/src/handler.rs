@@ -33,6 +33,28 @@ impl<H: QueryHandler + ?Sized> QueryHandler for Box<H> {
     }
 }
 
+/// A shared handler: lets the same component be registered as a network
+/// service *and* kept on the driver's side of the simulation — e.g. a
+/// caching resolver whose background refreshes the experiment pumps and
+/// whose metrics it inspects while clients query it over the network.
+///
+/// The simulator is single-threaded, so `Rc<RefCell<_>>` is the right
+/// sharing primitive. A query arriving while the handler is already
+/// borrowed (a handler transitively querying itself) is answered SERVFAIL
+/// rather than supporting re-entrancy.
+impl<H: QueryHandler> QueryHandler for std::rc::Rc<std::cell::RefCell<H>> {
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        match self.try_borrow_mut() {
+            Ok(mut handler) => handler.handle_query(exchanger, query),
+            Err(_) => Message::error_response(query, sdoh_dns_wire::Rcode::ServFail),
+        }
+    }
+
+    fn handler_name(&self) -> &str {
+        "shared-query-handler"
+    }
+}
+
 impl QueryHandler for Authority {
     fn handle_query(&mut self, _exchanger: &mut dyn Exchanger, query: &Message) -> Message {
         self.answer(query)

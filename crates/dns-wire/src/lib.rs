@@ -46,6 +46,7 @@ mod question;
 mod rdata;
 mod record;
 mod rrtype;
+mod ttl;
 mod wire;
 
 pub use edns::{Edns, DEFAULT_PAYLOAD_SIZE};
@@ -57,6 +58,7 @@ pub use question::Question;
 pub use rdata::{EdnsOption, Mx, OptRdata, RData, Soa, Srv};
 pub use record::Record;
 pub use rrtype::{RrClass, RrType};
+pub use ttl::Ttl;
 pub use wire::{WireReader, WireWriter};
 
 #[cfg(test)]

@@ -258,20 +258,34 @@ impl SimNet {
         src: SimAddr,
         requests: Vec<ConcurrentRequest>,
     ) -> Vec<ConcurrentOutcome> {
-        self.transact_concurrent_at_depth(src, requests, 0)
+        let requests = requests.into_iter().map(|r| (src, r)).collect();
+        self.transact_concurrent_at_depth(requests, 0)
+    }
+
+    /// Like [`SimNet::transact_concurrent`], but each request departs from
+    /// its own source address — a whole *population* of clients sending at
+    /// the same instant. The batch's elapsed virtual time is the maximum of
+    /// the individual exchanges; outcomes come back in delivery order. The
+    /// clock caveat of [`SimNet::transact_concurrent`] applies: a single
+    /// service handling several exchanges of one batch observes their
+    /// arrival instants out of order across invocations.
+    pub fn transact_concurrent_from(
+        &self,
+        requests: Vec<(SimAddr, ConcurrentRequest)>,
+    ) -> Vec<ConcurrentOutcome> {
+        self.transact_concurrent_at_depth(requests, 0)
     }
 
     fn transact_concurrent_at_depth(
         &self,
-        src: SimAddr,
-        requests: Vec<ConcurrentRequest>,
+        requests: Vec<(SimAddr, ConcurrentRequest)>,
         depth: usize,
     ) -> Vec<ConcurrentOutcome> {
         let departed = self.clock.now();
         let mut outcomes: Vec<ConcurrentOutcome> = requests
             .into_iter()
             .enumerate()
-            .map(|(index, request)| {
+            .map(|(index, (src, request))| {
                 // Each in-flight exchange starts from the shared departure
                 // instant; running them one at a time only serialises the
                 // *randomness* draws, not the virtual time.
@@ -575,8 +589,8 @@ impl<'a> Ctx<'a> {
     /// [`SimNet::transact_concurrent`]: a service fanning out to N backends
     /// pays the slowest backend's latency, not the sum.
     pub fn call_concurrent(&mut self, requests: Vec<ConcurrentRequest>) -> Vec<ConcurrentOutcome> {
-        self.net
-            .transact_concurrent_at_depth(self.local, requests, self.depth)
+        let requests = requests.into_iter().map(|r| (self.local, r)).collect();
+        self.net.transact_concurrent_at_depth(requests, self.depth)
     }
 }
 

@@ -12,6 +12,7 @@ use secure_doh::core::{PoolConfig, SecurePoolResolver};
 use secure_doh::dns::{ClientExchanger, Do53Service, StubResolver};
 use secure_doh::netsim::SimAddr;
 use secure_doh::scenario::{ResolverCompromise, Scenario, ScenarioConfig, CLIENT_ADDR};
+use secure_doh::wire::Ttl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One of the three DoH resolvers replaces answers for the pool domain
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generator = scenario.pool_generator(PoolConfig::majority_resolver())?;
     scenario.net.register(
         frontend_addr,
-        Do53Service::new(SecurePoolResolver::new(generator).answer_ttl(300)),
+        Do53Service::new(SecurePoolResolver::new(generator).answer_ttl(Ttl::from_secs(300))),
     );
 
     println!("== Majority DNS resolver front end ==\n");

@@ -5,15 +5,18 @@
 //! public DoH resolvers, eight NTP servers), plans one secure pool lookup
 //! as a [`PoolSession`](secure_doh::core::PoolSession), performs the N
 //! resolver exchanges **concurrently** (the lookup costs the slowest
-//! resolver, not the sum), and hands the generated pool to Chronos to
-//! synchronise a clock that starts 30 seconds off.
+//! resolver, not the sum), hands the generated pool to Chronos to
+//! synchronise a clock that starts 30 seconds off, and finally serves the
+//! pool to a whole population of stub clients through the caching front
+//! end ([`CachingPoolResolver`](secure_doh::core::CachingPoolResolver)) —
+//! one generation, many answers.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use secure_doh::core::{check_guarantee, Action, PoolConfig, SessionEvent};
-use secure_doh::dns::{ExchangeRequest, Exchanger};
+use secure_doh::core::{check_guarantee, Action, CacheConfig, PoolConfig, SessionEvent};
+use secure_doh::dns::{ExchangeRequest, Exchanger, StubResolver};
 use secure_doh::ntp::{ChronosClient, ChronosConfig, LocalClock, NtpClient};
-use secure_doh::scenario::{Scenario, ScenarioConfig, CLIENT_ADDR};
+use secure_doh::scenario::{Scenario, ScenarioConfig, CLIENT_ADDR, FRONTEND_ADDR};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 0: build the simulated Internet of Figure 1.
@@ -116,6 +119,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "local clock now {:+.6} s from true time",
         clock.offset_from_true()
     );
+
+    // Step 7: serve the pool at scale. The caching front end answers a
+    // whole population of unmodified stub clients from one generation per
+    // TTL window instead of fanning out for every query.
+    let resolver =
+        scenario.install_caching_frontend(PoolConfig::algorithm1(), CacheConfig::default())?;
+    let stub = StubResolver::new(FRONTEND_ADDR);
+    for _ in 0..20 {
+        let addrs = stub.lookup_ipv4(&mut exchanger, &scenario.pool_domain)?;
+        assert_eq!(addrs.len(), report.pool.len());
+    }
+    let metrics = resolver.borrow().metrics();
+    println!(
+        "\ncaching front end: {} queries served by {} generation(s) \
+         ({} cache hits, hit ratio {:.0}%)",
+        metrics.queries,
+        metrics.generations,
+        metrics.hits,
+        metrics.hit_ratio() * 100.0
+    );
+
     println!("\nnetwork metrics: {}", scenario.net.metrics());
     Ok(())
 }

@@ -7,10 +7,15 @@
 //! baseline, and the NTP servers the pool points at (optionally malicious).
 //! Examples, integration tests and the experiment binaries all build on it.
 
+use std::cell::RefCell;
 use std::net::IpAddr;
+use std::rc::Rc;
 use std::time::Duration;
 
-use sdoh_core::{GenerationReport, PoolConfig, SecurePoolGenerator};
+use sdoh_core::{
+    CacheConfig, CachingPoolResolver, GenerationReport, PoolConfig, SecurePoolGenerator,
+    SecurePoolResolver,
+};
 use sdoh_dns_server::{
     Authority, Catalog, ClientExchanger, Do53Service, PoisonConfig, PoisonMode, PoisonedResolver,
     QueryHandler, RecursiveConfig, RecursiveResolver, Zone,
@@ -53,6 +58,13 @@ pub const CLIENT_ADDR: SimAddr = SimAddr {
     port: 40000,
 };
 
+/// Address where the serving front ends (cached or uncached pool
+/// resolvers) are installed by the scenario helpers.
+pub const FRONTEND_ADDR: SimAddr = SimAddr {
+    ip: IpAddr::V4(std::net::Ipv4Addr::new(192, 0, 2, 53)),
+    port: 53,
+};
+
 /// What a compromised DoH resolver does, mapped onto the poisoning modes of
 /// the DNS layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +88,13 @@ pub struct ScenarioConfig {
     pub resolvers: usize,
     /// Number of benign NTP servers published in `pool.ntpns.org`.
     pub ntp_servers: usize,
+    /// Number of pool domains served by the hierarchy (clamped to at least
+    /// one). The first is `pool.ntpns.org`; additional ones are
+    /// `pool2.ntpns.org`, `pool3.ntpns.org`, … — the "handful of domains" a
+    /// serving workload spreads its queries over. Every pool domain
+    /// publishes the same benign NTP fleet, and a compromised resolver
+    /// poisons all of them.
+    pub pool_domains: usize,
     /// Indexes of resolvers that are compromised, with their behaviour.
     pub compromised: Vec<(usize, ResolverCompromise)>,
     /// Time shift (seconds) applied by attacker-operated NTP servers.
@@ -90,6 +109,7 @@ impl Default for ScenarioConfig {
             seed: 1,
             resolvers: 3,
             ntp_servers: 8,
+            pool_domains: 1,
             compromised: Vec::new(),
             attacker_time_shift: 1000.0,
             link_latency: Duration::from_millis(10),
@@ -108,6 +128,9 @@ pub struct Scenario {
     pub resolver_infos: Vec<ResolverInfo>,
     /// The pool domain (`pool.ntpns.org.`).
     pub pool_domain: Name,
+    /// Every pool domain the hierarchy serves (the first entry is
+    /// [`Scenario::pool_domain`]).
+    pub pool_domains: Vec<Name>,
     /// Addresses of the benign NTP servers published in the pool domain.
     pub benign_ntp: Vec<IpAddr>,
     /// Addresses of the attacker-operated NTP servers (used by compromised
@@ -126,7 +149,17 @@ impl Scenario {
             LinkConfig::with_latency(config.link_latency).jitter(Duration::from_millis(2)),
         );
 
-        let pool_domain: Name = "pool.ntpns.org".parse().expect("valid name");
+        let pool_domains: Vec<Name> = (0..config.pool_domains.max(1))
+            .map(|i| {
+                let label = if i == 0 {
+                    "pool.ntpns.org".to_string()
+                } else {
+                    format!("pool{}.ntpns.org", i + 1)
+                };
+                label.parse().expect("valid name")
+            })
+            .collect();
+        let pool_domain: Name = pool_domains[0].clone();
         let benign_ntp: Vec<IpAddr> = (1..=config.ntp_servers)
             .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(203, 0, 113, i as u8)))
             .collect();
@@ -143,7 +176,7 @@ impl Scenario {
             })
             .collect();
 
-        install_dns_hierarchy(&net, &pool_domain, &benign_ntp);
+        install_dns_hierarchy(&net, &pool_domains, &benign_ntp);
 
         // NTP servers: benign ones behind the pool records, malicious ones
         // behind the attacker addresses.
@@ -194,23 +227,30 @@ impl Scenario {
             let handler: Box<dyn QueryHandler> = match compromise {
                 None => Box::new(recursive),
                 Some(behaviour) => {
-                    let mode = match behaviour {
-                        ResolverCompromise::ReplaceWithAttackerAddresses(count) => {
-                            PoisonMode::ReplaceAddresses(
-                                attacker_ntp.iter().take(count.max(1)).copied().collect(),
-                            )
-                        }
-                        ResolverCompromise::InflateWithAttackerAddresses(count) => {
-                            PoisonMode::InflateWith(
-                                attacker_ntp.iter().take(count.max(1)).copied().collect(),
-                            )
-                        }
-                        ResolverCompromise::EmptyAnswer => PoisonMode::EmptyAnswer,
-                    };
-                    Box::new(PoisonedResolver::new(
-                        recursive,
-                        PoisonConfig::new(pool_domain.clone(), mode),
-                    ))
+                    // One poisoning wrapper per pool domain, so a
+                    // compromised resolver misbehaves for every domain a
+                    // serving workload spreads its queries over.
+                    let mut handler: Box<dyn QueryHandler> = Box::new(recursive);
+                    for domain in &pool_domains {
+                        let mode = match &behaviour {
+                            ResolverCompromise::ReplaceWithAttackerAddresses(count) => {
+                                PoisonMode::ReplaceAddresses(
+                                    attacker_ntp.iter().take((*count).max(1)).copied().collect(),
+                                )
+                            }
+                            ResolverCompromise::InflateWithAttackerAddresses(count) => {
+                                PoisonMode::InflateWith(
+                                    attacker_ntp.iter().take((*count).max(1)).copied().collect(),
+                                )
+                            }
+                            ResolverCompromise::EmptyAnswer => PoisonMode::EmptyAnswer,
+                        };
+                        handler = Box::new(PoisonedResolver::new(
+                            handler,
+                            PoisonConfig::new(domain.clone(), mode),
+                        ));
+                    }
+                    handler
                 }
             };
             net.register(info.addr, DohServerService::new(info.clone(), handler));
@@ -221,6 +261,7 @@ impl Scenario {
             directory,
             resolver_infos,
             pool_domain,
+            pool_domains,
             benign_ntp,
             attacker_ntp,
             config,
@@ -287,10 +328,56 @@ impl Scenario {
         let report = generator.generate_sequential(&mut exchanger, &self.pool_domain)?;
         Ok((report, self.net.clock().elapsed_since(start)))
     }
+
+    /// Builds a [`CachingPoolResolver`] over this scenario's DoH fleet and
+    /// registers it as a plain-DNS front end at [`FRONTEND_ADDR`]. The
+    /// returned handle stays shared with the registered service, so the
+    /// experiment can pump background refreshes
+    /// ([`CachingPoolResolver::run_due_refreshes`]) and read
+    /// [`CachingPoolResolver::metrics`] while clients query it over the
+    /// network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the generator constructor.
+    pub fn install_caching_frontend(
+        &self,
+        pool: PoolConfig,
+        cache: CacheConfig,
+    ) -> PoolResult<Rc<RefCell<CachingPoolResolver>>> {
+        let resolver = Rc::new(RefCell::new(CachingPoolResolver::new(
+            self.pool_generator(pool)?,
+            cache,
+        )));
+        self.net
+            .register(FRONTEND_ADDR, Do53Service::new(Rc::clone(&resolver)));
+        Ok(resolver)
+    }
+
+    /// Registers the uncached [`SecurePoolResolver`] front end at
+    /// [`FRONTEND_ADDR`] — the one-generation-per-query baseline the
+    /// serving subsystem is measured against. Returns the shared handle for
+    /// metrics inspection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the generator constructor.
+    pub fn install_uncached_frontend(
+        &self,
+        pool: PoolConfig,
+    ) -> PoolResult<Rc<RefCell<SecurePoolResolver>>> {
+        let resolver = Rc::new(RefCell::new(SecurePoolResolver::new(
+            self.pool_generator(pool)?,
+        )));
+        self.net
+            .register(FRONTEND_ADDR, Do53Service::new(Rc::clone(&resolver)));
+        Ok(resolver)
+    }
 }
 
-/// Installs the root → org → ntpns.org DNS hierarchy serving `pool_domain`.
-fn install_dns_hierarchy(net: &SimNet, pool_domain: &Name, pool_addresses: &[IpAddr]) {
+/// Installs the root → org → ntpns.org DNS hierarchy serving every pool
+/// domain.
+fn install_dns_hierarchy(net: &SimNet, pool_domains: &[Name], pool_addresses: &[IpAddr]) {
     // Root zone delegates org. to the org server.
     let mut root_zone = Zone::new(Name::root());
     root_zone.add_record(Record::new(
@@ -344,8 +431,10 @@ fn install_dns_hierarchy(net: &SimNet, pool_domain: &Name, pool_addresses: &[IpA
             IpAddr::V6(_) => unreachable!("ntpns server is v4"),
         }),
     ));
-    for &addr in pool_addresses {
-        zone.add_record(Record::address(pool_domain.clone(), 300, addr));
+    for pool_domain in pool_domains {
+        for &addr in pool_addresses {
+            zone.add_record(Record::address(pool_domain.clone(), 300, addr));
+        }
     }
     let mut catalog = Catalog::new();
     catalog.add_zone(zone);
@@ -435,6 +524,62 @@ mod tests {
             !without_truncation.holds,
             "without truncation the inflated answer dominates the pool"
         );
+    }
+
+    #[test]
+    fn multiple_pool_domains_are_served_and_poisoned_alike() {
+        let scenario = Scenario::build(ScenarioConfig {
+            pool_domains: 3,
+            compromised: vec![(0, ResolverCompromise::ReplaceWithAttackerAddresses(4))],
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(scenario.pool_domains.len(), 3);
+        assert_eq!(scenario.pool_domains[0], scenario.pool_domain);
+        let generator = scenario.pool_generator(PoolConfig::algorithm1()).unwrap();
+        let mut exchanger = scenario.client_exchanger();
+        for domain in &scenario.pool_domains {
+            let report = generator.generate(&mut exchanger, domain).unwrap();
+            let check = check_guarantee(&report.pool, &scenario.ground_truth(), 0.5);
+            assert!(check.holds, "{domain}: {check:?}");
+            assert!(
+                check.malicious_fraction > 0.0,
+                "the compromised resolver must poison {domain} too"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_frontends_share_state_with_the_driver() {
+        let scenario = Scenario::build(ScenarioConfig::default());
+        let resolver = scenario
+            .install_caching_frontend(PoolConfig::algorithm1(), CacheConfig::default())
+            .unwrap();
+        let stub = StubResolver::new(FRONTEND_ADDR);
+        let mut exchanger = scenario.client_exchanger();
+        let first = stub
+            .lookup_ipv4(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        assert_eq!(first.len(), 24, "8 NTP servers x 3 resolvers");
+        let again = stub
+            .lookup_ipv4(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        assert_eq!(again, first);
+        // The driver-side handle observes the queries the network served.
+        let metrics = resolver.borrow().metrics();
+        assert_eq!(metrics.queries, 2);
+        assert_eq!(metrics.generations, 1);
+        assert_eq!(metrics.hits, 1);
+
+        // Swapping in the uncached baseline replaces the registration.
+        let uncached = scenario
+            .install_uncached_frontend(PoolConfig::algorithm1())
+            .unwrap();
+        let baseline = stub
+            .lookup_ipv4(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        assert_eq!(baseline, first);
+        assert_eq!(uncached.borrow().metrics().served, 1);
+        assert_eq!(resolver.borrow().metrics().queries, 2, "detached handle");
     }
 
     #[test]

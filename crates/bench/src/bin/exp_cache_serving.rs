@@ -1,7 +1,13 @@
 //! E11: cached vs uncached pool serving under client-population load.
+//!
+//! Usage: `exp_cache_serving [--smoke]` — `--smoke` runs the reduced
+//! scale CI's experiment-smoke job uses.
 fn main() {
-    println!(
-        "{}",
-        sdoh_bench::cache_serving::run(&[25, 50, 100, 200], 4, 11)
-    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, rounds): (&[usize], usize) = if smoke {
+        (&[25], 2)
+    } else {
+        (&[25, 50, 100, 200], 4)
+    };
+    println!("{}", sdoh_bench::cache_serving::run(clients, rounds, 11));
 }

@@ -1,0 +1,45 @@
+//! E12: real-socket serving throughput of the threaded runtime over
+//! loopback UDP, multi-shard vs single-shard.
+//!
+//! Usage: `exp_runtime_throughput [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs the reduced-scale configuration CI uses (fast, still
+//! exercising every shard count); `--out` writes the measured sweep as a
+//! `BENCH_runtime_throughput.json`-shaped file.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (shard_counts, clients, queries_per_client): (&[usize], usize, usize) = if smoke {
+        (&[1, 4], 4, 50)
+    } else {
+        (&[1, 2, 4, 8], 8, 400)
+    };
+    let (table, rows) =
+        sdoh_bench::runtime_throughput::run(shard_counts, clients, queries_per_client, 12);
+    println!("{table}");
+
+    if let Some(path) = out {
+        let notes = format!(
+            "E12 sweep at {} clients x {} queries over 16 domains ({}); host wall-clock \
+             numbers from the recording machine.",
+            clients,
+            queries_per_client,
+            if smoke { "smoke scale" } else { "full scale" }
+        );
+        let json = sdoh_bench::runtime_throughput::to_json(&rows, &today(), &notes);
+        std::fs::write(&path, json).expect("write BENCH json");
+        println!("wrote {path}");
+    }
+}
+
+/// Date stamp for the JSON record; overridable for reproducible output.
+fn today() -> String {
+    std::env::var("BENCH_RECORDED_DATE").unwrap_or_else(|_| "unrecorded".to_string())
+}

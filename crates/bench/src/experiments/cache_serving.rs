@@ -88,7 +88,7 @@ pub fn run(client_counts: &[usize], rounds: usize, seed: u64) -> Table {
             .expect("valid config");
         scenario.net.reset_metrics();
         let stats = drive_load(&scenario, clients, rounds);
-        let metrics = resolver.borrow().metrics();
+        let metrics = resolver.lock().metrics();
         let generations = metrics.served + metrics.failures;
         push_row(
             &mut table,
@@ -107,7 +107,7 @@ pub fn run(client_counts: &[usize], rounds: usize, seed: u64) -> Table {
             .expect("valid config");
         scenario.net.reset_metrics();
         let stats = drive_load(&scenario, clients, rounds);
-        let metrics = resolver.borrow().metrics();
+        let metrics = resolver.lock().metrics();
         push_row(
             &mut table,
             "caching subsystem",

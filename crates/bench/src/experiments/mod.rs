@@ -10,6 +10,7 @@ pub mod majority;
 pub mod offpath;
 pub mod overhead;
 pub mod required_fraction;
+pub mod runtime_throughput;
 pub mod truncation;
 
 use std::net::IpAddr;

@@ -91,6 +91,18 @@
 //! per `(domain, TTL window)`, while every served answer still comes out
 //! of a real generation — the benign-fraction guarantee is untouched.
 //!
+//! The whole serve layer is `Send` (sources are
+//! [`AddressSource: Send`](AddressSource), state is plainly owned), so a
+//! resolver can be moved into a worker thread outright. That is how the
+//! `sdoh-runtime` crate serves real traffic: it binds an actual UDP
+//! socket, hashes each query's `(domain, address family)` onto one of N
+//! worker threads, and each worker **owns** its `CachingPoolResolver`
+//! shard — per-shard ownership instead of a shared lock — while a
+//! dedicated thread pumps [`CachingPoolResolver::run_due_refreshes`] off
+//! the query path and a stats thread aggregates per-shard
+//! [`ServeSnapshot`]s ([`CachingPoolResolver::snapshot`], one consistent
+//! reading per tick).
+//!
 //! ```
 //! use sdoh_core::{
 //!     AddressSource, CacheConfig, CachingPoolResolver, PoolConfig, SecurePoolGenerator,
@@ -171,7 +183,7 @@ pub use majority::{majority_vote, support_counts};
 pub use pool::{AddressPool, PoolEntry};
 pub use serve::{
     AddressFamily, CacheConfig, CacheLookup, CachingPoolResolver, PoolCache, PoolKey,
-    RefreshScheduler, ServeMetrics, ServeSession, Singleflight,
+    RefreshScheduler, ServeMetrics, ServeSession, ServeSnapshot, Singleflight,
 };
 pub use session::{
     drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,

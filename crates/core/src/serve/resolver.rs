@@ -81,6 +81,61 @@ impl ServeMetrics {
         }
         (self.hits + self.stale_serves + self.negative_hits) as f64 / self.queries as f64
     }
+
+    /// Adds `other`'s counters into `self` — aggregating the metrics of
+    /// several serving shards into one fleet-wide view. Counters and the
+    /// total latency sum; `last_generation_latency` keeps the largest value
+    /// (the slowest shard's most recent batch).
+    pub fn absorb(&mut self, other: &ServeMetrics) {
+        self.queries += other.queries;
+        self.rejected += other.rejected;
+        self.hits += other.hits;
+        self.stale_serves += other.stale_serves;
+        self.negative_hits += other.negative_hits;
+        self.misses += other.misses;
+        self.coalesced_waiters += other.coalesced_waiters;
+        self.generations += other.generations;
+        self.generation_failures += other.generation_failures;
+        self.refreshes += other.refreshes;
+        self.source_answers += other.source_answers;
+        self.source_failures += other.source_failures;
+        self.last_generation_latency = self
+            .last_generation_latency
+            .max(other.last_generation_latency);
+        self.total_generation_latency += other.total_generation_latency;
+    }
+}
+
+/// One **consistent** observation of a [`CachingPoolResolver`]'s state,
+/// taken by [`CachingPoolResolver::snapshot`].
+///
+/// All four readings come from the same `&self` borrow, so no query can be
+/// counted in one field but not yet in another — the invariants between the
+/// counters (e.g. `serve.hits == cache.hits` for a resolver that only ever
+/// went through `handle_query`) hold within a snapshot. This is what a
+/// runtime's stats thread should take once per tick instead of reading the
+/// metrics field by field across several calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// The serving counters ([`CachingPoolResolver::metrics`]).
+    pub serve: ServeMetrics,
+    /// The cache-level counters ([`CachingPoolResolver::cache_metrics`]).
+    pub cache: CacheMetrics,
+    /// Entries currently cached (including not-yet-purged expired ones).
+    pub entries: usize,
+    /// Background refreshes currently queued.
+    pub pending_refreshes: usize,
+}
+
+impl ServeSnapshot {
+    /// Adds `other` into `self`, aggregating per-shard snapshots into one
+    /// fleet-wide snapshot.
+    pub fn absorb(&mut self, other: &ServeSnapshot) {
+        self.serve.absorb(&other.serve);
+        self.cache.absorb(&other.cache);
+        self.entries += other.entries;
+        self.pending_refreshes += other.pending_refreshes;
+    }
 }
 
 /// A DNS query handler serving secure pools through the caching subsystem.
@@ -122,6 +177,20 @@ impl CachingPoolResolver {
     /// Snapshot of the cache-level counters.
     pub fn cache_metrics(&self) -> CacheMetrics {
         self.cache.metrics()
+    }
+
+    /// Takes one cheap, **consistent** reading of every serving counter:
+    /// the serve metrics, the cache metrics, the entry count and the
+    /// pending-refresh count, all under a single borrow. See
+    /// [`ServeSnapshot`] for why a stats thread should prefer this over
+    /// field-by-field reads.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            serve: self.metrics,
+            cache: self.cache.metrics(),
+            entries: self.cache.len(),
+            pending_refreshes: self.refresh.len(),
+        }
     }
 
     /// The earliest queued refresh deadline — the instant a driver should
@@ -583,6 +652,84 @@ mod tests {
         assert_eq!(resolver.metrics().queries, 0);
         assert_eq!(resolver.handler_name(), "caching-pool-resolver");
         assert!(format!("{resolver:?}").contains("CachingPoolResolver"));
+    }
+
+    #[test]
+    fn serve_layer_is_send() {
+        // The real-socket runtime moves a whole resolver (generator,
+        // cache, scheduler, metrics) into a worker thread; this must stay
+        // a compile-time guarantee.
+        fn assert_send<T: Send>() {}
+        assert_send::<CachingPoolResolver>();
+        assert_send::<SecurePoolGenerator>();
+        assert_send::<PoolCache>();
+        assert_send::<RefreshScheduler>();
+        assert_send::<Singleflight<PoolKey>>();
+        assert_send::<ServeMetrics>();
+        assert_send::<super::super::ServeSnapshot>();
+    }
+
+    #[test]
+    fn snapshot_is_one_consistent_reading() {
+        let net = SimNet::new(90);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        resolver.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        let snapshot = resolver.snapshot();
+        assert_eq!(snapshot.serve, resolver.metrics());
+        assert_eq!(snapshot.cache, resolver.cache_metrics());
+        assert_eq!(snapshot.entries, 1);
+        assert_eq!(snapshot.pending_refreshes, 0);
+        // Within one snapshot the cross-counter invariants hold exactly.
+        assert_eq!(snapshot.serve.hits, snapshot.cache.hits);
+        assert_eq!(snapshot.serve.misses, snapshot.cache.misses);
+
+        let mut total = super::super::ServeSnapshot::default();
+        total.absorb(&snapshot);
+        total.absorb(&snapshot);
+        assert_eq!(total.serve.queries, 2 * snapshot.serve.queries);
+        assert_eq!(total.cache.hits, 2 * snapshot.cache.hits);
+        assert_eq!(total.entries, 2);
+    }
+
+    #[test]
+    fn coalesced_waiters_of_a_failed_generation_all_get_servfail() {
+        // The singleflight failure path: a cold burst for one domain with a
+        // failing backend must run exactly ONE generation, answer every
+        // coalesced waiter SERVFAIL, and leave a negative entry behind so
+        // follow-up queries fail fast without another fan-out.
+        let net = SimNet::new(91);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let sources: Vec<Box<dyn AddressSource>> = vec![
+            Box::new(StaticSource::failing("dead1")),
+            Box::new(StaticSource::failing("dead2")),
+        ];
+        let generator =
+            SecurePoolGenerator::new(PoolConfig::algorithm1().with_min_responses(2), sources)
+                .unwrap();
+        let mut resolver = CachingPoolResolver::new(generator, test_config());
+
+        let queries: Vec<Message> = (1..=5).map(|i| query(i, "dead.ntp.org")).collect();
+        let responses = resolver.serve_batch(&mut exchanger, &queries);
+        assert_eq!(responses.len(), 5);
+        for (q, response) in queries.iter().zip(&responses) {
+            assert_eq!(response.header.rcode, Rcode::ServFail);
+            assert!(response.answers_query(q), "response matches its query");
+        }
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.generations, 1, "one flight for the whole burst");
+        assert_eq!(metrics.generation_failures, 1);
+        assert_eq!(metrics.coalesced_waiters, 4);
+        assert_eq!(metrics.misses, 5);
+
+        // The failure is negatively cached: the next query is answered from
+        // the cache without a second generation attempt.
+        let again = resolver.handle_query(&mut exchanger, &query(6, "dead.ntp.org"));
+        assert_eq!(again.header.rcode, Rcode::ServFail);
+        let metrics = resolver.metrics();
+        assert_eq!(metrics.generations, 1);
+        assert_eq!(metrics.negative_hits, 1);
     }
 
     #[test]

@@ -85,7 +85,14 @@ pub enum FetchStart {
 
 /// A single source of address lists — one DoH resolver, one plain resolver,
 /// or a test stub.
-pub trait AddressSource {
+///
+/// Sources are `Send` so a [`SecurePoolGenerator`](crate::SecurePoolGenerator)
+/// (and everything layered on it, up to the serving subsystem) can be moved
+/// into a worker thread of a real-socket runtime. Sources built from plain
+/// configuration data (all the in-tree ones) satisfy the bound for free; a
+/// source sharing state with its test must use `Arc`/atomics instead of
+/// `Rc`/`Cell`.
+pub trait AddressSource: Send {
     /// A stable, human-readable identifier (used for provenance in the
     /// generated pool).
     fn source_name(&self) -> String;

@@ -6,9 +6,9 @@
 //! serves an expired-beyond-stale pool and never mixes the output of
 //! different generations.
 
-use std::cell::Cell;
 use std::net::IpAddr;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
@@ -52,9 +52,11 @@ fn decode_epoch(addr: IpAddr) -> u32 {
 /// An [`AddressSource`] whose answer identifies the generation that fetched
 /// it: fetch number `i` (shared across domains) answers the two addresses
 /// of epoch `i`. Immediate (no I/O), so every operation of the property
-/// test happens at a single frozen virtual instant.
+/// test happens at a single frozen virtual instant. (`Arc` + atomic rather
+/// than `Rc<Cell<_>>`: `AddressSource` is `Send` so the serve layer can
+/// cross threads.)
 struct EpochSource {
-    counter: Rc<Cell<u32>>,
+    counter: Arc<AtomicU32>,
 }
 
 impl AddressSource for EpochSource {
@@ -63,8 +65,7 @@ impl AddressSource for EpochSource {
     }
 
     fn start_fetch(&self, _domain: &Name, _rtype: RrType, _id: u16) -> FetchStart {
-        let epoch = self.counter.get();
-        self.counter.set(epoch + 1);
+        let epoch = self.counter.fetch_add(1, Ordering::Relaxed);
         FetchStart::Immediate(Ok(epoch_addresses(epoch)))
     }
 
@@ -105,9 +106,9 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let net = SimNet::new(seed);
-        let counter = Rc::new(Cell::new(0u32));
+        let counter = Arc::new(AtomicU32::new(0));
         let sources: Vec<Box<dyn AddressSource>> = vec![Box::new(EpochSource {
-            counter: Rc::clone(&counter),
+            counter: Arc::clone(&counter),
         })];
         let generator = SecurePoolGenerator::new(PoolConfig::algorithm1(), sources).unwrap();
         let mut resolver = CachingPoolResolver::new(
@@ -150,7 +151,7 @@ proptest! {
                 generated_at.push(now);
             }
             prop_assert_eq!(
-                u64::from(counter.get()),
+                u64::from(counter.load(Ordering::Relaxed)),
                 generations_after,
                 "every generation fetched exactly once"
             );

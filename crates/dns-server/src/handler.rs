@@ -33,21 +33,42 @@ impl<H: QueryHandler + ?Sized> QueryHandler for Box<H> {
     }
 }
 
-/// A shared handler: lets the same component be registered as a network
-/// service *and* kept on the driver's side of the simulation — e.g. a
-/// caching resolver whose background refreshes the experiment pumps and
-/// whose metrics it inspects while clients query it over the network.
+/// A shared handler within one thread: lets the same component be
+/// registered as a network service *and* kept on the driver's side of the
+/// simulation. A query arriving while the handler is already borrowed (a
+/// handler transitively querying itself) is answered SERVFAIL rather than
+/// supporting re-entrancy.
 ///
-/// The simulator is single-threaded, so `Rc<RefCell<_>>` is the right
-/// sharing primitive. A query arriving while the handler is already
-/// borrowed (a handler transitively querying itself) is answered SERVFAIL
-/// rather than supporting re-entrancy.
+/// Prefer [`Arc<Mutex<H>>`](std::sync::Arc) — the thread-safe shared
+/// handler below — for new code: it works identically inside the
+/// single-threaded simulator and additionally crosses threads, which the
+/// real-socket serving runtime requires. This `Rc` impl remains for
+/// callers that cannot pay for atomics.
 impl<H: QueryHandler> QueryHandler for std::rc::Rc<std::cell::RefCell<H>> {
     fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
         match self.try_borrow_mut() {
             Ok(mut handler) => handler.handle_query(exchanger, query),
             Err(_) => Message::error_response(query, sdoh_dns_wire::Rcode::ServFail),
         }
+    }
+
+    fn handler_name(&self) -> &str {
+        "shared-query-handler"
+    }
+}
+
+/// A **thread-safe** shared handler: the sharing primitive of the
+/// real-socket serving runtime, and a drop-in replacement for the
+/// `Rc<RefCell<_>>` handles the scenario helpers used to return.
+///
+/// Each query locks the handler for the duration of `handle_query`, so a
+/// handler shared between a registered service and a driver (or between a
+/// worker thread and a stats thread) serializes its queries. A handler
+/// transitively querying itself would deadlock where the `Rc` impl answers
+/// SERVFAIL; none of the in-tree handlers re-enter themselves.
+impl<H: QueryHandler> QueryHandler for std::sync::Arc<parking_lot::Mutex<H>> {
+    fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
+        self.lock().handle_query(exchanger, query)
     }
 
     fn handler_name(&self) -> &str {
@@ -132,6 +153,30 @@ mod tests {
         let query = Message::query(9, "www.example.org".parse().unwrap(), RrType::A);
         let response = authority.handle_query(&mut exchanger, &query);
         assert_eq!(response.answer_addresses().len(), 1);
+    }
+
+    #[test]
+    fn arc_mutex_handler_is_shared_and_send() {
+        let mut catalog = Catalog::new();
+        let mut zone = Zone::new("example.org".parse().unwrap());
+        zone.add_address(
+            "www.example.org".parse().unwrap(),
+            "192.0.2.80".parse().unwrap(),
+        );
+        catalog.add_zone(zone);
+        let shared = std::sync::Arc::new(parking_lot::Mutex::new(Authority::new(catalog)));
+        fn assert_send<T: Send>(_: &T) {}
+        assert_send(&shared);
+
+        let mut handle = std::sync::Arc::clone(&shared);
+        assert_eq!(handle.handler_name(), "shared-query-handler");
+        let net = SimNet::new(3);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 1000));
+        let query = Message::query(9, "www.example.org".parse().unwrap(), RrType::A);
+        let response = handle.handle_query(&mut exchanger, &query);
+        assert_eq!(response.answer_addresses().len(), 1);
+        // The original handle observes the state the clone served through.
+        assert_eq!(shared.lock().handler_name(), "authority");
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use forwarder::ForwardingResolver;
 pub use handler::{FnHandler, QueryHandler};
 pub use poison::{PoisonConfig, PoisonMode, PoisonedResolver};
 pub use recursive::{RecursiveConfig, RecursiveResolver};
-pub use service::Do53Service;
+pub use service::{serve_do53_payload, Do53Service};
 pub use stub::StubResolver;
 pub use zone::{Zone, ZoneLookup};
 pub use zonefile::parse_zone;

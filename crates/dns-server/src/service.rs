@@ -1,10 +1,48 @@
-//! Adapters exposing [`QueryHandler`]s as simulated network services
-//! (classic DNS over the plain datagram channel, "Do53").
+//! Adapters exposing [`QueryHandler`]s as Do53 endpoints: the
+//! transport-independent wire termination ([`serve_do53_payload`]) plus
+//! the simulated network service built on it ([`Do53Service`]).
 
 use sdoh_dns_wire::{Message, Rcode};
 use sdoh_netsim::{ChannelKind, Ctx, Service, ServiceResponse, SimAddr};
 
+use crate::exchange::Exchanger;
 use crate::handler::QueryHandler;
+
+/// Terminates one classic-DNS wire payload against `handler`: decode the
+/// query, answer it (upstream lookups go through `exchanger`), encode the
+/// response. `None` means "send nothing" — a malformed query under
+/// `drop_malformed`, or the (theoretical) failure to encode even an error
+/// response; the peer observes a timeout.
+///
+/// This is the shared core of every Do53 front end: the simulator's
+/// [`Do53Service`] calls it with the simulation `Ctx` as the exchanger, a
+/// real-socket runtime calls it with its own exchanger — mirroring how
+/// the DoH layer splits `serve_payload` from its service adapter.
+pub fn serve_do53_payload(
+    handler: &mut dyn QueryHandler,
+    exchanger: &mut dyn Exchanger,
+    payload: &[u8],
+    drop_malformed: bool,
+) -> Option<Vec<u8>> {
+    let query = match Message::decode(payload) {
+        Ok(query) => query,
+        Err(_) if drop_malformed => return None,
+        Err(_) => {
+            // Best effort FORMERR with an empty question section.
+            let mut response = Message::new();
+            response.header.response = true;
+            response.header.rcode = Rcode::FormErr;
+            return response.encode().ok();
+        }
+    };
+    let response = handler.handle_query(exchanger, &query);
+    match response.encode() {
+        Ok(bytes) => Some(bytes),
+        Err(_) => Message::error_response(&query, Rcode::ServFail)
+            .encode()
+            .ok(),
+    }
+}
 
 /// A classic DNS service: decodes query bytes, hands the message to a
 /// [`QueryHandler`] and encodes the response.
@@ -50,30 +88,9 @@ impl<H: QueryHandler> Service for Do53Service<H> {
         _channel: ChannelKind,
         payload: &[u8],
     ) -> ServiceResponse {
-        let query = match Message::decode(payload) {
-            Ok(q) => q,
-            Err(_) if self.drop_malformed => return ServiceResponse::NoReply,
-            Err(_) => {
-                // Best effort FORMERR with an empty question section.
-                let mut response = Message::new();
-                response.header.response = true;
-                response.header.rcode = Rcode::FormErr;
-                return match response.encode() {
-                    Ok(bytes) => ServiceResponse::Reply(bytes),
-                    Err(_) => ServiceResponse::NoReply,
-                };
-            }
-        };
-        let response = self.handler.handle_query(ctx, &query);
-        match response.encode() {
-            Ok(bytes) => ServiceResponse::Reply(bytes),
-            Err(_) => {
-                let fallback = Message::error_response(&query, Rcode::ServFail);
-                match fallback.encode() {
-                    Ok(bytes) => ServiceResponse::Reply(bytes),
-                    Err(_) => ServiceResponse::NoReply,
-                }
-            }
+        match serve_do53_payload(&mut self.handler, ctx, payload, self.drop_malformed) {
+            Some(bytes) => ServiceResponse::Reply(bytes),
+            None => ServiceResponse::NoReply,
         }
     }
 

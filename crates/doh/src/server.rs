@@ -1,7 +1,14 @@
-//! The DNS-over-HTTPS server service (RFC 8484) running on a simulated
-//! resolver endpoint.
+//! The DNS-over-HTTPS server service (RFC 8484).
+//!
+//! The core processing path ([`DohServerService::serve_payload`]) is
+//! generic over the [`Exchanger`] the wrapped handler uses for upstream
+//! queries, so the same service instance can terminate DoH traffic on a
+//! simulated endpoint (the [`Service`] impl, where the exchanger is the
+//! simulator's `Ctx`) **or** serve as an in-process backend of the
+//! real-socket runtime, where the exchanger is whatever the runtime
+//! provides.
 
-use sdoh_dns_server::QueryHandler;
+use sdoh_dns_server::{Exchanger, QueryHandler};
 use sdoh_dns_wire::{base64url, Message};
 use sdoh_netsim::{ChannelKind, Ctx, Service, ServiceResponse, SimAddr};
 
@@ -49,7 +56,33 @@ impl<H: QueryHandler> DohServerService<H> {
         &mut self.handler
     }
 
-    fn process(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) -> DohResult<Vec<u8>> {
+    /// Terminates one secure-channel payload: decodes the envelope and the
+    /// HTTP/2 stream, answers every RFC 8484 request through the wrapped
+    /// handler (which performs any upstream queries via `exchanger`) and
+    /// returns the sealed reply payload. `None` mirrors the wire behaviour
+    /// of a DoH endpoint that won't answer — a plaintext connection attempt
+    /// or a malformed secure record is silently dropped, and the peer
+    /// observes a timeout.
+    ///
+    /// This is the transport-independent entry point: the simulator's
+    /// [`Service`] impl calls it with the simulation `Ctx`, a real-socket
+    /// runtime calls it with its own exchanger.
+    pub fn serve_payload(
+        &mut self,
+        exchanger: &mut dyn Exchanger,
+        channel: ChannelKind,
+        payload: &[u8],
+    ) -> Option<Vec<u8>> {
+        // A DoH endpoint only speaks over the secure channel; plaintext
+        // connection attempts are ignored (no listener on port 443/tcp
+        // without TLS).
+        if channel != ChannelKind::Secure {
+            return None;
+        }
+        self.process(exchanger, payload).ok()
+    }
+
+    fn process(&mut self, exchanger: &mut dyn Exchanger, payload: &[u8]) -> DohResult<Vec<u8>> {
         let envelope = SecureEnvelope::decode(payload)?;
         if envelope.server_name != self.identity.name {
             return Err(crate::error::DohError::ChannelAuthentication(format!(
@@ -62,7 +95,7 @@ impl<H: QueryHandler> DohServerService<H> {
         let mut connection = ServerConnection::new();
         let requests = connection.receive(&client_h2)?;
         for (stream_id, request) in requests {
-            let response = self.handle_http(ctx, &request);
+            let response = self.handle_http(exchanger, &request);
             connection.send_response(stream_id, &response);
         }
         let server_h2 = connection.take_output();
@@ -73,7 +106,7 @@ impl<H: QueryHandler> DohServerService<H> {
         Ok(reply.encode())
     }
 
-    fn handle_http(&mut self, ctx: &mut Ctx<'_>, request: &Request) -> Response {
+    fn handle_http(&mut self, exchanger: &mut dyn Exchanger, request: &Request) -> Response {
         if request.path_without_query() != DOH_PATH {
             return Response::new(StatusCode::NOT_FOUND);
         }
@@ -101,7 +134,7 @@ impl<H: QueryHandler> DohServerService<H> {
             Err(_) => return Response::new(StatusCode::BAD_REQUEST),
         };
         self.queries_served += 1;
-        let dns_response = self.handler.handle_query(ctx, &query);
+        let dns_response = self.handler.handle_query(exchanger, &query);
         match dns_response.encode() {
             Ok(bytes) => {
                 let min_ttl = dns_response
@@ -126,15 +159,9 @@ impl<H: QueryHandler> Service for DohServerService<H> {
         channel: ChannelKind,
         payload: &[u8],
     ) -> ServiceResponse {
-        // A DoH endpoint only speaks over the secure channel; plaintext
-        // connection attempts are ignored (no listener on port 443/tcp
-        // without TLS).
-        if channel != ChannelKind::Secure {
-            return ServiceResponse::NoReply;
-        }
-        match self.process(ctx, payload) {
-            Ok(reply) => ServiceResponse::Reply(reply),
-            Err(_) => ServiceResponse::NoReply,
+        match self.serve_payload(ctx, channel, payload) {
+            Some(reply) => ServiceResponse::Reply(reply),
+            None => ServiceResponse::NoReply,
         }
     }
 

@@ -1,0 +1,79 @@
+//! Threaded real-socket serving runtime for the secure pool-serving
+//! subsystem of *"Secure Consensus Generation with Distributed DoH"*.
+//!
+//! Everything below this crate is sans-IO: pool generation
+//! ([`sdoh_core::PoolSession`]), the serving subsystem
+//! ([`sdoh_core::CachingPoolResolver`]) and the DoH stack all *describe*
+//! their I/O and run equally well inside the deterministic simulator or
+//! against a real transport. This crate is the second of those drivers:
+//! a multi-threaded Do53 front end over `std::net` sockets.
+//!
+//! * [`PoolRuntime`] — binds a UDP socket (plus a TCP listener for
+//!   truncated-answer retries), routes each query by
+//!   `(domain, address family)` hash to one of N worker threads, each of
+//!   which **owns** its [`CachingPoolResolver`](sdoh_core::CachingPoolResolver)
+//!   shard outright (no shared lock on the serving path), pumps background
+//!   refreshes from a
+//!   dedicated thread, aggregates per-shard
+//!   [`ServeSnapshot`](sdoh_core::ServeSnapshot)s into periodic
+//!   [`RuntimeStats`], and shuts down gracefully.
+//! * [`BackendNet`] — in-process upstream endpoints (full RFC 8484 DoH
+//!   terminators via [`PayloadService`]) reached through `Send`
+//!   [`BackendExchanger`]s, so a complete serving stack runs end-to-end
+//!   over loopback without leaving the process.
+//! * [`RuntimeClient`] — a real-socket stub client (UDP with TCP retry on
+//!   TC=1) for tests, experiments and examples.
+//! * [`RuntimeClock`] — the host clock expressed as the workspace's
+//!   instant type, so cache TTLs and refresh deadlines measure real time.
+//!
+//! # Example: serving static pools over real sockets
+//!
+//! ```
+//! use sdoh_core::{AddressSource, CacheConfig, CachingPoolResolver, PoolConfig,
+//!                 SecurePoolGenerator, StaticSource};
+//! use sdoh_netsim::SimAddr;
+//! use sdoh_runtime::{BackendNet, PoolRuntime, RuntimeClient, RuntimeConfig, Shard};
+//! use sdoh_dns_wire::{Message, RrType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let backends = BackendNet::builder().build(); // static sources: no upstreams needed
+//! let shards = (0..2)
+//!     .map(|i| {
+//!         let sources: Vec<Box<dyn AddressSource>> = vec![
+//!             Box::new(StaticSource::answering("r1", vec!["203.0.113.1".parse().unwrap()])),
+//!             Box::new(StaticSource::answering("r2", vec!["203.0.113.2".parse().unwrap()])),
+//!         ];
+//!         let generator = SecurePoolGenerator::new(PoolConfig::algorithm1(), sources)?;
+//!         Ok(Shard::new(
+//!             CachingPoolResolver::new(generator, CacheConfig::default()),
+//!             Box::new(backends.exchanger(SimAddr::v4(10, 0, 0, i, 40000))),
+//!         ))
+//!     })
+//!     .collect::<Result<Vec<_>, sdoh_core::PoolError>>()?;
+//!
+//! let runtime = PoolRuntime::start(RuntimeConfig::default(), shards)?;
+//! let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr())?;
+//! let response = client.query(&Message::query(1, "pool.ntp.org".parse()?, RrType::A))?;
+//! assert_eq!(response.answer_addresses().len(), 2);
+//!
+//! let stats = runtime.shutdown();
+//! assert_eq!(stats.total.serve.queries, 1);
+//! assert_eq!(stats.total.serve.generations, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod backend;
+mod client;
+mod clock;
+mod loopback;
+mod runtime;
+
+pub use backend::{BackendExchanger, BackendNet, BackendNetBuilder, PayloadService};
+pub use client::RuntimeClient;
+pub use clock::RuntimeClock;
+pub use loopback::{LoopbackConfig, LoopbackFleet};
+pub use runtime::{PoolRuntime, RuntimeConfig, RuntimeStats, Shard};

@@ -1,0 +1,685 @@
+//! The threaded real-socket serving runtime: [`PoolRuntime`].
+//!
+//! # Architecture
+//!
+//! ```text
+//!               UDP datagrams                TCP (truncated retries)
+//!                    │                                │
+//!              ┌─────▼──────┐                  ┌──────▼──────┐
+//!              │ dispatcher │                  │ tcp acceptor│
+//!              └─────┬──────┘                  └──────┬──────┘
+//!        hash(qname, qtype) ──────────────────────────┘
+//!         ┌──────────┼─────────────┐
+//!   ┌─────▼────┐ ┌───▼──────┐ ┌────▼─────┐     ┌───────────┐
+//!   │ shard 0  │ │ shard 1  │ │ shard N-1│ ◄── │ refresh   │ (Pump tick)
+//!   │ resolver │ │ resolver │ │ resolver │ ◄── │ stats     │ (Snapshot tick)
+//!   └──────────┘ └──────────┘ └──────────┘     └───────────┘
+//! ```
+//!
+//! Each worker thread **owns** one [`CachingPoolResolver`] shard and one
+//! `Send` exchanger — there is no lock around the pool cache at all;
+//! queries are routed by `(domain, address family)` hash so every key
+//! always lands on the same shard and singleflight coalescing keeps
+//! working per shard. A dedicated refresh thread ticks the workers to pump
+//! [`run_due_refreshes`](CachingPoolResolver::run_due_refreshes) off the
+//! query path, and a stats thread aggregates per-shard
+//! [`ServeSnapshot`]s into a periodic [`RuntimeStats`].
+//!
+//! Responses that exceed the configured UDP payload limit are answered
+//! with an empty TC=1 message; clients retry over the TCP listener bound
+//! to the same port number (RFC 1035 length-prefixed framing).
+//! [`PoolRuntime::shutdown`] stops the socket threads, drains the worker
+//! queues, takes a final snapshot and joins every thread.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sdoh_core::{CachingPoolResolver, ServeSnapshot};
+use sdoh_dns_server::Exchanger;
+use sdoh_dns_wire::{Message, Rcode};
+use sdoh_netsim::SimInstant;
+
+/// Configuration of a [`PoolRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Address to bind the UDP socket (and the TCP listener) on. Port 0
+    /// picks an ephemeral port; read it back from
+    /// [`PoolRuntime::udp_addr`].
+    pub bind: SocketAddr,
+    /// How often the refresh thread ticks the workers to pump due
+    /// background refreshes.
+    pub refresh_interval: Duration,
+    /// How often the stats thread aggregates per-shard snapshots into
+    /// [`PoolRuntime::latest_stats`].
+    pub stats_interval: Duration,
+    /// Largest UDP response payload served without truncation. Larger
+    /// answers are replaced by an empty TC=1 response so the client
+    /// retries over TCP.
+    pub udp_payload_limit: usize,
+    /// Granularity at which blocking socket loops re-check the shutdown
+    /// flag.
+    pub poll_interval: Duration,
+    /// Whether to bind the TCP fallback listener.
+    pub enable_tcp: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            refresh_interval: Duration::from_millis(50),
+            stats_interval: Duration::from_millis(500),
+            udp_payload_limit: 1232,
+            poll_interval: Duration::from_millis(5),
+            enable_tcp: true,
+        }
+    }
+}
+
+/// One serving shard: a caching resolver plus the exchanger its
+/// generations and refreshes go out through. Both move into the shard's
+/// worker thread at [`PoolRuntime::start`] — which is exactly why the
+/// whole serve layer is `Send`.
+pub struct Shard {
+    resolver: CachingPoolResolver,
+    exchanger: Box<dyn Exchanger + Send>,
+}
+
+impl Shard {
+    /// Pairs a resolver with its upstream exchanger.
+    pub fn new(resolver: CachingPoolResolver, exchanger: Box<dyn Exchanger + Send>) -> Self {
+        Shard {
+            resolver,
+            exchanger,
+        }
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("resolver", &self.resolver)
+            .finish()
+    }
+}
+
+/// Front-door counters kept by the socket threads (everything behind the
+/// dispatch point is counted per shard in [`ServeSnapshot`]s).
+#[derive(Debug, Default)]
+struct FrontCounters {
+    udp_received: AtomicU64,
+    tcp_received: AtomicU64,
+    truncated: AtomicU64,
+}
+
+/// One aggregated statistics observation of a running [`PoolRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeStats {
+    /// Snapshot of every shard, in shard order. Entries of shards that did
+    /// not answer the snapshot request within the timeout are defaulted
+    /// (all-zero) — seen only if a worker is wedged in a generation.
+    pub per_shard: Vec<ServeSnapshot>,
+    /// The fleet-wide aggregate of `per_shard`.
+    pub total: ServeSnapshot,
+    /// Datagrams accepted by the UDP dispatcher.
+    pub udp_queries: u64,
+    /// Queries accepted over the TCP fallback listener.
+    pub tcp_queries: u64,
+    /// UDP responses truncated to TC=1 because they exceeded the payload
+    /// limit.
+    pub truncated_responses: u64,
+    /// Runtime uptime when the snapshot was taken.
+    pub taken_at: SimInstant,
+}
+
+enum WorkItem {
+    /// Serve one wire-format query and reply along the given path.
+    Query { wire: Vec<u8>, reply: ReplyPath },
+    /// Pump due background refreshes (sent by the refresh thread).
+    Pump,
+    /// Report a consistent snapshot of this shard's state.
+    Snapshot(mpsc::Sender<(usize, ServeSnapshot)>),
+    /// Drain and exit.
+    Shutdown,
+}
+
+enum ReplyPath {
+    /// Answer with `send_to` on the shared UDP socket; responses above the
+    /// payload limit are truncated to TC=1.
+    Udp(SocketAddr),
+    /// Hand the full response back to the TCP connection handler.
+    Tcp(mpsc::Sender<Vec<u8>>),
+}
+
+/// The running threaded front end. Dropping it without calling
+/// [`PoolRuntime::shutdown`] aborts the process threads ungracefully
+/// (detached); always shut down explicitly.
+pub struct PoolRuntime {
+    udp_addr: SocketAddr,
+    tcp_addr: Option<SocketAddr>,
+    workers: Vec<mpsc::Sender<WorkItem>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    service_handles: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<FrontCounters>,
+    latest: Arc<Mutex<Option<RuntimeStats>>>,
+    clock: crate::clock::RuntimeClock,
+}
+
+impl PoolRuntime {
+    /// Binds the sockets and spawns the worker, dispatcher, TCP, refresh
+    /// and stats threads. One worker thread per entry of `shards`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding/configuration failures. `shards` must be
+    /// non-empty.
+    pub fn start(config: RuntimeConfig, shards: Vec<Shard>) -> std::io::Result<PoolRuntime> {
+        if shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a runtime needs at least one shard",
+            ));
+        }
+        let udp = Arc::new(UdpSocket::bind(config.bind)?);
+        udp.set_read_timeout(Some(config.poll_interval))?;
+        let udp_addr = udp.local_addr()?;
+        let tcp = if config.enable_tcp {
+            // Same address, same port number, TCP — the classic Do53 pair.
+            let listener = TcpListener::bind(udp_addr)?;
+            listener.set_nonblocking(true)?;
+            Some(listener)
+        } else {
+            None
+        };
+        let tcp_addr = tcp.as_ref().map(|l| l.local_addr()).transpose()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(FrontCounters::default());
+        let latest: Arc<Mutex<Option<RuntimeStats>>> = Arc::new(Mutex::new(None));
+        let clock = crate::clock::RuntimeClock::new();
+
+        let mut workers = Vec::new();
+        let mut worker_handles = Vec::new();
+        for (index, shard) in shards.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<WorkItem>();
+            let socket = Arc::clone(&udp);
+            let shard_counters = Arc::clone(&counters);
+            let limit = config.udp_payload_limit;
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sdoh-shard-{index}"))
+                    .spawn(move || worker_loop(index, shard, rx, socket, limit, shard_counters))?,
+            );
+            workers.push(tx);
+        }
+
+        let mut service_handles = Vec::new();
+        {
+            let socket = Arc::clone(&udp);
+            let senders = workers.clone();
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            service_handles.push(
+                std::thread::Builder::new()
+                    .name("sdoh-dispatch".into())
+                    .spawn(move || dispatcher_loop(socket, senders, stop, counters))?,
+            );
+        }
+        if let Some(listener) = tcp {
+            let senders = workers.clone();
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let poll = config.poll_interval;
+            service_handles.push(
+                std::thread::Builder::new()
+                    .name("sdoh-tcp".into())
+                    .spawn(move || tcp_loop(listener, senders, stop, poll, counters))?,
+            );
+        }
+        {
+            let senders = workers.clone();
+            let stop = Arc::clone(&stop);
+            let interval = config.refresh_interval;
+            let poll = config.poll_interval;
+            service_handles.push(
+                std::thread::Builder::new()
+                    .name("sdoh-refresh".into())
+                    .spawn(move || {
+                        tick_loop(stop, interval, poll, move || {
+                            for sender in &senders {
+                                let _ = sender.send(WorkItem::Pump);
+                            }
+                        })
+                    })?,
+            );
+        }
+        {
+            let senders = workers.clone();
+            let stop = Arc::clone(&stop);
+            let interval = config.stats_interval;
+            let poll = config.poll_interval;
+            let latest = Arc::clone(&latest);
+            let counters = Arc::clone(&counters);
+            service_handles.push(
+                std::thread::Builder::new()
+                    .name("sdoh-stats".into())
+                    .spawn(move || {
+                        tick_loop(stop, interval, poll, move || {
+                            let stats = take_stats(&senders, &counters, clock.now());
+                            *latest.lock() = Some(stats);
+                        })
+                    })?,
+            );
+        }
+
+        Ok(PoolRuntime {
+            udp_addr,
+            tcp_addr,
+            workers,
+            worker_handles,
+            service_handles,
+            stop,
+            counters,
+            latest,
+            clock,
+        })
+    }
+
+    /// The bound UDP address clients send queries to.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+
+    /// The bound TCP fallback address (`None` when TCP is disabled).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Number of serving shards (worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The most recent periodic aggregate taken by the stats thread
+    /// (`None` until the first tick).
+    pub fn latest_stats(&self) -> Option<RuntimeStats> {
+        self.latest.lock().clone()
+    }
+
+    /// Takes an on-demand aggregate right now: asks every shard for a
+    /// [`ServeSnapshot`] and merges them. Each shard's snapshot is
+    /// internally consistent; shards are sampled at slightly different
+    /// instants (they answer between queries).
+    pub fn stats(&self) -> RuntimeStats {
+        take_stats(&self.workers, &self.counters, self.clock.now())
+    }
+
+    /// Graceful shutdown: stop accepting traffic, drain the worker queues,
+    /// take the final aggregate and join every thread. Returns the final
+    /// statistics.
+    pub fn shutdown(self) -> RuntimeStats {
+        // 1. Stop the socket/tick threads; no new work enters the queues.
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in self.service_handles {
+            let _ = handle.join();
+        }
+        // 2. The final snapshot request queues *behind* any remaining
+        //    queries, so the numbers include every accepted query.
+        let stats = take_stats(&self.workers, &self.counters, self.clock.now());
+        // 3. Drain and join the workers.
+        for sender in &self.workers {
+            let _ = sender.send(WorkItem::Shutdown);
+        }
+        drop(self.workers);
+        for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+        stats
+    }
+}
+
+impl std::fmt::Debug for PoolRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolRuntime")
+            .field("udp_addr", &self.udp_addr)
+            .field("tcp_addr", &self.tcp_addr)
+            .field("shards", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Runs `tick` every `interval` until `stop`, re-checking the flag every
+/// `poll` so shutdown is prompt.
+fn tick_loop(stop: Arc<AtomicBool>, interval: Duration, poll: Duration, mut tick: impl FnMut()) {
+    let mut since_tick = Duration::ZERO;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(poll.min(interval));
+        since_tick += poll.min(interval);
+        if since_tick >= interval {
+            since_tick = Duration::ZERO;
+            tick();
+        }
+    }
+}
+
+fn take_stats(
+    workers: &[mpsc::Sender<WorkItem>],
+    counters: &FrontCounters,
+    taken_at: SimInstant,
+) -> RuntimeStats {
+    let (tx, rx) = mpsc::channel();
+    let mut requested = 0;
+    for sender in workers {
+        if sender.send(WorkItem::Snapshot(tx.clone())).is_ok() {
+            requested += 1;
+        }
+    }
+    drop(tx);
+    let mut per_shard = vec![ServeSnapshot::default(); workers.len()];
+    for _ in 0..requested {
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Ok((index, snapshot)) => per_shard[index] = snapshot,
+            Err(_) => break,
+        }
+    }
+    let mut total = ServeSnapshot::default();
+    for snapshot in &per_shard {
+        total.absorb(snapshot);
+    }
+    RuntimeStats {
+        per_shard,
+        total,
+        udp_queries: counters.udp_received.load(Ordering::Relaxed),
+        tcp_queries: counters.tcp_received.load(Ordering::Relaxed),
+        truncated_responses: counters.truncated.load(Ordering::Relaxed),
+        taken_at,
+    }
+}
+
+/// Routes a wire-format query to its shard: hash of the lowercased qname
+/// labels and the qtype — the runtime-level mirror of the cache's
+/// `(domain, address family)` key, computed without decoding (or
+/// allocating) the full message. Malformed or question-less queries go to
+/// shard 0, which produces the proper error response.
+fn shard_for(wire: &[u8], shards: usize) -> usize {
+    match question_hash(wire) {
+        Some(hash) => (hash % shards as u64) as usize,
+        None => 0,
+    }
+}
+
+/// Hashes `(qname lowercase, qtype)` straight from the wire. `None` when
+/// there is no parseable first question.
+fn question_hash(wire: &[u8]) -> Option<u64> {
+    if wire.len() < 12 {
+        return None;
+    }
+    let qdcount = u16::from_be_bytes([wire[4], wire[5]]);
+    if qdcount == 0 {
+        return None;
+    }
+    let mut hasher = DefaultHasher::new();
+    let mut i = 12usize;
+    loop {
+        let len = *wire.get(i)? as usize;
+        if len == 0 {
+            i += 1;
+            break;
+        }
+        if len & 0xC0 != 0 {
+            // Compression pointers don't appear in well-formed questions.
+            return None;
+        }
+        let label = wire.get(i + 1..i + 1 + len)?;
+        for &byte in label {
+            hasher.write_u8(byte.to_ascii_lowercase());
+        }
+        hasher.write_u8(b'.');
+        i += 1 + len;
+    }
+    let qtype = u16::from_be_bytes([*wire.get(i)?, *wire.get(i + 1)?]);
+    hasher.write_u16(qtype);
+    Some(hasher.finish())
+}
+
+fn dispatcher_loop(
+    socket: Arc<UdpSocket>,
+    senders: Vec<mpsc::Sender<WorkItem>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<FrontCounters>,
+) {
+    let mut buf = [0u8; 4096];
+    while !stop.load(Ordering::SeqCst) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, peer)) => {
+                counters.udp_received.fetch_add(1, Ordering::Relaxed);
+                let wire = buf[..len].to_vec();
+                let shard = shard_for(&wire, senders.len());
+                let _ = senders[shard].send(WorkItem::Query {
+                    wire,
+                    reply: ReplyPath::Udp(peer),
+                });
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn tcp_loop(
+    listener: TcpListener,
+    senders: Vec<mpsc::Sender<WorkItem>>,
+    stop: Arc<AtomicBool>,
+    poll: Duration,
+    counters: Arc<FrontCounters>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Connections are handled inline: the TCP path only exists
+                // as the fallback for truncated answers, so one connection
+                // at a time keeps the thread budget fixed. Heavy TCP
+                // workloads would want an acceptor pool here.
+                let _ = serve_tcp_connection(stream, &senders, &counters);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves RFC 1035 4.2.2 length-prefixed queries until the peer closes
+/// (or a read times out).
+fn serve_tcp_connection(
+    mut stream: TcpStream,
+    senders: &[mpsc::Sender<WorkItem>],
+    counters: &FrontCounters,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let mut len_buf = [0u8; 2];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return Ok(()); // EOF or idle: connection done.
+        }
+        let len = u16::from_be_bytes(len_buf) as usize;
+        let mut wire = vec![0u8; len];
+        stream.read_exact(&mut wire)?;
+        counters.tcp_received.fetch_add(1, Ordering::Relaxed);
+        let shard = shard_for(&wire, senders.len());
+        let (tx, rx) = mpsc::channel();
+        if senders[shard]
+            .send(WorkItem::Query {
+                wire: wire.clone(),
+                reply: ReplyPath::Tcp(tx),
+            })
+            .is_err()
+        {
+            return Ok(());
+        }
+        let mut response = match rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(bytes) => bytes,
+            Err(_) => return Ok(()),
+        };
+        if u16::try_from(response.len()).is_err() {
+            // Too big even for the 16-bit TCP frame: a truncated write
+            // would be wire corruption, so answer SERVFAIL instead.
+            response = Message::decode(&wire)
+                .map(|query| {
+                    Message::error_response(&query, Rcode::ServFail)
+                        .encode()
+                        .unwrap_or_default()
+                })
+                .unwrap_or_default();
+            if response.is_empty() {
+                return Ok(());
+            }
+        }
+        let len = response.len() as u16;
+        stream.write_all(&len.to_be_bytes())?;
+        stream.write_all(&response)?;
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    shard: Shard,
+    rx: mpsc::Receiver<WorkItem>,
+    socket: Arc<UdpSocket>,
+    udp_payload_limit: usize,
+    counters: Arc<FrontCounters>,
+) {
+    let Shard {
+        mut resolver,
+        mut exchanger,
+    } = shard;
+    while let Ok(item) = rx.recv() {
+        match item {
+            WorkItem::Query { wire, reply } => {
+                let response = serve_wire(&mut resolver, exchanger.as_mut(), &wire);
+                match reply {
+                    ReplyPath::Udp(peer) => {
+                        let bytes = if response.len() > udp_payload_limit {
+                            counters.truncated.fetch_add(1, Ordering::Relaxed);
+                            truncate_for_udp(&wire)
+                        } else {
+                            response
+                        };
+                        if !bytes.is_empty() {
+                            let _ = socket.send_to(&bytes, peer);
+                        }
+                    }
+                    ReplyPath::Tcp(tx) => {
+                        let _ = tx.send(response);
+                    }
+                }
+            }
+            WorkItem::Pump => {
+                resolver.run_due_refreshes(exchanger.as_mut());
+            }
+            WorkItem::Snapshot(tx) => {
+                let _ = tx.send((index, resolver.snapshot()));
+            }
+            WorkItem::Shutdown => break,
+        }
+    }
+}
+
+/// Terminates one query through the shared Do53 core — identical wire
+/// behaviour to the simulated `Do53Service` by construction. An empty
+/// vector means "send nothing".
+fn serve_wire(
+    resolver: &mut CachingPoolResolver,
+    exchanger: &mut dyn Exchanger,
+    wire: &[u8],
+) -> Vec<u8> {
+    sdoh_dns_server::serve_do53_payload(resolver, exchanger, wire, false).unwrap_or_default()
+}
+
+/// Builds the empty TC=1 response for an oversized UDP answer: echo of the
+/// query's id and question with the truncation bit set, no records — the
+/// standard "retry over TCP" signal.
+fn truncate_for_udp(query_wire: &[u8]) -> Vec<u8> {
+    let Ok(query) = Message::decode(query_wire) else {
+        return Vec::new();
+    };
+    let mut tc = Message::response_to(&query);
+    tc.header.truncated = true;
+    tc.encode().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_wire(domain: &str, rtype: sdoh_dns_wire::RrType) -> Vec<u8> {
+        Message::query(7, domain.parse().unwrap(), rtype)
+            .encode()
+            .unwrap()
+    }
+
+    #[test]
+    fn sharding_is_stable_and_family_aware() {
+        let a1 = query_wire("pool.ntp.org", sdoh_dns_wire::RrType::A);
+        let a2 = query_wire("POOL.NTP.ORG", sdoh_dns_wire::RrType::A);
+        let aaaa = query_wire("pool.ntp.org", sdoh_dns_wire::RrType::Aaaa);
+        // Same key, same shard, for any shard count; case-insensitive.
+        for shards in 1..=16 {
+            assert_eq!(shard_for(&a1, shards), shard_for(&a2, shards));
+        }
+        // The two families of one domain are distinct keys: with enough
+        // shard counts they must land apart at least once.
+        assert!(
+            (2..=16).any(|n| shard_for(&a1, n) != shard_for(&aaaa, n)),
+            "family never separated the shard choice"
+        );
+        // Malformed input routes to shard 0 instead of panicking.
+        assert_eq!(shard_for(b"", 8), 0);
+        assert_eq!(shard_for(&[0u8; 12], 8), 0);
+    }
+
+    #[test]
+    fn question_hash_spreads_domains() {
+        let shards = 8;
+        let hit: std::collections::HashSet<usize> = (0..64)
+            .map(|i| {
+                shard_for(
+                    &query_wire(&format!("pool{i}.ntpns.org"), sdoh_dns_wire::RrType::A),
+                    shards,
+                )
+            })
+            .collect();
+        assert!(
+            hit.len() > shards / 2,
+            "64 domains hit {} shards",
+            hit.len()
+        );
+    }
+
+    #[test]
+    fn truncation_echoes_question_with_tc() {
+        let wire = query_wire("pool.ntp.org", sdoh_dns_wire::RrType::A);
+        let tc = Message::decode(&truncate_for_udp(&wire)).unwrap();
+        assert!(tc.header.truncated);
+        assert!(tc.header.response);
+        assert_eq!(tc.header.id, 7);
+        assert!(tc.answers.is_empty());
+        assert_eq!(tc.question().unwrap().name.to_string(), "pool.ntp.org.");
+        assert!(truncate_for_udp(b"junk").is_empty());
+    }
+}

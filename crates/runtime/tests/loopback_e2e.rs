@@ -1,0 +1,177 @@
+//! Loopback end-to-end proof of the real-socket runtime: real UDP clients
+//! query a [`PoolRuntime`], which generates pools through full in-process
+//! RFC 8484 DoH terminators — one of them compromised — and every served
+//! answer satisfies the paper's benign-fraction guarantee. Also exercises
+//! the TCP fallback for truncated answers and the off-query-path
+//! background refresh.
+
+use std::time::Duration;
+
+use sdoh_core::{check_guarantee, AddressPool, CacheConfig, GroundTruth, PoolConfig};
+use sdoh_dns_wire::{Message, Rcode, RrType, Ttl};
+use sdoh_runtime::{
+    LoopbackConfig, LoopbackFleet, PoolRuntime, RuntimeClient, RuntimeConfig, RuntimeStats, Shard,
+};
+
+const SHARDS: usize = 4;
+
+fn build(compromised: Vec<usize>, ttl: Ttl, stale: Duration) -> (LoopbackFleet, Vec<Shard>) {
+    let fleet = LoopbackFleet::build(LoopbackConfig {
+        resolvers: 3,
+        pool_domains: 4,
+        addresses_per_domain: 8,
+        compromised,
+        ..LoopbackConfig::default()
+    });
+    let shards = fleet
+        .shards(
+            SHARDS,
+            PoolConfig::algorithm1(),
+            CacheConfig::default()
+                .with_ttl(ttl)
+                .with_stale_window(stale),
+        )
+        .expect("valid config");
+    (fleet, shards)
+}
+
+fn assert_guarantee(response: &Message, truth: &GroundTruth) {
+    assert_eq!(response.header.rcode, Rcode::NoError);
+    let addresses = response.answer_addresses();
+    assert!(!addresses.is_empty(), "empty answer");
+    let mut pool = AddressPool::new();
+    for addr in addresses {
+        pool.push(addr, "served");
+    }
+    let check = check_guarantee(&pool, truth, 0.5);
+    assert!(check.holds, "guarantee violated: {check:?}");
+}
+
+#[test]
+fn udp_clients_get_guaranteed_pools_from_in_process_doh() {
+    // One of three upstream resolvers is compromised: truncation caps its
+    // share of every pool at 1/3, so the x = 1/2 guarantee must hold for
+    // every answer the runtime serves over the real socket.
+    let (fleet, shards) = build(vec![0], Ttl::from_secs(60), Duration::from_secs(60));
+    let truth = fleet.ground_truth();
+    let runtime = PoolRuntime::start(RuntimeConfig::default(), shards).expect("bind loopback");
+    assert_eq!(runtime.shard_count(), SHARDS);
+    let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr()).expect("client");
+
+    let mut id: u16 = 0;
+    for round in 0..3 {
+        for domain in &fleet.domains {
+            id += 1;
+            let response = client
+                .query(&Message::query(id, domain.clone(), RrType::A))
+                .expect("query answered");
+            assert_guarantee(&response, &truth);
+            assert_eq!(
+                response.answer_addresses().len(),
+                24,
+                "8 addresses x 3 resolvers, round {round}"
+            );
+        }
+    }
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.total.serve.queries, 12);
+    assert_eq!(
+        stats.total.serve.generations, 4,
+        "one generation per domain, everything else cache hits"
+    );
+    assert_eq!(stats.total.serve.hits, 8);
+    assert_eq!(stats.udp_queries, 12);
+    // Distinct domains spread across more than one shard-owned cache.
+    let active = stats
+        .per_shard
+        .iter()
+        .filter(|s| s.serve.queries > 0)
+        .count();
+    assert!(active > 1, "4 domains served by {active} shard(s)");
+    for shard in &stats.per_shard {
+        assert_eq!(shard.serve.queries, shard.cache.hits + shard.cache.misses);
+    }
+}
+
+#[test]
+fn oversized_udp_answers_fall_back_to_tcp() {
+    let (fleet, shards) = build(Vec::new(), Ttl::from_secs(60), Duration::from_secs(60));
+    let truth = fleet.ground_truth();
+    // A 24-record answer is ~700 bytes; a 128-byte limit forces TC=1.
+    let config = RuntimeConfig {
+        udp_payload_limit: 128,
+        ..RuntimeConfig::default()
+    };
+    let runtime = PoolRuntime::start(config, shards).expect("bind loopback");
+    let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr()).expect("client");
+
+    // The client follows the TC signal transparently: the answer it
+    // returns is the full TCP response.
+    let response = client
+        .query(&Message::query(9, fleet.domains[0].clone(), RrType::A))
+        .expect("query answered");
+    assert!(!response.header.truncated);
+    assert_eq!(response.answer_addresses().len(), 24);
+    assert_guarantee(&response, &truth);
+
+    // Direct TCP works too and serves from the now-warm cache.
+    let tcp_response = client
+        .query_tcp(&Message::query(10, fleet.domains[0].clone(), RrType::A))
+        .expect("tcp query answered");
+    assert_eq!(tcp_response.answer_addresses().len(), 24);
+
+    let stats = runtime.shutdown();
+    assert!(stats.truncated_responses >= 1, "the TC path was exercised");
+    assert!(stats.tcp_queries >= 2, "retry + direct tcp");
+    assert_eq!(
+        stats.total.serve.generations, 1,
+        "TC retry was served from cache, not regenerated"
+    );
+}
+
+#[test]
+fn background_refresh_runs_off_the_query_path() {
+    // Tiny TTL + wide stale window: after the TTL expires, queries are
+    // served stale (TTL 0) immediately while the refresh thread
+    // regenerates in the background.
+    let (fleet, shards) = build(Vec::new(), Ttl::from_secs(2), Duration::from_secs(3600));
+    let config = RuntimeConfig {
+        refresh_interval: Duration::from_millis(20),
+        ..RuntimeConfig::default()
+    };
+    let runtime = PoolRuntime::start(config, shards).expect("bind loopback");
+    let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr()).expect("client");
+    let domain = fleet.domains[0].clone();
+
+    let first = client
+        .query(&Message::query(1, domain.clone(), RrType::A))
+        .expect("cold query");
+    assert!(first.answers.iter().all(|r| r.ttl >= 1), "fresh TTL served");
+
+    std::thread::sleep(Duration::from_millis(2300)); // past the 2 s TTL
+    let stale = client
+        .query(&Message::query(2, domain.clone(), RrType::A))
+        .expect("stale query");
+    assert_eq!(stale.answer_addresses().len(), 24, "stale but served");
+    assert!(
+        stale.answers.iter().all(|r| r.ttl == 0),
+        "stale TTL is zero"
+    );
+
+    // Give the refresh thread a few ticks, then expect a fresh hit.
+    std::thread::sleep(Duration::from_millis(300));
+    let fresh = client
+        .query(&Message::query(3, domain.clone(), RrType::A))
+        .expect("refreshed query");
+    assert!(fresh.answers.iter().all(|r| r.ttl >= 1), "refreshed entry");
+
+    let stats: RuntimeStats = runtime.shutdown();
+    assert_eq!(stats.total.serve.stale_serves, 1);
+    assert!(
+        stats.total.serve.refreshes >= 1,
+        "the refresh thread regenerated in the background: {:?}",
+        stats.total.serve
+    );
+    assert_eq!(stats.total.serve.queries, 3);
+}

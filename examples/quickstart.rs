@@ -6,10 +6,13 @@
 //! as a [`PoolSession`](secure_doh::core::PoolSession), performs the N
 //! resolver exchanges **concurrently** (the lookup costs the slowest
 //! resolver, not the sum), hands the generated pool to Chronos to
-//! synchronise a clock that starts 30 seconds off, and finally serves the
-//! pool to a whole population of stub clients through the caching front
-//! end ([`CachingPoolResolver`](secure_doh::core::CachingPoolResolver)) —
-//! one generation, many answers.
+//! synchronise a clock that starts 30 seconds off, serves the pool to a
+//! whole population of stub clients through the caching front end
+//! ([`CachingPoolResolver`](secure_doh::core::CachingPoolResolver)) — one
+//! generation, many answers — and closes by taking the very same stack
+//! **out of the simulator**: a threaded real-socket runtime
+//! ([`PoolRuntime`](secure_doh::runtime::PoolRuntime)) serving the pool
+//! over an actual loopback UDP socket.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -130,7 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let addrs = stub.lookup_ipv4(&mut exchanger, &scenario.pool_domain)?;
         assert_eq!(addrs.len(), report.pool.len());
     }
-    let metrics = resolver.borrow().metrics();
+    let metrics = resolver.lock().metrics();
     println!(
         "\ncaching front end: {} queries served by {} generation(s) \
          ({} cache hits, hit ratio {:.0}%)",
@@ -141,5 +144,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nnetwork metrics: {}", scenario.net.metrics());
+
+    // Step 8: leave the simulator — the same serving stack over real
+    // sockets. The threaded runtime binds a UDP socket on loopback,
+    // shards the pool cache across worker threads and generates pools
+    // through in-process DoH terminators; a real stub client queries it.
+    use secure_doh::runtime::{
+        LoopbackConfig, LoopbackFleet, PoolRuntime, RuntimeClient, RuntimeConfig,
+    };
+    let fleet = LoopbackFleet::build(LoopbackConfig::default());
+    let shards = fleet.shards(2, PoolConfig::algorithm1(), CacheConfig::default())?;
+    let runtime = PoolRuntime::start(RuntimeConfig::default(), shards)?;
+    let stub = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr())?;
+    for id in 0..10u16 {
+        let response = stub.query(&secure_doh::wire::Message::query(
+            id,
+            fleet.domains[0].clone(),
+            secure_doh::wire::RrType::A,
+        ))?;
+        assert_eq!(response.answer_addresses().len(), 24);
+    }
+    let stats = runtime.shutdown();
+    println!(
+        "\nreal-socket runtime ({} loopback shards): {} queries, {} generation(s), \
+         hit ratio {:.0}%",
+        stats.per_shard.len(),
+        stats.total.serve.queries,
+        stats.total.serve.generations,
+        stats.total.serve.hit_ratio() * 100.0
+    );
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! | [`ntp`] | NTP packets, simulated time servers, Chronos |
 //! | [`core`] | secure pool generation (Algorithm 1, majority mode) |
 //! | [`analysis`] | Section III security analysis and Monte-Carlo sweeps |
+//! | [`runtime`] | threaded real-socket Do53 serving runtime |
 //! | [`scenario`] | ready-made Figure 1 scenarios wiring all of the above |
 
 #![warn(missing_docs)]
@@ -26,5 +27,6 @@ pub use sdoh_dns_wire as wire;
 pub use sdoh_doh as doh;
 pub use sdoh_netsim as netsim;
 pub use sdoh_ntp as ntp;
+pub use sdoh_runtime as runtime;
 
 pub mod scenario;

@@ -7,10 +7,11 @@
 //! baseline, and the NTP servers the pool points at (optionally malicious).
 //! Examples, integration tests and the experiment binaries all build on it.
 
-use std::cell::RefCell;
 use std::net::IpAddr;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use sdoh_core::{
     CacheConfig, CachingPoolResolver, GenerationReport, PoolConfig, SecurePoolGenerator,
@@ -337,6 +338,11 @@ impl Scenario {
     /// [`CachingPoolResolver::metrics`] while clients query it over the
     /// network.
     ///
+    /// The handle is the **thread-safe** `Arc<Mutex<_>>` (access the
+    /// resolver with `.lock()`), the same sharing primitive the
+    /// real-socket runtime uses — so a resolver configured inside a
+    /// simulation scenario can also be handed to threaded drivers.
+    ///
     /// # Errors
     ///
     /// Propagates configuration errors from the generator constructor.
@@ -344,20 +350,20 @@ impl Scenario {
         &self,
         pool: PoolConfig,
         cache: CacheConfig,
-    ) -> PoolResult<Rc<RefCell<CachingPoolResolver>>> {
-        let resolver = Rc::new(RefCell::new(CachingPoolResolver::new(
+    ) -> PoolResult<Arc<Mutex<CachingPoolResolver>>> {
+        let resolver = Arc::new(Mutex::new(CachingPoolResolver::new(
             self.pool_generator(pool)?,
             cache,
         )));
         self.net
-            .register(FRONTEND_ADDR, Do53Service::new(Rc::clone(&resolver)));
+            .register(FRONTEND_ADDR, Do53Service::new(Arc::clone(&resolver)));
         Ok(resolver)
     }
 
     /// Registers the uncached [`SecurePoolResolver`] front end at
     /// [`FRONTEND_ADDR`] — the one-generation-per-query baseline the
-    /// serving subsystem is measured against. Returns the shared handle for
-    /// metrics inspection.
+    /// serving subsystem is measured against. Returns the shared
+    /// (`Arc<Mutex<_>>`) handle for metrics inspection.
     ///
     /// # Errors
     ///
@@ -365,12 +371,12 @@ impl Scenario {
     pub fn install_uncached_frontend(
         &self,
         pool: PoolConfig,
-    ) -> PoolResult<Rc<RefCell<SecurePoolResolver>>> {
-        let resolver = Rc::new(RefCell::new(SecurePoolResolver::new(
+    ) -> PoolResult<Arc<Mutex<SecurePoolResolver>>> {
+        let resolver = Arc::new(Mutex::new(SecurePoolResolver::new(
             self.pool_generator(pool)?,
         )));
         self.net
-            .register(FRONTEND_ADDR, Do53Service::new(Rc::clone(&resolver)));
+            .register(FRONTEND_ADDR, Do53Service::new(Arc::clone(&resolver)));
         Ok(resolver)
     }
 }
@@ -565,7 +571,7 @@ mod tests {
             .unwrap();
         assert_eq!(again, first);
         // The driver-side handle observes the queries the network served.
-        let metrics = resolver.borrow().metrics();
+        let metrics = resolver.lock().metrics();
         assert_eq!(metrics.queries, 2);
         assert_eq!(metrics.generations, 1);
         assert_eq!(metrics.hits, 1);
@@ -578,8 +584,8 @@ mod tests {
             .lookup_ipv4(&mut exchanger, &scenario.pool_domain)
             .unwrap();
         assert_eq!(baseline, first);
-        assert_eq!(uncached.borrow().metrics().served, 1);
-        assert_eq!(resolver.borrow().metrics().queries, 2, "detached handle");
+        assert_eq!(uncached.lock().metrics().served, 1);
+        assert_eq!(resolver.lock().metrics().queries, 2, "detached handle");
     }
 
     #[test]

@@ -100,7 +100,7 @@ fn caching_resolver_amortises_generation_across_the_population() {
     assert_eq!(stats.requests as usize, CLIENTS * 3);
     assert_eq!(stats.failures, 0);
     {
-        let metrics = resolver.borrow().metrics();
+        let metrics = resolver.lock().metrics();
         assert_eq!(metrics.queries as usize, CLIENTS * 3);
         assert_eq!(
             metrics.generations as usize, DOMAINS,
@@ -118,18 +118,18 @@ fn caching_resolver_amortises_generation_across_the_population() {
     scenario.net.clock().advance(Duration::from_secs(25));
     let mut refreshed = 0;
     let stats = run_load(&scenario, 1, Duration::ZERO, |_| {
-        let pending = resolver.borrow().pending_refreshes();
+        let pending = resolver.lock().pending_refreshes();
         assert_eq!(
             pending, DOMAINS,
             "stale hits deduplicate to one refresh per domain"
         );
         let mut exchanger = scenario.client_exchanger();
-        refreshed += resolver.borrow_mut().run_due_refreshes(&mut exchanger);
+        refreshed += resolver.lock().run_due_refreshes(&mut exchanger);
     });
     assert_eq!(stats.failures, 0);
     assert_eq!(refreshed, DOMAINS);
     {
-        let metrics = resolver.borrow().metrics();
+        let metrics = resolver.lock().metrics();
         assert_eq!(metrics.stale_serves as usize, CLIENTS);
         assert_eq!(metrics.refreshes as usize, DOMAINS);
         assert_eq!(
@@ -142,7 +142,7 @@ fn caching_resolver_amortises_generation_across_the_population() {
     // Phase C: the refreshed entries serve the next round fresh.
     let stats = run_load(&scenario, 1, Duration::ZERO, |_| {});
     assert_eq!(stats.failures, 0);
-    let metrics = resolver.borrow().metrics();
+    let metrics = resolver.lock().metrics();
     assert_eq!(
         metrics.generations as usize,
         DOMAINS * 2,
@@ -163,7 +163,7 @@ fn uncached_baseline_pays_one_generation_per_query() {
         .unwrap();
     let stats = run_load(&scenario, 1, Duration::ZERO, |_| {});
     assert_eq!(stats.failures, 0);
-    let metrics = resolver.borrow().metrics();
+    let metrics = resolver.lock().metrics();
     assert_eq!(metrics.queries as usize, CLIENTS);
     assert_eq!(
         metrics.served as usize, CLIENTS,

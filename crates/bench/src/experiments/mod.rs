@@ -11,6 +11,7 @@ pub mod offpath;
 pub mod overhead;
 pub mod required_fraction;
 pub mod runtime_throughput;
+pub mod time_sync;
 pub mod truncation;
 
 use std::net::IpAddr;

@@ -22,6 +22,9 @@ pub enum PoolError {
     EmptyPool,
     /// The configuration is internally inconsistent.
     InvalidConfig(String),
+    /// A pool generation behind the serving front end failed (the condition
+    /// a DNS client would observe as SERVFAIL, possibly negatively cached).
+    Generation(String),
     /// A driver misused the sans-IO session API (responded to an unknown or
     /// completed transaction, or finished with exchanges outstanding).
     Session(String),
@@ -36,6 +39,7 @@ impl fmt::Display for PoolError {
             }
             PoolError::EmptyPool => write!(f, "the combined address pool is empty"),
             PoolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PoolError::Generation(msg) => write!(f, "pool generation failed: {msg}"),
             PoolError::Session(msg) => write!(f, "session misuse: {msg}"),
         }
     }
@@ -60,6 +64,7 @@ mod tests {
             },
             PoolError::EmptyPool,
             PoolError::InvalidConfig("x out of range".into()),
+            PoolError::Generation("upstreams unreachable".into()),
             PoolError::Session("unknown transaction".into()),
         ];
         for c in cases {

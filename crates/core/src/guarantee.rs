@@ -36,6 +36,14 @@ impl GroundTruth {
         self.malicious.insert(address);
     }
 
+    /// Marks every address in `addresses` as attacker-controlled —
+    /// composing ground truth from several attacker footholds (compromised
+    /// resolvers' server blocks, malicious servers planted inside an
+    /// otherwise honest pool, …).
+    pub fn extend_malicious<I: IntoIterator<Item = IpAddr>>(&mut self, addresses: I) {
+        self.malicious.extend(addresses);
+    }
+
     /// Returns `true` when `address` is attacker-controlled.
     pub fn is_malicious(&self, address: IpAddr) -> bool {
         self.malicious.contains(&address)
@@ -154,6 +162,9 @@ mod tests {
         assert!(truth.is_malicious(evil(1)));
         assert!(!truth.is_malicious(ip(1)));
         assert_eq!(truth.malicious_count(), 1);
+        truth.extend_malicious([evil(2), evil(3), evil(1)]);
+        assert_eq!(truth.malicious_count(), 3, "extension deduplicates");
+        assert!(truth.is_malicious(evil(3)));
     }
 
     #[test]

@@ -90,6 +90,12 @@
 //! serving cost falls from one generation **per query** to one generation
 //! per `(domain, TTL window)`, while every served answer still comes out
 //! of a real generation — the benign-fraction guarantee is untouched.
+//! In-process consumers can skip the DNS framing entirely through
+//! [`CachingPoolResolver::resolve_pool`], which returns typed addresses
+//! plus the remaining TTL; that is how the `sdoh-ntp` crate's
+//! **secure time synchronization** pipeline (`SecureTimeClient`) pulls a
+//! fresh pool per TTL window and drives Chronos over it — the paper's
+//! application closing the loop over this crate's pools.
 //!
 //! The whole serve layer is `Send` (sources are
 //! [`AddressSource: Send`](AddressSource), state is plainly owned), so a
@@ -179,11 +185,11 @@ pub use error::{PoolError, PoolResult};
 pub use generator::{GenerationReport, SecurePoolGenerator, SourceOutcome};
 pub use guarantee::{attacker_controls_fraction, check_guarantee, GroundTruth, GuaranteeCheck};
 pub use lookup::{ResolverMetrics, SecurePoolResolver};
-pub use majority::{majority_vote, support_counts};
+pub use majority::{majority_vote, meets_threshold, support_counts};
 pub use pool::{AddressPool, PoolEntry};
 pub use serve::{
     AddressFamily, CacheConfig, CacheLookup, CachingPoolResolver, PoolCache, PoolKey,
-    RefreshScheduler, ServeMetrics, ServeSession, ServeSnapshot, Singleflight,
+    RefreshScheduler, ResolvedPool, ServeMetrics, ServeSession, ServeSnapshot, Singleflight,
 };
 pub use session::{
     drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,

@@ -25,15 +25,121 @@ pub fn support_counts(lists: &[Vec<IpAddr>]) -> BTreeMap<IpAddr, usize> {
 /// With `threshold = 0.5` this is the classic majority vote the paper
 /// describes: "the majority DNS resolver only includes an address in the
 /// final response, if it is given by a majority of the DoH resolvers".
+///
+/// The comparison `support > threshold * total` is evaluated **exactly**
+/// (see [`meets_threshold`]): thresholds written as rationals — `2.0 / 3.0`,
+/// `0.7` — behave as the rational they denote for every `total`, instead of
+/// picking up an off-by-one where floating-point rounding lands the product
+/// on the wrong side of an integer.
 pub fn majority_vote(lists: &[Vec<IpAddr>], total: usize, threshold: f64) -> Vec<(IpAddr, usize)> {
     if total == 0 {
         return Vec::new();
     }
-    let needed = (threshold * total as f64).floor() as usize;
     support_counts(lists)
         .into_iter()
-        .filter(|(_, support)| *support > needed)
+        .filter(|(_, support)| meets_threshold(*support, total, threshold))
         .collect()
+}
+
+/// Decides `support > threshold * total` exactly.
+///
+/// Floating-point evaluation of the product can land on the wrong side of
+/// an integer — `floor(0.7 * total)` style computations are off by one for
+/// some totals — so the comparison is done in integer arithmetic instead:
+///
+/// * when `threshold` is (up to one part in 2⁵⁰) a small rational `p/q`,
+///   the intended comparison is `support * q > p * total`, evaluated in
+///   `u128`. This recovers the rational the caller *wrote* (`2.0 / 3.0`,
+///   `0.7`, …), which `f64` cannot represent exactly;
+/// * otherwise the `f64` value itself is used exactly: every finite float
+///   is the dyadic rational `m·2^e`, so `support > m·2^e·total` reduces to
+///   an integer comparison after shifting.
+pub fn meets_threshold(support: usize, total: usize, threshold: f64) -> bool {
+    if threshold.is_nan() {
+        return false;
+    }
+    if !threshold.is_finite() {
+        return threshold < 0.0;
+    }
+    if threshold < 0.0 {
+        return true;
+    }
+    if let Some((num, den)) = small_rational(threshold) {
+        return (support as u128) * u128::from(den) > u128::from(num).saturating_mul(total as u128);
+    }
+    exceeds_dyadic(support, total, threshold)
+}
+
+/// Best small-denominator rational approximation of `t` (continued
+/// fractions, denominators up to 2²⁰), accepted only when it matches `t` to
+/// within one part in 2⁵⁰ — i.e. when `t` plausibly *is* that rational,
+/// merely rounded through `f64`.
+fn small_rational(t: f64) -> Option<(u64, u64)> {
+    const MAX_DEN: u64 = 1 << 20;
+    let tolerance = t.abs().max(1.0) * (0.5f64).powi(50);
+    // Convergents p/q of the continued fraction of t.
+    let (mut p_prev, mut q_prev): (u64, u64) = (0, 1);
+    let (mut p, mut q): (u64, u64) = (1, 0);
+    let mut x = t;
+    for _ in 0..64 {
+        let a = x.floor();
+        if a > MAX_DEN as f64 {
+            return None;
+        }
+        let a_int = a as u64;
+        let p_next = a_int.checked_mul(p)?.checked_add(p_prev)?;
+        let q_next = a_int.checked_mul(q)?.checked_add(q_prev)?;
+        if q_next > MAX_DEN {
+            return None;
+        }
+        (p_prev, q_prev, p, q) = (p, q, p_next, q_next);
+        if (p as f64 / q as f64 - t).abs() <= tolerance {
+            return Some((p, q));
+        }
+        let frac = x - a;
+        if frac <= 0.0 {
+            return None;
+        }
+        x = 1.0 / frac;
+    }
+    None
+}
+
+/// Exact `support > t * total` for a finite non-negative `t`, decomposing
+/// `t` into its dyadic mantissa/exponent form.
+fn exceeds_dyadic(support: usize, total: usize, t: f64) -> bool {
+    let bits = t.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mantissa, exponent) = if biased == 0 {
+        (frac, -1074i64)
+    } else {
+        (frac | (1 << 52), biased - 1075)
+    };
+    // Compare support against mantissa * 2^exponent * total. The product
+    // below cannot overflow: mantissa < 2^53 and total < 2^64.
+    let lhs = support as u128;
+    let rhs = u128::from(mantissa) * (total as u128);
+    if exponent >= 0 {
+        // support > rhs << exponent.
+        if rhs == 0 {
+            return lhs > 0;
+        }
+        if exponent >= 128 || (exponent as u32) > rhs.leading_zeros() {
+            return false; // the product is at least 2^128, beyond any support
+        }
+        lhs > (rhs << exponent)
+    } else {
+        // support << -exponent > rhs.
+        if lhs == 0 {
+            return false;
+        }
+        let shift = -exponent;
+        if shift >= 128 || (shift as u32) > lhs.leading_zeros() {
+            return true; // the shifted support is at least 2^128 > rhs < 2^118
+        }
+        (lhs << shift) > rhs
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +203,52 @@ mod tests {
         assert!(majority_vote(&[], 0, 0.5).is_empty());
         assert!(majority_vote(&[vec![]], 1, 0.5).is_empty());
         assert!(support_counts(&[]).is_empty());
+    }
+
+    #[test]
+    fn threshold_comparison_is_exact_for_written_rationals() {
+        // 2/3 of 3 resolvers: "strictly more than 2" means 3, even though
+        // f64 cannot represent 2/3 and the product 2.0/3.0 * 3.0 straddles
+        // the integer.
+        assert!(!meets_threshold(2, 3, 2.0 / 3.0));
+        assert!(meets_threshold(3, 3, 2.0 / 3.0));
+        // 0.7 of 10: 7 is not strictly more than 7.
+        assert!(!meets_threshold(7, 10, 0.7));
+        assert!(meets_threshold(8, 10, 0.7));
+        // Exactly half of an even total never passes, at any magnitude.
+        for total in [2usize, 4, 1_000, 1 << 40] {
+            assert!(!meets_threshold(total / 2, total, 0.5), "total {total}");
+            assert!(meets_threshold(total / 2 + 1, total, 0.5));
+        }
+    }
+
+    #[test]
+    fn threshold_comparison_survives_huge_totals() {
+        // The old `floor(threshold * total)` evaluation loses whole units
+        // once the product's floating-point error reaches integer spacing:
+        // for total = 10^17 + 3 it computed "needed = 66666666666666664",
+        // admitting supports four short of a strict 2/3 majority. The exact
+        // comparison requires support > 2(10^17 + 3)/3 = 66666666666666668.67.
+        let total = 100_000_000_000_000_003usize;
+        assert!(!meets_threshold(66_666_666_666_666_668, total, 2.0 / 3.0));
+        assert!(meets_threshold(66_666_666_666_666_669, total, 2.0 / 3.0));
+    }
+
+    #[test]
+    fn threshold_comparison_edge_values() {
+        // Degenerate thresholds keep their mathematical meaning.
+        assert!(meets_threshold(1, 4, 0.0), "any support beats zero");
+        assert!(!meets_threshold(0, 4, 0.0));
+        assert!(!meets_threshold(4, 4, 1.0), "support cannot exceed total");
+        assert!(meets_threshold(5, 4, 1.0), "unless the caller says so");
+        assert!(!meets_threshold(4, 4, f64::NAN));
+        assert!(!meets_threshold(4, 4, f64::INFINITY));
+        assert!(meets_threshold(0, 4, f64::NEG_INFINITY));
+        assert!(meets_threshold(1, 4, -0.25));
+        // An arbitrary non-rational threshold falls back to the exact
+        // dyadic comparison of the f64 value itself.
+        let weird = 0.123_456_789_012_345_67_f64;
+        assert!(meets_threshold(2, 10, weird));
+        assert!(!meets_threshold(1, 10, weird));
     }
 }

@@ -39,7 +39,7 @@ pub use cache::{
     AddressFamily, CacheConfig, CacheLookup, CacheMetrics, CachedPool, PoolCache, PoolKey,
 };
 pub use refresh::{RefreshScheduler, RefreshTask};
-pub use resolver::{CachingPoolResolver, ServeMetrics, ServeSnapshot};
+pub use resolver::{CachingPoolResolver, ResolvedPool, ServeMetrics, ServeSnapshot};
 pub use session::{
     drive_serve, FlightOutcome, ServeAction, ServeEvent, ServeSession, ServeTransactionId,
     ServeTransmit,

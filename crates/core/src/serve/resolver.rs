@@ -400,6 +400,68 @@ impl CachingPoolResolver {
     }
 }
 
+/// A pool resolved straight through the serving subsystem, without DNS
+/// message framing — what an in-process application (a secure time-sync
+/// client, a bootstrap component) consumes from the front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedPool {
+    /// The served pool addresses, in answer order.
+    pub addresses: Vec<std::net::IpAddr>,
+    /// Remaining time the caller may use this pool before re-pulling it
+    /// (zero for a stale serve: usable now, but not a moment longer).
+    pub ttl: Ttl,
+}
+
+impl ResolvedPool {
+    /// Extracts a pool from a successful DNS answer: the answer-section
+    /// addresses in order, valid for the **smallest** answer TTL. The one
+    /// place answer records become a typed pool, shared by every consumer
+    /// that turns DNS messages into pools.
+    pub fn from_answer(message: &Message) -> ResolvedPool {
+        ResolvedPool {
+            addresses: message.answer_addresses(),
+            ttl: message
+                .answers
+                .iter()
+                .map(|record| Ttl::from_secs(record.ttl))
+                .min()
+                .unwrap_or(Ttl::ZERO),
+        }
+    }
+}
+
+impl CachingPoolResolver {
+    /// Resolves the current pool for `domain` and `family` through the full
+    /// serving path — fresh cache hit, stale serve with a queued background
+    /// refresh, or an on-demand generation — exactly as a network query
+    /// would, but handing back typed addresses plus the remaining TTL
+    /// instead of a wire message. In-process consumers (e.g. a secure
+    /// time-sync client holding the shared front-end handle) use this to
+    /// honour the same TTL windows as every DNS client of the resolver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::Generation`](crate::PoolError::Generation) when
+    /// the serving path answers with an error (a failed — possibly
+    /// negatively cached — generation).
+    pub fn resolve_pool(
+        &mut self,
+        exchanger: &mut dyn Exchanger,
+        domain: &sdoh_dns_wire::Name,
+        family: super::AddressFamily,
+    ) -> crate::PoolResult<ResolvedPool> {
+        let query = Message::query(exchanger.next_id(), domain.clone(), family.rtype());
+        let response = self.handle_query(exchanger, &query);
+        if response.header.rcode != Rcode::NoError {
+            return Err(crate::PoolError::Generation(format!(
+                "serving front end answered {:?} for {domain}",
+                response.header.rcode
+            )));
+        }
+        Ok(ResolvedPool::from_answer(&response))
+    }
+}
+
 impl QueryHandler for CachingPoolResolver {
     fn handle_query(&mut self, exchanger: &mut dyn Exchanger, query: &Message) -> Message {
         let question = match self.screen(query) {
@@ -730,6 +792,64 @@ mod tests {
         let metrics = resolver.metrics();
         assert_eq!(metrics.generations, 1);
         assert_eq!(metrics.negative_hits, 1);
+    }
+
+    #[test]
+    fn resolve_pool_follows_the_serving_path() {
+        use super::super::AddressFamily;
+        let net = SimNet::new(92);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        let domain: sdoh_dns_wire::Name = "pool.ntp.org".parse().unwrap();
+
+        let first = resolver
+            .resolve_pool(&mut exchanger, &domain, AddressFamily::V4)
+            .unwrap();
+        assert_eq!(first.addresses.len(), 6);
+        assert_eq!(first.ttl, Ttl::from_secs(60));
+        // A wire query and the typed lookup serve the same cache entry.
+        let wire = resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        assert_eq!(wire.answer_addresses(), first.addresses);
+        assert_eq!(resolver.metrics().generations, 1);
+
+        // The TTL decrements with entry age like every served answer.
+        net.clock().advance(Duration::from_secs(25));
+        let aged = resolver
+            .resolve_pool(&mut exchanger, &domain, AddressFamily::V4)
+            .unwrap();
+        assert_eq!(aged.ttl, Ttl::from_secs(35));
+        assert_eq!(aged.addresses, first.addresses);
+
+        // A stale serve hands back TTL zero and queues the refresh.
+        net.clock().advance(Duration::from_secs(50));
+        let stale = resolver
+            .resolve_pool(&mut exchanger, &domain, AddressFamily::V4)
+            .unwrap();
+        assert_eq!(stale.ttl, Ttl::ZERO);
+        assert_eq!(resolver.pending_refreshes(), 1);
+    }
+
+    #[test]
+    fn resolve_pool_surfaces_generation_failures() {
+        use super::super::AddressFamily;
+        let net = SimNet::new(93);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let sources: Vec<Box<dyn AddressSource>> = vec![
+            Box::new(StaticSource::failing("dead1")),
+            Box::new(StaticSource::failing("dead2")),
+        ];
+        let generator =
+            SecurePoolGenerator::new(PoolConfig::algorithm1().with_min_responses(2), sources)
+                .unwrap();
+        let mut resolver = CachingPoolResolver::new(generator, test_config());
+        let err = resolver
+            .resolve_pool(
+                &mut exchanger,
+                &"dead.ntp.org".parse().unwrap(),
+                AddressFamily::V4,
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::PoolError::Generation(_)), "{err:?}");
     }
 
     #[test]

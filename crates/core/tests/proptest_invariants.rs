@@ -145,6 +145,34 @@ proptest! {
         }
     }
 
+    /// The threshold comparison matches exact-rational evaluation: for any
+    /// rational threshold `num/den` handed over as `num as f64 / den as f64`
+    /// and any support/total, `majority_vote` admits exactly the addresses
+    /// with `support * den > num * total` — no floating-point off-by-one.
+    #[test]
+    fn majority_vote_matches_exact_rational_thresholds(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(1u8..30, 0..10), 0..8),
+        num in 0u64..1000,
+        den in 1u64..1000,
+    ) {
+        let lists: Vec<Vec<IpAddr>> = lists
+            .into_iter()
+            .map(|l| l.into_iter().map(benign).collect())
+            .collect();
+        let total = lists.len();
+        let threshold = num as f64 / den as f64;
+        let winners = majority_vote(&lists, total, threshold);
+        let counts = support_counts(&lists);
+        let expected: Vec<(IpAddr, usize)> = counts
+            .into_iter()
+            .filter(|(_, support)| {
+                (*support as u128) * u128::from(den) > u128::from(num) * (total as u128)
+            })
+            .collect();
+        prop_assert_eq!(winners, expected, "threshold {}/{}", num, den);
+    }
+
     /// Splitting a pool by family loses no entries and unions back to the
     /// original multiset size.
     #[test]

@@ -40,8 +40,11 @@ impl SpoofStrategy {
                 attempts,
                 entropy_bits,
             } => {
-                let space = 2f64.powi(entropy_bits as i32);
-                1.0 - (1.0 - 1.0 / space).powi(attempts as i32)
+                let space = 2f64.powi(i32::from(entropy_bits));
+                // `powi` takes an i32: casting a large `attempts` would wrap
+                // negative and turn the miss probability into a reciprocal.
+                // `powf` handles the whole u32 range exactly.
+                1.0 - (1.0 - 1.0 / space).powf(f64::from(attempts))
             }
         }
     }
@@ -187,6 +190,38 @@ mod tests {
         };
         // 1 - (1 - 2^-16)^65536 ~= 1 - 1/e
         assert!((many.success_probability() - (1.0 - (-1.0f64).exp())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn huge_attempt_counts_stay_a_probability() {
+        // Regression: `attempts as i32` wrapped negative past i32::MAX,
+        // turning the exponent into a reciprocal and the "probability"
+        // negative.
+        let boundary = SpoofStrategy::GuessIdentifiers {
+            attempts: i32::MAX as u32,
+            entropy_bits: 32,
+        };
+        let beyond = SpoofStrategy::GuessIdentifiers {
+            attempts: i32::MAX as u32 + 1,
+            entropy_bits: 32,
+        };
+        let maxed = SpoofStrategy::GuessIdentifiers {
+            attempts: u32::MAX,
+            entropy_bits: 32,
+        };
+        for strategy in [boundary, beyond, maxed] {
+            let p = strategy.success_probability();
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{strategy:?} produced probability {p}"
+            );
+        }
+        // More attempts can only help: the probability is monotone across
+        // the old wrap-around boundary.
+        assert!(beyond.success_probability() >= boundary.success_probability());
+        assert!(maxed.success_probability() >= beyond.success_probability());
+        // 2^32 guesses of a 32-bit identifier land at ~1 - 1/e.
+        assert!((maxed.success_probability() - (1.0 - (-1.0f64).exp())).abs() < 1e-3);
     }
 
     #[test]

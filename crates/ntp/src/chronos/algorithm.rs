@@ -79,10 +79,10 @@ impl ChronosClient {
     ///
     /// # Errors
     ///
-    /// Returns [`NtpError::EmptyPool`] for an empty pool,
+    /// Returns [`NtpError::EmptyPool`] for an empty pool and
     /// [`NtpError::NotEnoughSamples`] when even panic mode cannot gather
-    /// enough responses, and [`NtpError::NoAgreement`] when the surviving
-    /// panic-mode samples still disagree wildly.
+    /// enough responses to apply the configured trim — a round never
+    /// shrinks its trim to fit a depleted sample set.
     pub fn update(
         &mut self,
         net: &SimNet,
@@ -95,13 +95,13 @@ impl ChronosClient {
         let mut rounds = 0usize;
         while rounds < self.config.max_retries {
             rounds += 1;
-            if let Some(offset) = self.try_normal_round(net, clock, pool)? {
+            if let Some((offset, used)) = self.try_normal_round(net, clock, pool)? {
                 clock.adjust(offset);
                 return Ok(ChronosOutcome {
                     applied_offset: offset,
                     mode: ChronosMode::Normal,
                     rounds,
-                    samples_used: self.config.surviving_samples(),
+                    samples_used: used,
                 });
             }
         }
@@ -121,26 +121,23 @@ impl ChronosClient {
         net: &SimNet,
         clock: &LocalClock,
         pool: &[IpAddr],
-    ) -> NtpResult<Option<f64>> {
+    ) -> NtpResult<Option<(f64, usize)>> {
         let m = self.config.sample_size.min(pool.len());
         let indices = self.rng.sample_indices(pool.len(), m);
         let chosen: Vec<IpAddr> = indices.iter().map(|&i| pool[i]).collect();
         let samples = self.ntp.sample_pool(net, clock, &chosen);
-        if samples.len() < self.config.surviving_samples() + 2 * self.config.trim.min(samples.len())
-        {
-            // Too many unresponsive servers for a meaningful trim; treat the
-            // round as failed rather than trimming into nothing.
-            if samples.len() <= 2 * self.config.trim {
-                return Ok(None);
-            }
+        // Trimming `d` from each end only discards the extremes when at
+        // least `surviving_samples() + 2d` servers responded. With fewer
+        // responses the round must fail — shrinking the trim instead would
+        // let a lone malicious offset survive into the average whenever
+        // enough honest servers are unresponsive.
+        if samples.len() < self.config.surviving_samples() + 2 * self.config.trim {
+            return Ok(None);
         }
         let mut offsets: Vec<f64> = samples.iter().map(|(_, s)| s.offset).collect();
         offsets.sort_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
-        let trim = self.config.trim.min(offsets.len().saturating_sub(1) / 2);
+        let trim = self.config.trim;
         let survivors = &offsets[trim..offsets.len() - trim];
-        if survivors.is_empty() {
-            return Ok(None);
-        }
         let spread = survivors[survivors.len() - 1] - survivors[0];
         let average = survivors.iter().sum::<f64>() / survivors.len() as f64;
         // Condition 1: agreement within w. Condition 2: not too far from the
@@ -148,7 +145,7 @@ impl ChronosClient {
         // clock has just started (offset 0 rounds are always accepted when
         // they agree).
         if spread <= self.config.agreement_window && average.abs() <= self.config.drift_bound {
-            Ok(Some(average))
+            Ok(Some((average, survivors.len())))
         } else {
             Ok(None)
         }
@@ -161,26 +158,50 @@ impl ChronosClient {
         pool: &[IpAddr],
     ) -> NtpResult<(f64, usize)> {
         let samples = self.ntp.sample_pool(net, clock, pool);
-        if samples.is_empty() {
-            return Err(NtpError::NotEnoughSamples { got: 0, needed: 1 });
-        }
         let mut offsets: Vec<f64> = samples.iter().map(|(_, s)| s.offset).collect();
         offsets.sort_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
         let trim = ((offsets.len() as f64) * self.config.panic_trim_fraction).floor() as usize;
-        let trim = trim.min(offsets.len().saturating_sub(1) / 2);
-        let survivors = &offsets[trim..offsets.len() - trim];
-        if survivors.is_empty() {
-            return Err(NtpError::NoAgreement);
+        // Panic mode must rest on at least as many survivors as a normal
+        // round: applying the "trimmed average" of one or two stragglers
+        // would hand a lone malicious responder the clock when the rest of
+        // the pool is unresponsive. (panic_trim_fraction < 1/2 is enforced
+        // at construction, so 2 * trim < len whenever len > 0.)
+        let survivor_count = offsets.len() - 2 * trim;
+        if survivor_count < self.config.surviving_samples() {
+            return Err(NtpError::NotEnoughSamples {
+                got: samples.len(),
+                needed: self.min_panic_responses(),
+            });
         }
+        let survivors = &offsets[trim..offsets.len() - trim];
         let average = survivors.iter().sum::<f64>() / survivors.len() as f64;
         Ok((average, survivors.len()))
+    }
+
+    /// The smallest response count `n` from which *every* count `>= n`
+    /// keeps [`ChronosConfig::surviving_samples`] survivors after the
+    /// floored panic trim. (Because the trim is floored, the survivor count
+    /// is not monotone in `n` — e.g. 8 responses can pass where 9 fail —
+    /// so the continuous bound `target / (1 - 2f)` is only a starting
+    /// point, walked down while every smaller count still passes.)
+    fn min_panic_responses(&self) -> usize {
+        let target = self.config.surviving_samples();
+        let fraction = self.config.panic_trim_fraction;
+        let survivors = |n: usize| n - 2 * ((n as f64 * fraction).floor() as usize);
+        // At and beyond this bound the floored trim can never dip the
+        // survivor count below target again.
+        let mut needed = ((target as f64) / (1.0 - 2.0 * fraction)).ceil() as usize;
+        while needed > target && survivors(needed - 1) >= target {
+            needed -= 1;
+        }
+        needed
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::register_pool;
+    use crate::server::{register_pool, NtpServerConfig, NtpServerService};
     use sdoh_netsim::{LinkConfig, SimAddr};
     use std::time::Duration;
 
@@ -272,6 +293,112 @@ mod tests {
         let mut chronos = client(5);
         let err = chronos.update(&net, &mut clock, &pool).unwrap_err();
         assert!(matches!(err, NtpError::NotEnoughSamples { .. }));
+    }
+
+    #[test]
+    fn lone_malicious_server_among_dead_ones_cannot_shift_the_clock() {
+        // Regression: one malicious server answers, the rest of the pool is
+        // unresponsive. The old guard shrank the trim to fit the depleted
+        // sample set, so the single malicious offset survived into the
+        // "trimmed" average (in panic mode) and moved the clock by the full
+        // attacker shift. A depleted round must fail instead.
+        let net = SimNet::new(205);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let addrs: Vec<SimAddr> = (1..=12u8)
+            .map(|i| SimAddr::v4(203, 0, 113, i, 123))
+            .collect();
+        // First server malicious (+1000 s), the other eleven never answer.
+        net.register(
+            addrs[0],
+            NtpServerService::new(NtpServerConfig::malicious(1000.0), net.clock(), 1),
+        );
+        for &addr in &addrs[1..] {
+            net.register(
+                addr,
+                NtpServerService::new(NtpServerConfig::silent(), net.clock(), 2),
+            );
+        }
+        let pool: Vec<IpAddr> = addrs.iter().map(|a| a.ip).collect();
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(7);
+        let err = chronos.update(&net, &mut clock, &pool).unwrap_err();
+        assert!(
+            matches!(err, NtpError::NotEnoughSamples { got: 1, .. }),
+            "a single response must not drive an update: {err:?}"
+        );
+        assert!(
+            clock.offset_from_true().abs() < 1e-9,
+            "the malicious offset leaked into the clock: {}",
+            clock.offset_from_true()
+        );
+    }
+
+    #[test]
+    fn partial_responses_fail_the_round_instead_of_under_trimming() {
+        // 9 of 12 servers answer: enough to slip past the old inner guard
+        // (9 > 2*trim) but not enough for a d=4 trim to leave the configured
+        // surviving_samples() — the old code averaged a single "survivor"
+        // and reported samples_used = 4. Both rounds must fail outright now.
+        let net = SimNet::new(206);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let addrs: Vec<SimAddr> = (1..=12u8)
+            .map(|i| SimAddr::v4(203, 0, 113, i, 123))
+            .collect();
+        register_pool(&net, &addrs[..9], 1, 1000.0, 3);
+        for &addr in &addrs[9..] {
+            net.register(
+                addr,
+                NtpServerService::new(NtpServerConfig::silent(), net.clock(), 4),
+            );
+        }
+        let pool: Vec<IpAddr> = addrs.iter().map(|a| a.ip).collect();
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(8);
+        let err = chronos.update(&net, &mut clock, &pool).unwrap_err();
+        assert!(
+            matches!(err, NtpError::NotEnoughSamples { got: 9, needed: 10 }),
+            "unexpected error: {err:?}"
+        );
+        assert!(clock.offset_from_true().abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_panic_responses_matches_the_floored_trim_exactly() {
+        // Default config: surviving_samples = 4, panic trim 1/3. Counts of
+        // 10 and above always keep >= 4 survivors (10 - 2*floor(10/3) = 4),
+        // while 9 does not (9 - 2*3 = 3) — the reported `needed` must be
+        // the exact threshold, not the continuous-bound overestimate of 12.
+        let chronos = client(10);
+        let survivors = |n: usize| n - 2 * ((n as f64 / 3.0).floor() as usize);
+        assert!(survivors(10) >= 4);
+        assert!(survivors(9) < 4);
+        let net = SimNet::new(208);
+        let pool: Vec<IpAddr> = (1..=6u8)
+            .map(|i| format!("192.0.2.{i}").parse().unwrap())
+            .collect();
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos_client = chronos;
+        let err = chronos_client.update(&net, &mut clock, &pool).unwrap_err();
+        assert!(
+            matches!(err, NtpError::NotEnoughSamples { got: 0, needed: 10 }),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn samples_used_reports_the_actual_survivor_count() {
+        let net = SimNet::new(207);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let pool = make_pool(&net, 18, 0, 0.0);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut chronos = client(9);
+        let outcome = chronos.update(&net, &mut clock, &pool).unwrap();
+        assert_eq!(outcome.mode, ChronosMode::Normal);
+        assert_eq!(
+            outcome.samples_used,
+            chronos.config().surviving_samples(),
+            "a full round's survivors are exactly m - 2d"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use sdoh_netsim::{ChannelKind, SimAddr, SimNet};
 use crate::clock::LocalClock;
 use crate::error::{NtpError, NtpResult};
 use crate::packet::{NtpMode, NtpPacket, NtpSample};
+use crate::timestamp::NtpTimestamp;
 
 /// An NTP client bound to an application host address.
 #[derive(Debug, Clone)]
@@ -35,11 +36,20 @@ impl NtpClient {
     /// Queries a single server and computes the time sample relative to the
     /// given local clock.
     ///
+    /// The response runs through the RFC 5905 sanity checks before a sample
+    /// is derived from it: Kiss-o'-Death packets (stratum 0), unsynchronised
+    /// servers (leap indicator 3), zero transmit timestamps and negative
+    /// round-trip delays are all rejected instead of being folded into the
+    /// clock discipline.
+    ///
     /// # Errors
     ///
     /// Returns transport errors, [`NtpError::MalformedPacket`] for
-    /// undecodable responses and [`NtpError::Mismatched`] when the response
-    /// does not echo the request's transmit timestamp.
+    /// undecodable responses, [`NtpError::Mismatched`] when the response
+    /// does not echo the request's transmit timestamp, and
+    /// [`NtpError::KissOfDeath`] / [`NtpError::Unsynchronised`] /
+    /// [`NtpError::ZeroTransmitTimestamp`] / [`NtpError::NegativeDelay`]
+    /// for responses failing the corresponding sanity check.
     pub fn sample(&self, net: &SimNet, clock: &LocalClock, server: IpAddr) -> NtpResult<NtpSample> {
         let server_addr = SimAddr::new(server, sdoh_netsim::ports::NTP);
         let t1 = clock.now();
@@ -59,13 +69,26 @@ impl NtpClient {
         if response.origin_timestamp != t1 {
             return Err(NtpError::Mismatched);
         }
-        Ok(NtpSample::from_timestamps(
+        if response.stratum == 0 {
+            return Err(NtpError::KissOfDeath);
+        }
+        if response.leap_indicator == 3 {
+            return Err(NtpError::Unsynchronised);
+        }
+        if response.transmit_timestamp == NtpTimestamp::ZERO {
+            return Err(NtpError::ZeroTransmitTimestamp);
+        }
+        let sample = NtpSample::from_timestamps(
             t1,
             response.receive_timestamp,
             response.transmit_timestamp,
             t4,
             response.stratum,
-        ))
+        );
+        if sample.delay < 0.0 {
+            return Err(NtpError::NegativeDelay);
+        }
+        Ok(sample)
     }
 
     /// Samples every server in `pool`, returning the successful samples in
@@ -104,16 +127,187 @@ impl NtpClient {
         }
         Err(NtpError::EmptyPool)
     }
+
+    /// The full-pool NTP baseline: sample **every** server in the pool and
+    /// apply the plain average of all obtained offsets — no trimming, no
+    /// agreement check. More robust than [`NtpClient::synchronize_simple`]
+    /// against a single bad server, but still captured outright by a pool
+    /// whose majority was poisoned at the DNS layer.
+    ///
+    /// Returns the applied offset and the number of samples averaged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NtpError::EmptyPool`] when no server in the pool responds.
+    pub fn synchronize_pool_average(
+        &self,
+        net: &SimNet,
+        clock: &mut LocalClock,
+        pool: &[IpAddr],
+    ) -> NtpResult<(f64, usize)> {
+        let samples = self.sample_pool(net, clock, pool);
+        if samples.is_empty() {
+            return Err(NtpError::EmptyPool);
+        }
+        let offset = samples.iter().map(|(_, s)| s.offset).sum::<f64>() / samples.len() as f64;
+        clock.adjust(offset);
+        Ok((offset, samples.len()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::server::{register_pool, NtpServerConfig, NtpServerService};
-    use sdoh_netsim::LinkConfig;
+    use sdoh_netsim::{Ctx, LinkConfig, Service, ServiceResponse, SimClock};
 
     fn host() -> SimAddr {
         SimAddr::v4(10, 0, 0, 1, 123)
+    }
+
+    /// How a protocol-violating test server mangles its responses.
+    #[derive(Clone, Copy)]
+    enum Rig {
+        KissOfDeath,
+        Unsynchronised,
+        ZeroTransmit,
+        NegativeDelay,
+    }
+
+    /// A server that answers correctly except for one deliberate RFC 5905
+    /// violation.
+    struct RiggedServer {
+        clock: SimClock,
+        rig: Rig,
+    }
+
+    impl Service for RiggedServer {
+        fn handle(
+            &mut self,
+            _ctx: &mut Ctx<'_>,
+            _from: SimAddr,
+            _channel: sdoh_netsim::ChannelKind,
+            payload: &[u8],
+        ) -> ServiceResponse {
+            let request = match NtpPacket::decode(payload) {
+                Ok(packet) => packet,
+                Err(_) => return ServiceResponse::NoReply,
+            };
+            let now = NtpTimestamp::from_sim_time(self.clock.now(), 0.0);
+            let mut response = NtpPacket::server_response(&request, 2, now, now);
+            match self.rig {
+                Rig::KissOfDeath => response.stratum = 0,
+                Rig::Unsynchronised => response.leap_indicator = 3,
+                Rig::ZeroTransmit => response.transmit_timestamp = NtpTimestamp::ZERO,
+                Rig::NegativeDelay => {
+                    // Claim ten seconds of server-side processing: the
+                    // reported (t3 - t2) exceeds the actual round trip, so
+                    // the computed delay goes negative.
+                    response.receive_timestamp = now;
+                    response.transmit_timestamp =
+                        now.add_duration(std::time::Duration::from_secs(10));
+                }
+            }
+            ServiceResponse::Reply(response.encode())
+        }
+
+        fn name(&self) -> &str {
+            "rigged-ntp-server"
+        }
+    }
+
+    fn rigged_sample(rig: Rig, seed: u64) -> NtpError {
+        let net = SimNet::new(seed);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let addr = SimAddr::v4(203, 0, 113, 77, 123);
+        net.register(
+            addr,
+            RiggedServer {
+                clock: net.clock(),
+                rig,
+            },
+        );
+        let clock = LocalClock::new(net.clock(), 0.0);
+        NtpClient::new(host())
+            .sample(&net, &clock, addr.ip)
+            .unwrap_err()
+    }
+
+    #[test]
+    fn kiss_of_death_is_rejected() {
+        assert_eq!(rigged_sample(Rig::KissOfDeath, 41), NtpError::KissOfDeath);
+    }
+
+    #[test]
+    fn unsynchronised_server_is_rejected() {
+        assert_eq!(
+            rigged_sample(Rig::Unsynchronised, 42),
+            NtpError::Unsynchronised
+        );
+    }
+
+    #[test]
+    fn zero_transmit_timestamp_is_rejected() {
+        assert_eq!(
+            rigged_sample(Rig::ZeroTransmit, 43),
+            NtpError::ZeroTransmitTimestamp
+        );
+    }
+
+    #[test]
+    fn negative_round_trip_delay_is_rejected() {
+        assert_eq!(
+            rigged_sample(Rig::NegativeDelay, 44),
+            NtpError::NegativeDelay
+        );
+    }
+
+    #[test]
+    fn sanity_rejected_servers_are_skipped_by_sample_pool() {
+        let net = SimNet::new(45);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let good = SimAddr::v4(203, 0, 113, 1, 123);
+        let bad = SimAddr::v4(203, 0, 113, 2, 123);
+        register_pool(&net, &[good], 0, 0.0, 5);
+        net.register(
+            bad,
+            RiggedServer {
+                clock: net.clock(),
+                rig: Rig::KissOfDeath,
+            },
+        );
+        let clock = LocalClock::new(net.clock(), 0.0);
+        let samples = NtpClient::new(host()).sample_pool(&net, &clock, &[bad.ip, good.ip]);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].0, good.ip);
+    }
+
+    #[test]
+    fn pool_average_blends_all_responders() {
+        let net = SimNet::new(46);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let addrs = pool_addrs(4);
+        // One of four servers is malicious: the plain average moves by about
+        // a quarter of the shift — better than simple SNTP, worse than
+        // Chronos.
+        register_pool(&net, &addrs, 1, 100.0, 6);
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let pool: Vec<IpAddr> = addrs.iter().map(|a| a.ip).collect();
+        let (offset, used) = NtpClient::new(host())
+            .synchronize_pool_average(&net, &mut clock, &pool)
+            .unwrap();
+        assert_eq!(used, 4);
+        assert!(
+            (offset - 25.0).abs() < 1.0,
+            "average of one 100 s outlier over four samples: {offset}"
+        );
+        let mut dead_clock = LocalClock::new(net.clock(), 0.0);
+        assert_eq!(
+            NtpClient::new(host())
+                .timeout(Duration::from_millis(100))
+                .synchronize_pool_average(&net, &mut dead_clock, &[]),
+            Err(NtpError::EmptyPool)
+        );
     }
 
     fn pool_addrs(n: u8) -> Vec<SimAddr> {

@@ -15,6 +15,19 @@ pub enum NtpError {
     /// The response did not correspond to the request (origin timestamp
     /// mismatch).
     Mismatched,
+    /// The server answered with stratum 0 — a Kiss-o'-Death packet telling
+    /// the client to back off (RFC 5905 §7.4), never a usable time source.
+    KissOfDeath,
+    /// The server's leap indicator is 3: its own clock is unsynchronised
+    /// (RFC 5905 §7.3, Figure 9) and its timestamps are meaningless.
+    Unsynchronised,
+    /// The server's transmit timestamp is zero — it never actually supplied
+    /// a time (RFC 5905 sanity check 1).
+    ZeroTransmitTimestamp,
+    /// The computed round-trip delay is negative — the server's receive and
+    /// transmit timestamps are inconsistent with the observed round trip,
+    /// so the offset computed from them cannot be trusted.
+    NegativeDelay,
     /// The server pool is empty.
     EmptyPool,
     /// Too few servers responded to form a sample set.
@@ -37,6 +50,16 @@ impl fmt::Display for NtpError {
             NtpError::Network(e) => write!(f, "network error: {e}"),
             NtpError::MalformedPacket(what) => write!(f, "malformed ntp packet: {what}"),
             NtpError::Mismatched => write!(f, "response does not match request"),
+            NtpError::KissOfDeath => write!(f, "server sent a kiss-o'-death (stratum 0)"),
+            NtpError::Unsynchronised => {
+                write!(f, "server clock is unsynchronised (leap indicator 3)")
+            }
+            NtpError::ZeroTransmitTimestamp => {
+                write!(f, "server response carries a zero transmit timestamp")
+            }
+            NtpError::NegativeDelay => {
+                write!(f, "computed round-trip delay is negative")
+            }
             NtpError::EmptyPool => write!(f, "the server pool is empty"),
             NtpError::NotEnoughSamples { got, needed } => {
                 write!(f, "only {got} of {needed} required samples obtained")
@@ -75,6 +98,10 @@ mod tests {
             NtpError::Network(NetError::Timeout),
             NtpError::MalformedPacket("short"),
             NtpError::Mismatched,
+            NtpError::KissOfDeath,
+            NtpError::Unsynchronised,
+            NtpError::ZeroTransmitTimestamp,
+            NtpError::NegativeDelay,
             NtpError::EmptyPool,
             NtpError::NotEnoughSamples { got: 2, needed: 5 },
             NtpError::NoAgreement,

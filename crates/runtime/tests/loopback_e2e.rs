@@ -175,3 +175,69 @@ fn background_refresh_runs_off_the_query_path() {
     );
     assert_eq!(stats.total.serve.queries, 3);
 }
+
+#[test]
+fn clock_syncs_through_the_real_socket_runtime() {
+    // The paper's pipeline, with the DNS leg over real sockets: a stub
+    // obtains its NTP pool from the threaded runtime via actual loopback
+    // UDP (consensus-generated behind the scenes, one of three upstream
+    // resolvers compromised), then disciplines a clock with Chronos over
+    // that pool against a simulated server fleet whose malicious members
+    // are exactly the fleet's ground truth.
+    use sdoh_netsim::{LinkConfig, SimAddr, SimNet};
+    use sdoh_ntp::{
+        register_pool, ChronosClient, ChronosConfig, LocalClock, NtpClient, NtpServerConfig,
+        NtpServerService,
+    };
+
+    let (fleet, shards) = build(vec![1], Ttl::from_secs(300), Duration::from_secs(300));
+    let truth = fleet.ground_truth();
+    let runtime = PoolRuntime::start(RuntimeConfig::default(), shards).expect("bind loopback");
+    let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr()).expect("client");
+
+    // The DNS leg: a real UDP round trip to the serving runtime.
+    let response = client
+        .query(&Message::query(1, fleet.domains[0].clone(), RrType::A))
+        .expect("pool query over loopback UDP");
+    assert_guarantee(&response, &truth);
+    let pool = response.answer_addresses();
+    assert_eq!(pool.len(), 24, "8 addresses x 3 resolvers");
+
+    // The NTP leg: time servers behind those addresses — honest ones for
+    // the published fleet, 1000 s shifters for the attacker block the
+    // compromised resolver injected.
+    let net = SimNet::new(77);
+    net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+    let benign_addrs: Vec<SimAddr> = fleet
+        .benign
+        .iter()
+        .map(|&ip| SimAddr::new(ip, sdoh_netsim::ports::NTP))
+        .collect();
+    register_pool(&net, &benign_addrs, 0, 0.0, 77);
+    for &ip in &fleet.attacker {
+        net.register(
+            SimAddr::new(ip, sdoh_netsim::ports::NTP),
+            NtpServerService::new(NtpServerConfig::malicious(1000.0), net.clock(), 78),
+        );
+    }
+
+    let mut clock = LocalClock::new(net.clock(), -30.0);
+    let mut chronos = ChronosClient::new(
+        ChronosConfig::default(),
+        NtpClient::new(SimAddr::v4(10, 0, 0, 1, 123)),
+        79,
+    )
+    .expect("valid chronos config");
+    chronos
+        .update(&net, &mut clock, &pool)
+        .expect("chronos update over the served pool");
+    assert!(
+        clock.offset_from_true().abs() < 1.0,
+        "the runtime-served pool's bad minority is tolerated: {}",
+        clock.offset_from_true()
+    );
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.total.serve.queries, 1);
+    assert_eq!(stats.total.serve.generations, 1);
+}

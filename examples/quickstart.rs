@@ -143,6 +143,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics.hit_ratio() * 100.0
     );
 
+    // Step 7.5: close the loop — the secure time-sync client. Instead of
+    // hand-feeding Chronos a pool (step 6), `SecureTimeClient` owns the
+    // pipeline: it pulls its pool through the very front end installed in
+    // step 7 (re-pulling once per TTL window) and drives Chronos over it.
+    use secure_doh::ntp::{ConsensusFrontEnd, SecureTimeClient};
+    let mut time_client = SecureTimeClient::new(
+        Box::new(ConsensusFrontEnd::new(resolver.clone())),
+        scenario.pool_domain.clone(),
+        ChronosClient::new(
+            ChronosConfig::default(),
+            NtpClient::new(CLIENT_ADDR.with_port(123)),
+            43,
+        )?,
+    );
+    let mut app_clock = LocalClock::new(scenario.net.clock(), -12.0);
+    let sync = time_client.sync(&scenario.net, &mut exchanger, &mut app_clock)?;
+    println!(
+        "\nsecure time-sync client ({}): pool of {} ({}), clock {:+.3} s -> {:+.6} s",
+        time_client.source_name(),
+        sync.pool_size,
+        if sync.pool_refreshed {
+            "freshly pulled"
+        } else {
+            "within TTL window"
+        },
+        -12.0,
+        app_clock.offset_from_true()
+    );
+
     println!("\nnetwork metrics: {}", scenario.net.metrics());
 
     // Step 8: leave the simulator — the same serving stack over real

@@ -24,7 +24,10 @@ use sdoh_dns_server::{
 use sdoh_dns_wire::{Name, RData, Record};
 use sdoh_doh::{DohMethod, DohServerService, ResolverDirectory, ResolverInfo};
 use sdoh_netsim::{LinkConfig, SimAddr, SimNet};
-use sdoh_ntp::register_pool;
+use sdoh_ntp::{
+    register_pool, ChronosClient, ConsensusFrontEnd, NtpServerConfig, NtpServerService,
+    SecureTimeClient,
+};
 
 use crate::core::{AddressSource, DohSource, PoolResult};
 
@@ -118,6 +121,23 @@ impl Default for ScenarioConfig {
     }
 }
 
+/// Composition of the NTP fleet serving the published pool addresses,
+/// installed by [`Scenario::install_ntp_fleet`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NtpFleetConfig {
+    /// How many of the published pool servers are attacker-operated
+    /// (shifting reported time). These are linked into
+    /// [`Scenario::ground_truth`] so every guarantee check sees them.
+    pub malicious: usize,
+    /// How many of the published pool servers are unresponsive (crashed or
+    /// firewalled) — the situation that exercises the Chronos
+    /// insufficient-samples guard.
+    pub silent: usize,
+    /// Time shift applied by the malicious servers; defaults to the
+    /// scenario's `attacker_time_shift` when `None`.
+    pub time_shift: Option<f64>,
+}
+
 /// A fully wired Figure 1 scenario.
 pub struct Scenario {
     /// The simulated network with every service registered.
@@ -132,11 +152,17 @@ pub struct Scenario {
     /// Every pool domain the hierarchy serves (the first entry is
     /// [`Scenario::pool_domain`]).
     pub pool_domains: Vec<Name>,
-    /// Addresses of the benign NTP servers published in the pool domain.
+    /// Addresses published in the pool domains. All benign after
+    /// [`Scenario::build`]; [`Scenario::install_ntp_fleet`] can re-register
+    /// some of them as malicious or silent.
     pub benign_ntp: Vec<IpAddr>,
     /// Addresses of the attacker-operated NTP servers (used by compromised
     /// resolvers when they replace or inflate answers).
     pub attacker_ntp: Vec<IpAddr>,
+    /// Published pool servers currently operated by the attacker (set by
+    /// [`Scenario::install_ntp_fleet`], folded into
+    /// [`Scenario::ground_truth`]).
+    pub pool_ntp_malicious: Vec<IpAddr>,
     /// The scenario configuration it was built from.
     pub config: ScenarioConfig,
 }
@@ -265,7 +291,44 @@ impl Scenario {
             pool_domains,
             benign_ntp,
             attacker_ntp,
+            pool_ntp_malicious: Vec::new(),
             config,
+        }
+    }
+
+    /// Re-registers the NTP fleet behind the **published** pool addresses:
+    /// the first `fleet.malicious` servers become attacker-operated time
+    /// shifters, the next `fleet.silent` stop answering, and the rest stay
+    /// benign. The malicious ones are recorded in
+    /// [`Scenario::pool_ntp_malicious`] and therefore show up in
+    /// [`Scenario::ground_truth`], so guarantee checks and clock-error
+    /// measurements stay linked to the same ground truth the DNS layer
+    /// uses.
+    ///
+    /// This models the paper's full threat surface: even an honestly
+    /// resolved pool can contain a (tolerated) bad minority, while a
+    /// poisoned resolution replaces the pool wholesale.
+    pub fn install_ntp_fleet(&mut self, fleet: NtpFleetConfig) {
+        let shift = fleet.time_shift.unwrap_or(self.config.attacker_time_shift);
+        let malicious = fleet.malicious.min(self.benign_ntp.len());
+        let silent = fleet.silent.min(self.benign_ntp.len() - malicious);
+        self.pool_ntp_malicious = self.benign_ntp[..malicious].to_vec();
+        for (index, &ip) in self.benign_ntp.iter().enumerate() {
+            let config = if index < malicious {
+                NtpServerConfig::malicious(shift)
+            } else if index < malicious + silent {
+                NtpServerConfig::silent()
+            } else {
+                NtpServerConfig::benign()
+            };
+            self.net.register(
+                SimAddr::new(ip, sdoh_netsim::ports::NTP),
+                NtpServerService::new(
+                    config,
+                    self.net.clock(),
+                    self.config.seed ^ 0xF1EE7 ^ index as u64,
+                ),
+            );
         }
     }
 
@@ -287,9 +350,12 @@ impl Scenario {
     }
 
     /// Ground truth for guarantee checking: attacker NTP addresses are
-    /// malicious, everything else benign.
+    /// malicious — plus any published pool servers the attacker operates
+    /// ([`Scenario::install_ntp_fleet`]) — everything else benign.
     pub fn ground_truth(&self) -> sdoh_core::GroundTruth {
-        sdoh_core::GroundTruth::with_malicious(self.attacker_ntp.iter().copied())
+        let mut truth = sdoh_core::GroundTruth::with_malicious(self.attacker_ntp.iter().copied());
+        truth.extend_malicious(self.pool_ntp_malicious.iter().copied());
+        truth
     }
 
     /// An exchanger sending from the application host of Figure 1.
@@ -360,6 +426,29 @@ impl Scenario {
         Ok(resolver)
     }
 
+    /// Builds the end-to-end secure time-sync pipeline over this scenario:
+    /// installs the caching consensus front end at [`FRONTEND_ADDR`] (so
+    /// network clients share it too) and wires the same handle into a
+    /// [`SecureTimeClient`] driving `chronos` — pool per TTL window,
+    /// re-pulled on refresh, Chronos updates over it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the generator constructor.
+    pub fn secure_time_client(
+        &self,
+        pool: PoolConfig,
+        cache: CacheConfig,
+        chronos: ChronosClient,
+    ) -> PoolResult<SecureTimeClient> {
+        let frontend = self.install_caching_frontend(pool, cache)?;
+        Ok(SecureTimeClient::new(
+            Box::new(ConsensusFrontEnd::new(frontend)),
+            self.pool_domain.clone(),
+            chronos,
+        ))
+    }
+
     /// Registers the uncached [`SecurePoolResolver`] front end at
     /// [`FRONTEND_ADDR`] — the one-generation-per-query baseline the
     /// serving subsystem is measured against. Returns the shared
@@ -379,6 +468,18 @@ impl Scenario {
             .register(FRONTEND_ADDR, Do53Service::new(Arc::clone(&resolver)));
         Ok(resolver)
     }
+}
+
+/// Wraps bare addresses in an [`AddressPool`](sdoh_core::AddressPool)
+/// attributed to `source` — how experiments feed pools obtained outside a
+/// `GenerationReport` (a stub lookup, a served answer) into
+/// [`check_guarantee`](sdoh_core::check_guarantee).
+pub fn address_pool(addresses: &[IpAddr], source: &str) -> sdoh_core::AddressPool {
+    let mut pool = sdoh_core::AddressPool::new();
+    for &addr in addresses {
+        pool.push(addr, source);
+    }
+    pool
 }
 
 /// Installs the root → org → ntpns.org DNS hierarchy serving every pool
@@ -586,6 +687,103 @@ mod tests {
         assert_eq!(baseline, first);
         assert_eq!(uncached.lock().metrics().served, 1);
         assert_eq!(resolver.lock().metrics().queries, 2, "detached handle");
+    }
+
+    #[test]
+    fn ntp_fleet_links_planted_servers_into_ground_truth() {
+        use sdoh_ntp::{ChronosConfig, LocalClock, NtpClient};
+
+        let mut scenario = Scenario::build(ScenarioConfig {
+            ntp_servers: 18,
+            ..ScenarioConfig::default()
+        });
+        assert!(scenario.pool_ntp_malicious.is_empty());
+        scenario.install_ntp_fleet(NtpFleetConfig {
+            malicious: 4,
+            silent: 2,
+            time_shift: Some(750.0),
+        });
+        assert_eq!(scenario.pool_ntp_malicious.len(), 4);
+        let truth = scenario.ground_truth();
+        for ip in &scenario.benign_ntp[..4] {
+            assert!(truth.is_malicious(*ip), "{ip} must be ground-truth bad");
+        }
+        assert!(!truth.is_malicious(scenario.benign_ntp[5]));
+
+        // The honestly resolved pool now carries a bad minority — exactly
+        // what Chronos is built to tolerate.
+        let report = scenario
+            .pool_generator(PoolConfig::algorithm1())
+            .unwrap()
+            .generate(&mut scenario.client_exchanger(), &scenario.pool_domain)
+            .unwrap();
+        let check = check_guarantee(&report.pool, &truth, 0.5);
+        assert!(check.holds, "4 of 18 planted servers keep the majority");
+        assert!(check.malicious_fraction > 0.0);
+
+        let mut clock = LocalClock::new(scenario.net.clock(), 0.0);
+        let mut chronos = sdoh_ntp::ChronosClient::new(
+            ChronosConfig::default(),
+            NtpClient::new(CLIENT_ADDR.with_port(123)),
+            77,
+        )
+        .unwrap();
+        chronos
+            .update(&scenario.net, &mut clock, &report.pool.addresses())
+            .unwrap();
+        assert!(
+            clock.offset_from_true().abs() < 1.0,
+            "planted minority tolerated: {}",
+            clock.offset_from_true()
+        );
+    }
+
+    #[test]
+    fn secure_time_client_syncs_over_the_installed_frontend() {
+        use sdoh_ntp::{ChronosClient, ChronosConfig, LocalClock, NtpClient};
+
+        let scenario = Scenario::build(ScenarioConfig {
+            ntp_servers: 16,
+            ..ScenarioConfig::default()
+        });
+        let mut client = scenario
+            .secure_time_client(
+                PoolConfig::algorithm1(),
+                CacheConfig::default(),
+                ChronosClient::new(
+                    ChronosConfig::default(),
+                    NtpClient::new(CLIENT_ADDR.with_port(123)),
+                    88,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut clock = LocalClock::new(scenario.net.clock(), -45.0);
+        let mut exchanger = scenario.client_exchanger();
+        let outcome = client
+            .sync(&scenario.net, &mut exchanger, &mut clock)
+            .unwrap();
+        assert!(outcome.pool_refreshed);
+        assert_eq!(outcome.pool_size, 48, "16 servers x 3 resolvers");
+        assert!(
+            clock.offset_from_true().abs() < 0.1,
+            "clock disciplined through the pipeline: {}",
+            clock.offset_from_true()
+        );
+
+        // The front end the client pulled through is the same one network
+        // clients reach at FRONTEND_ADDR: the pool is already cached.
+        let stub = StubResolver::new(FRONTEND_ADDR);
+        let served = stub
+            .lookup_ipv4(&mut exchanger, &scenario.pool_domain)
+            .unwrap();
+        assert_eq!(served.len(), 48);
+        let check = check_guarantee(
+            &address_pool(&served, "frontend"),
+            &scenario.ground_truth(),
+            0.5,
+        );
+        assert!(check.holds);
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod empty_answer;
 pub mod fig1;
 pub mod majority;
 pub mod offpath;
+pub mod offpath_poisoning;
 pub mod overhead;
 pub mod required_fraction;
 pub mod runtime_throughput;

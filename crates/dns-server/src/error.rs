@@ -21,6 +21,10 @@ pub enum ResolveError {
     /// Resolution required more steps than the configured limit (e.g. a
     /// delegation or CNAME loop).
     TooManyIterations,
+    /// Every relevant record of a response fell outside the bailiwick of
+    /// the server that sent it — a poisoning attempt, rejected by a
+    /// hardened resolver.
+    OutOfBailiwick,
     /// A zone or configuration problem made the request unanswerable.
     Configuration(String),
 }
@@ -33,6 +37,9 @@ impl fmt::Display for ResolveError {
             ResolveError::ErrorResponse(rcode) => write!(f, "upstream answered {rcode}"),
             ResolveError::Mismatched => write!(f, "response does not match query"),
             ResolveError::TooManyIterations => write!(f, "too many resolution steps"),
+            ResolveError::OutOfBailiwick => {
+                write!(f, "response records fall outside the server's bailiwick")
+            }
             ResolveError::Configuration(msg) => write!(f, "configuration error: {msg}"),
         }
     }
@@ -112,6 +119,7 @@ mod tests {
             ResolveError::ErrorResponse(Rcode::ServFail),
             ResolveError::Mismatched,
             ResolveError::TooManyIterations,
+            ResolveError::OutOfBailiwick,
             ResolveError::Configuration("no roots".into()),
         ];
         for c in cases {

@@ -43,6 +43,33 @@ pub trait Exchanger {
         timeout: Duration,
     ) -> NetResult<Vec<u8>>;
 
+    /// Like [`Exchanger::exchange`], but departing from the given
+    /// **ephemeral source port** instead of the exchanger's default source.
+    ///
+    /// Source-port randomization is one of the classical defenses against
+    /// off-path response forgery: each upstream query departing from a
+    /// fresh port adds 16 bits the attacker must guess. The default
+    /// implementation ignores the port and delegates to
+    /// [`Exchanger::exchange`] — correct for transports where the source
+    /// port is not attacker-guessable (authenticated channels, loopback
+    /// backends); the simulator-backed exchangers override it so the
+    /// port becomes visible to (and raceable by) the network adversary.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Exchanger::exchange`].
+    fn exchange_from_port(
+        &mut self,
+        src_port: u16,
+        dst: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> NetResult<Vec<u8>> {
+        let _ = src_port;
+        self.exchange(dst, channel, payload, timeout)
+    }
+
     /// Draws a fresh 16-bit identifier from the simulation randomness.
     fn next_id(&mut self) -> u16;
 
@@ -109,6 +136,23 @@ impl Exchanger for ClientExchanger<'_> {
             .transact(self.source, dst, channel, payload, timeout)
     }
 
+    fn exchange_from_port(
+        &mut self,
+        src_port: u16,
+        dst: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> NetResult<Vec<u8>> {
+        self.net.transact(
+            self.source.with_port(src_port),
+            dst,
+            channel,
+            payload,
+            timeout,
+        )
+    }
+
     fn next_id(&mut self) -> u16 {
         self.net.random_id()
     }
@@ -131,6 +175,17 @@ impl Exchanger for Ctx<'_> {
         timeout: Duration,
     ) -> NetResult<Vec<u8>> {
         self.call(dst, channel, payload, timeout)
+    }
+
+    fn exchange_from_port(
+        &mut self,
+        src_port: u16,
+        dst: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> NetResult<Vec<u8>> {
+        self.call_from_port(src_port, dst, channel, payload, timeout)
     }
 
     fn next_id(&mut self) -> u16 {

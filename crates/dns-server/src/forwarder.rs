@@ -78,8 +78,13 @@ impl QueryHandler for ForwardingResolver {
             .recursion_desired(true);
         match client.query(exchanger, &question.name, question.rtype) {
             Ok(upstream_response) => {
-                self.cache
-                    .insert_response(&question.name, question.rtype, &upstream_response);
+                // An upstream recursive answer is never authoritative data.
+                self.cache.insert_response(
+                    &question.name,
+                    question.rtype,
+                    &upstream_response,
+                    crate::cache::Credibility::Answer,
+                );
                 let mut response = Message::response_to(query);
                 response.header.recursion_available = true;
                 response.header.rcode = upstream_response.header.rcode;

@@ -15,6 +15,50 @@
 //! * adapters ([`Do53Service`], [`QueryHandler`], [`Exchanger`]) that plug
 //!   all of the above into the deterministic network simulator.
 //!
+//! # Threat model: the Do53 leg
+//!
+//! The paper's premise is that the *unprotected plain-DNS leg* is what
+//! lets an off-path attacker capture NTP: even when clients reach their
+//! resolver over authenticated DoH, the resolver's own queries to the
+//! authoritative servers travel as plain UDP. An attacker who cannot
+//! observe that traffic can still race forged responses against it; a
+//! forgery is accepted if it arrives first and matches every identifier
+//! the resolver checks. The attack surface is therefore exactly the
+//! entropy of those identifiers, plus how much a single accepted forgery
+//! is allowed to poison:
+//!
+//! * a **weak resolver** ([`HardeningConfig::predictable_ids`]) allocates
+//!   transaction ids sequentially, queries from its fixed service port and
+//!   believes every record a response carries — one guessed packet hands
+//!   the attacker the whole cache (the Kaminsky attack, modelled by
+//!   `sdoh_netsim::BirthdaySpoofer`);
+//! * a **hardened resolver** (the [`RecursiveConfig`] default) randomizes
+//!   transaction ids and source ports (32 bits), encodes queries with 0x20
+//!   mixed casing verified on the echo ([`DnsClient::use_0x20`], one bit
+//!   per letter), and enforces **bailiwick**: answer records outside the
+//!   zone of the server that supplied them are dropped, referrals must
+//!   delegate within that zone, glue is trusted only for NS targets inside
+//!   the delegated zone, and cached data carries an RFC 2181 credibility
+//!   rank ([`Credibility`]) so glue can never displace an authoritative
+//!   answer. Identifier entropy pushes the race win rate to the birthday
+//!   floor; bailiwick bounds the damage of the races that are won to the
+//!   single query raced.
+//!
+//! Configure the weak baseline only to reproduce the attack experiments:
+//!
+//! ```
+//! use sdoh_dns_server::{HardeningConfig, RecursiveConfig};
+//!
+//! let hardened = RecursiveConfig::default(); // every defense on
+//! assert!(hardened.hardening.enforce_bailiwick);
+//!
+//! let weak = RecursiveConfig {
+//!     hardening: HardeningConfig::predictable_ids(),
+//!     ..RecursiveConfig::default()
+//! };
+//! assert!(!weak.hardening.randomize_txid);
+//! ```
+//!
 //! # Example: serving and resolving a pool domain
 //!
 //! ```
@@ -59,15 +103,15 @@ mod zone;
 mod zonefile;
 
 pub use authority::Authority;
-pub use cache::{CachedAnswer, DnsCache};
+pub use cache::{CachedAnswer, Credibility, DnsCache};
 pub use catalog::Catalog;
-pub use client::{DnsClient, PreparedDnsQuery, DEFAULT_TIMEOUT};
+pub use client::{DnsClient, PreparedDnsQuery, QueryIdentifiers, DEFAULT_TIMEOUT};
 pub use error::{ResolveError, ResolveResult, ZoneFileError};
 pub use exchange::{ClientExchanger, ExchangeOutcome, ExchangeRequest, Exchanger};
 pub use forwarder::ForwardingResolver;
 pub use handler::{FnHandler, QueryHandler};
 pub use poison::{PoisonConfig, PoisonMode, PoisonedResolver};
-pub use recursive::{RecursiveConfig, RecursiveResolver};
+pub use recursive::{HardeningConfig, RecursiveConfig, RecursiveResolver};
 pub use service::{serve_do53_payload, Do53Service};
 pub use stub::StubResolver;
 pub use zone::{Zone, ZoneLookup};

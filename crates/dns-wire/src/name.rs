@@ -198,6 +198,88 @@ impl Name {
         }
     }
 
+    /// Returns this name with the case of every ASCII letter chosen
+    /// pseudo-randomly from `seed` — DNS 0x20 mixed-case encoding
+    /// (draft-vixie-dnsext-dns0x20). A resolver that encodes its queries
+    /// this way and verifies the echoed question case forces an off-path
+    /// forger to guess [`Name::case_entropy_bits`] additional bits.
+    ///
+    /// The same `(name, seed)` pair always produces the same casing, so
+    /// the encoding is reproducible from the simulation seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdoh_dns_wire::Name;
+    ///
+    /// let name: Name = "pool.ntp.org".parse().unwrap();
+    /// let cased = name.with_mixed_case(7);
+    /// assert_eq!(cased, name, "equality stays case-insensitive");
+    /// assert_eq!(cased, name.with_mixed_case(7));
+    /// ```
+    pub fn with_mixed_case(&self, seed: u64) -> Name {
+        // splitmix64: cheap, well-distributed, and dependency-free.
+        let mut state = seed;
+        let mut next_bit = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) & 1 == 1
+        };
+        let labels = self
+            .labels
+            .iter()
+            .map(|label| {
+                label
+                    .iter()
+                    .map(|&b| {
+                        if b.is_ascii_alphabetic() {
+                            if next_bit() {
+                                b.to_ascii_uppercase()
+                            } else {
+                                b.to_ascii_lowercase()
+                            }
+                        } else {
+                            b
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Name { labels }
+    }
+
+    /// Case-exact label comparison — the check a 0x20-verifying client
+    /// performs on the echoed question, which ordinary [`PartialEq`]
+    /// (case-insensitive per RFC 4343) deliberately does not.
+    pub fn eq_case_exact(&self, other: &Name) -> bool {
+        self.labels == other.labels
+    }
+
+    /// Number of ASCII letters in the name: the identifier entropy (in
+    /// bits) that 0x20 mixed-case encoding adds to a query, saturating at
+    /// 255.
+    pub fn case_entropy_bits(&self) -> u8 {
+        let letters = self
+            .labels
+            .iter()
+            .flat_map(|l| l.iter())
+            .filter(|b| b.is_ascii_alphabetic())
+            .count();
+        letters.min(255) as u8
+    }
+
+    /// Returns `true` when no label contains an uppercase ASCII letter —
+    /// the canonical form an off-path forger guesses when it only knows
+    /// the name from context.
+    pub fn is_canonical_lowercase(&self) -> bool {
+        self.labels
+            .iter()
+            .flat_map(|l| l.iter())
+            .all(|b| !b.is_ascii_uppercase())
+    }
+
     /// Lowercased presentation format without the trailing dot, used as a
     /// canonical map key (e.g. for compression and caching).
     pub fn to_lowercase_string(&self) -> String {
@@ -456,6 +538,67 @@ mod tests {
         let n = Name::from_labels(["www", "example", "org"]).unwrap();
         assert_eq!(n.to_string(), "www.example.org.");
         assert!(Name::from_labels([""]).is_err());
+    }
+
+    #[test]
+    fn mixed_case_is_deterministic_and_case_insensitively_equal() {
+        let n = Name::from_ascii("pool.ntpns.org").unwrap();
+        let a = n.with_mixed_case(42);
+        let b = n.with_mixed_case(42);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a, n, "0x20 casing never changes name identity");
+        assert_eq!(h(&a), h(&n));
+        // Different seeds produce different casings for a 12-letter name
+        // (collision probability 2^-12 per pair; these seeds differ).
+        let distinct: std::collections::HashSet<String> =
+            (0..16).map(|s| n.with_mixed_case(s).to_string()).collect();
+        assert!(distinct.len() > 1, "casing must actually vary");
+    }
+
+    #[test]
+    fn mixed_case_leaves_non_letters_alone() {
+        let n = Name::from_ascii("p00l-1.example").unwrap();
+        let cased = n.with_mixed_case(9);
+        let flat: Vec<u8> = cased.labels().flatten().copied().collect();
+        assert!(flat.contains(&b'0'));
+        assert!(flat.contains(&b'-'));
+        assert!(flat.contains(&b'1'));
+    }
+
+    #[test]
+    fn case_exact_comparison() {
+        let lower = Name::from_ascii("pool.ntp.org").unwrap();
+        let mixed = Name::from_ascii("PoOl.nTp.oRg").unwrap();
+        assert_eq!(lower, mixed);
+        assert!(!lower.eq_case_exact(&mixed));
+        assert!(lower.eq_case_exact(&lower.clone()));
+        assert!(mixed.eq_case_exact(&Name::from_ascii("PoOl.nTp.oRg").unwrap()));
+    }
+
+    #[test]
+    fn case_entropy_counts_letters_only() {
+        assert_eq!(
+            Name::from_ascii("pool.ntpns.org")
+                .unwrap()
+                .case_entropy_bits(),
+            12
+        );
+        assert_eq!(Name::from_ascii("123.456").unwrap().case_entropy_bits(), 0);
+        assert_eq!(Name::root().case_entropy_bits(), 0);
+    }
+
+    #[test]
+    fn canonical_lowercase_detection() {
+        assert!(Name::from_ascii("pool.ntp.org")
+            .unwrap()
+            .is_canonical_lowercase());
+        assert!(!Name::from_ascii("Pool.ntp.org")
+            .unwrap()
+            .is_canonical_lowercase());
+        assert!(Name::from_ascii("12-3.example")
+            .unwrap()
+            .is_canonical_lowercase());
+        assert!(Name::root().is_canonical_lowercase());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!
 //! * **off-path** attackers (e.g. the DNS cache-poisoning attacker of
 //!   Jeitner et al.) cannot observe traffic; they race forged responses
-//!   against genuine ones and must guess identifiers,
+//!   against genuine ones and must guess identifiers — abstractly via a
+//!   configured probability ([`OffPathSpoofer`]) or concretely by sweeping
+//!   transaction-id/port guesses ([`BirthdaySpoofer`]),
 //! * **on-path / MitM** attackers control some links and can read, modify,
 //!   replace or drop plaintext traffic crossing them, but cannot forge
 //!   traffic on authenticated (secure) channels,
@@ -15,10 +17,12 @@
 //! An [`Adversary`] is attached to the [`SimNet`](crate::SimNet) and gets to
 //! see every transaction in flight.
 
+mod birthday;
 mod offpath;
 mod onpath;
 
-pub use offpath::{OffPathSpoofer, SpoofStrategy};
+pub use birthday::{BirthdaySpoofer, BirthdayStats, InspectFn, ObservedIdentifiers};
+pub use offpath::{ForgeFn, OffPathSpoofer, SpoofStrategy};
 pub use onpath::OnPathMitm;
 
 use crate::addr::SimAddr;

@@ -34,8 +34,8 @@ mod time;
 
 pub use addr::{ports, ParseSimAddrError, SimAddr};
 pub use adversary::{
-    Adversary, Envelope, OffPathSpoofer, OnPathMitm, PassiveObserver, RequestVerdict,
-    ResponseVerdict, SpoofStrategy,
+    Adversary, BirthdaySpoofer, BirthdayStats, Envelope, ObservedIdentifiers, OffPathSpoofer,
+    OnPathMitm, PassiveObserver, RequestVerdict, ResponseVerdict, SpoofStrategy,
 };
 pub use channel::ChannelKind;
 pub use link::LinkConfig;

@@ -585,6 +585,36 @@ impl<'a> Ctx<'a> {
             .transact_at_depth(self.local, dst, channel, payload, timeout, self.depth)
     }
 
+    /// Issues a nested transaction from an **ephemeral source port** on
+    /// this service's host instead of its registered service port.
+    ///
+    /// This is how a hardened resolver randomizes the source port of its
+    /// upstream queries: an off-path adversary observing the request
+    /// envelope sees a different `src.port` per query and must guess it to
+    /// forge an acceptable response, whereas [`Ctx::call`] always departs
+    /// from the (well-known, predictable) service port.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::call`].
+    pub fn call_from_port(
+        &mut self,
+        src_port: u16,
+        dst: SimAddr,
+        channel: ChannelKind,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> NetResult<Vec<u8>> {
+        self.net.transact_at_depth(
+            self.local.with_port(src_port),
+            dst,
+            channel,
+            payload,
+            timeout,
+            self.depth,
+        )
+    }
+
     /// Issues a batch of nested transactions that run concurrently, like
     /// [`SimNet::transact_concurrent`]: a service fanning out to N backends
     /// pays the slowest backend's latency, not the sum.

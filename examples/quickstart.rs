@@ -41,6 +41,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(", ")
     );
 
+    // Step 0.5: why the Do53 leg needs hardening. The ISP resolver ships
+    // with the secure defaults (randomized transaction ids and source
+    // ports, 0x20 mixed-case queries, bailiwick enforcement), so a
+    // Kaminsky-style birthday attacker racing 65536 forged referrals
+    // against every upstream query still resolves nothing: each race
+    // faces ~44 bits of identifier entropy, and even a won race could
+    // only hijack with off-zone glue that bailiwick enforcement discards.
+    // `HardeningConfig::predictable_ids()` in `ScenarioConfig::isp_hardening`
+    // reproduces the weak resolver the paper attacks (experiment E14).
+    {
+        use secure_doh::scenario::{KaminskyPayload, ISP_RESOLVER};
+        scenario.install_kaminsky_authority();
+        let adversary = scenario.kaminsky_adversary(65_536, KaminskyPayload::Referral);
+        let attack_stats = adversary.stats_handle();
+        scenario.net.set_adversary(adversary);
+        let mut exchanger = scenario.client_exchanger();
+        let served =
+            StubResolver::new(ISP_RESOLVER).lookup_ipv4(&mut exchanger, &scenario.pool_domain)?;
+        let truth = scenario.ground_truth();
+        assert!(served.iter().all(|a| !truth.is_malicious(*a)));
+        let stats = attack_stats.borrow();
+        println!(
+            "\nhardened Do53 leg: birthday attacker raced {} queries \
+             ({} forged packets, >= {} identifier bits each) and won {}",
+            stats.raced,
+            stats.forged_packets,
+            stats.min_entropy_bits().unwrap_or(0),
+            stats.wins
+        );
+        drop(stats);
+        scenario.net.clear_adversary();
+    }
+
     // Steps 1-5: plan the lookup as a sans-IO session. The session hands
     // out every resolver exchange as a `Transmit` *before* asking to wait,
     // which is what lets the driver overlap them: one batch through

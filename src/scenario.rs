@@ -18,12 +18,12 @@ use sdoh_core::{
     SecurePoolResolver,
 };
 use sdoh_dns_server::{
-    Authority, Catalog, ClientExchanger, Do53Service, PoisonConfig, PoisonMode, PoisonedResolver,
-    QueryHandler, RecursiveConfig, RecursiveResolver, Zone,
+    Authority, Catalog, ClientExchanger, Do53Service, HardeningConfig, PoisonConfig, PoisonMode,
+    PoisonedResolver, QueryHandler, RecursiveConfig, RecursiveResolver, Zone,
 };
-use sdoh_dns_wire::{Name, RData, Record};
+use sdoh_dns_wire::{Message, MessageBuilder, Name, RData, Record};
 use sdoh_doh::{DohMethod, DohServerService, ResolverDirectory, ResolverInfo};
-use sdoh_netsim::{LinkConfig, SimAddr, SimNet};
+use sdoh_netsim::{BirthdaySpoofer, LinkConfig, ObservedIdentifiers, SimAddr, SimNet};
 use sdoh_ntp::{
     register_pool, ChronosClient, ConsensusFrontEnd, NtpServerConfig, NtpServerService,
     SecureTimeClient,
@@ -69,6 +69,20 @@ pub const FRONTEND_ADDR: SimAddr = SimAddr {
     port: 53,
 };
 
+/// Address of the attacker's own name server — the destination a
+/// Kaminsky-style forged referral points the victim resolver at
+/// ([`Scenario::install_kaminsky_authority`]).
+pub const EVIL_NS_ADDR: SimAddr = SimAddr {
+    ip: IpAddr::V4(std::net::Ipv4Addr::new(198, 18, 254, 53)),
+    port: 53,
+};
+
+/// The (off-zone) host name the forged referral claims serves the pool
+/// zone.
+pub fn evil_ns_name() -> Name {
+    "ns.evil-time.net".parse().expect("valid name")
+}
+
 /// What a compromised DoH resolver does, mapped onto the poisoning modes of
 /// the DNS layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +119,12 @@ pub struct ScenarioConfig {
     pub attacker_time_shift: f64,
     /// One-way link latency applied between all hosts.
     pub link_latency: Duration,
+    /// Off-path defenses of the plain "ISP" resolver's Do53 leg. The
+    /// secure default is every defense on;
+    /// [`HardeningConfig::predictable_ids`] reproduces the weak resolver
+    /// the paper's off-path attacker poisons. The DoH resolver fleet is
+    /// always fully hardened.
+    pub isp_hardening: HardeningConfig,
 }
 
 impl Default for ScenarioConfig {
@@ -117,6 +137,7 @@ impl Default for ScenarioConfig {
             compromised: Vec::new(),
             attacker_time_shift: 1000.0,
             link_latency: Duration::from_millis(10),
+            isp_hardening: HardeningConfig::default(),
         }
     }
 }
@@ -136,6 +157,20 @@ pub struct NtpFleetConfig {
     /// Time shift applied by the malicious servers; defaults to the
     /// scenario's `attacker_time_shift` when `None`.
     pub time_shift: Option<f64>,
+}
+
+/// What a winning race of the Kaminsky-style birthday attacker injects
+/// ([`Scenario::kaminsky_adversary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KaminskyPayload {
+    /// A forged direct answer: the raced query is answered with
+    /// attacker-operated NTP addresses.
+    DirectAnswer,
+    /// A forged referral delegating the whole pool zone to the attacker's
+    /// name server at [`EVIL_NS_ADDR`] with blind off-zone glue — the
+    /// classic Kaminsky cache hijack. A resolver that trusts the glue is
+    /// redirected wholesale; a bailiwick-enforcing resolver discards it.
+    Referral,
 }
 
 /// A fully wired Figure 1 scenario.
@@ -225,10 +260,11 @@ impl Scenario {
         );
 
         // The plain ISP resolver (baseline): an honest recursive resolver
-        // reachable over Do53.
+        // reachable over Do53, hardened (or not) per the configuration.
         let isp = RecursiveResolver::new(
             RecursiveConfig {
                 root_hints: vec![ROOT_SERVER],
+                hardening: config.isp_hardening,
                 ..RecursiveConfig::default()
             },
             net.clock(),
@@ -447,6 +483,93 @@ impl Scenario {
             self.pool_domain.clone(),
             chronos,
         ))
+    }
+
+    /// Registers the **attacker's name server** at [`EVIL_NS_ADDR`]: an
+    /// authoritative copy of the pool zone answering every pool domain
+    /// with attacker-operated NTP addresses. A victim resolver that
+    /// follows a Kaminsky-style forged referral (blind glue) ends up
+    /// asking this server and caching its poison; a bailiwick-enforcing
+    /// resolver never gets here.
+    pub fn install_kaminsky_authority(&self) {
+        let mut zone = Zone::new("ntpns.org".parse().expect("valid"));
+        zone.add_record(Record::new(
+            "ntpns.org".parse().expect("valid"),
+            86_400,
+            RData::Ns(evil_ns_name()),
+        ));
+        for domain in &self.pool_domains {
+            for addr in self.attacker_ntp.iter().take(self.config.ntp_servers) {
+                zone.add_record(Record::address(domain.clone(), 300, *addr));
+            }
+        }
+        let mut catalog = Catalog::new();
+        catalog.add_zone(zone);
+        self.net
+            .register(EVIL_NS_ADDR, Do53Service::new(Authority::new(catalog)));
+    }
+
+    /// Builds the paper's off-path **birthday attacker** against this
+    /// scenario's Do53 legs: it races `attempts` forged responses against
+    /// every plain query for the pool zone sent to the authoritative
+    /// servers, guessing transaction ids, source ports and 0x20 casing as
+    /// described on [`BirthdaySpoofer`]. Attach it with
+    /// `scenario.net.set_adversary(...)` and keep the
+    /// [`BirthdaySpoofer::stats_handle`] for accounting.
+    ///
+    /// [`KaminskyPayload`] selects what a winning race injects: a direct
+    /// forged answer for the raced query, or a forged referral delegating
+    /// the whole pool zone to [`EVIL_NS_ADDR`] (install the attacker's
+    /// server with [`Scenario::install_kaminsky_authority`] first).
+    pub fn kaminsky_adversary(&self, attempts: u32, payload: KaminskyPayload) -> BirthdaySpoofer {
+        let zone: Name = "ntpns.org".parse().expect("valid");
+        let inspect_zone = zone.clone();
+        let forged_addresses: Vec<IpAddr> = self
+            .attacker_ntp
+            .iter()
+            .take(self.config.ntp_servers)
+            .copied()
+            .collect();
+        BirthdaySpoofer::new(
+            attempts,
+            move |payload_bytes: &[u8]| {
+                let query = Message::decode(payload_bytes).ok()?;
+                let question = query.question()?;
+                if !question.rtype.is_address() || !question.name.is_subdomain_of(&inspect_zone) {
+                    return None;
+                }
+                Some(ObservedIdentifiers {
+                    txid: query.header.id,
+                    // 0x20 bits the forger cannot derive from context: only
+                    // a mixed-case query carries them.
+                    extra_entropy_bits: if question.name.is_canonical_lowercase() {
+                        0
+                    } else {
+                        question.name.case_entropy_bits()
+                    },
+                })
+            },
+            move |query_bytes: &[u8], _rng| {
+                let query = Message::decode(query_bytes).ok()?;
+                let question = query.question()?.clone();
+                let response = match payload {
+                    KaminskyPayload::DirectAnswer => {
+                        let mut builder = MessageBuilder::response_to(&query);
+                        for addr in &forged_addresses {
+                            builder =
+                                builder.answer(Record::address(question.name.clone(), 300, *addr));
+                        }
+                        builder.build()
+                    }
+                    KaminskyPayload::Referral => MessageBuilder::response_to(&query)
+                        .authority(Record::new(zone.clone(), 86_400, RData::Ns(evil_ns_name())))
+                        .additional(Record::address(evil_ns_name(), 86_400, EVIL_NS_ADDR.ip))
+                        .build(),
+                };
+                response.encode().ok()
+            },
+        )
+        .with_targets(vec![ROOT_SERVER, ORG_SERVER, NTPNS_SERVER])
     }
 
     /// Registers the uncached [`SecurePoolResolver`] front end at

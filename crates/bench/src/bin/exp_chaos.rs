@@ -1,0 +1,99 @@
+//! E15: deterministic chaos campaigns (`sdoh-chaos`) over the serve +
+//! timesync stack.
+//!
+//! Usage: `exp_chaos [--smoke] [--seed N] [--out PATH]`
+//!
+//! Runs the mixed-adversary campaign against the hardened stack and the
+//! weak baseline over the same seeded fault schedule, re-runs the
+//! hardened campaign as a determinism self-check, and writes
+//! `BENCH_chaos.json` when `--out` is given. Exits non-zero — printing
+//! the reproduction seed — when the hardened campaign records any
+//! invariant violation or the determinism check fails; weak-baseline
+//! violations are the expected detection result, not a failure.
+
+use sdoh_bench::chaos;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(42);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let steps = if smoke {
+        chaos::SMOKE_STEPS
+    } else {
+        chaos::FULL_STEPS
+    };
+    let (table, outcome) = chaos::run(seed, steps);
+    println!("{table}");
+
+    let mut failed = false;
+    if !outcome.deterministic {
+        eprintln!(
+            "chaos: determinism self-check FAILED — two runs of seed {seed} diverged; \
+             reproduce with: cargo run --release -p sdoh-bench --bin exp_chaos -- --seed {seed}"
+        );
+        failed = true;
+    }
+    if outcome.hardened.total_violations > 0 {
+        eprintln!(
+            "chaos: hardened campaign recorded {} invariant violation(s); reproduce with: \
+             cargo run --release -p sdoh-bench --bin exp_chaos -- --seed {seed}{}",
+            outcome.hardened.total_violations,
+            if smoke { " --smoke" } else { "" }
+        );
+        for violation in &outcome.hardened.violations {
+            eprintln!(
+                "  step {:06} {}: {}",
+                violation.step, violation.invariant, violation.detail
+            );
+        }
+        failed = true;
+    }
+    if outcome.weak.ready {
+        eprintln!(
+            "chaos: weak baseline finished clean — the monitor detected nothing, which \
+             means the campaign is no longer adversarial; reproduce with seed {seed}"
+        );
+        failed = true;
+    }
+
+    if let Some(path) = out {
+        let notes = format!(
+            "E15: mixed-adversary chaos campaigns (loss/duplication/reordering/latency, \
+             resolver partitions, churn and inflation-compromise, clock steps, time jumps, \
+             drift, persistent off-path spoofer at {} attempts) over {} one-second steps, \
+             seed {}. Hardened stack = full off-path defenses + caching consensus front \
+             end + SecureTimeClient/Chronos; weak baseline = predictable-id ISP resolver \
+             + single-resolver pool. Invariants checked every step: pool guarantee \
+             (x = 1/2), post-sync clock offset, serve/net counter monotonicity, cache-age \
+             horizon, workload accounting. Reproduce with: cargo run --release -p \
+             sdoh-bench --bin exp_chaos -- --seed {} --out BENCH_chaos.json",
+            chaos::SPOOFER_ATTEMPTS,
+            steps,
+            seed,
+            seed
+        );
+        let json = chaos::to_json(&outcome, &today(), &notes);
+        std::fs::write(&path, json).expect("write BENCH json");
+        println!("wrote {path}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Date stamp for the JSON record; overridable for reproducible output.
+fn today() -> String {
+    std::env::var("BENCH_RECORDED_DATE").unwrap_or_else(|_| "unrecorded".to_string())
+}

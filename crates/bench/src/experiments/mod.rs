@@ -2,6 +2,7 @@
 
 pub mod attack_probability;
 pub mod cache_serving;
+pub mod chaos;
 pub mod chronos_timeshift;
 pub mod dualstack;
 pub mod empty_answer;

@@ -109,6 +109,17 @@
 //! [`ServeSnapshot`]s ([`CachingPoolResolver::snapshot`], one consistent
 //! reading per tick).
 //!
+//! The layer also exposes an **invariant probe surface** for fault
+//! injection: [`PoolCache::probe`] reports every entry's age and
+//! fresh/stale/dead state at an instant, and
+//! [`ServeSnapshot::regressions`] names any cumulative counter that went
+//! backwards between two snapshots. The `sdoh-chaos` crate's seeded chaos
+//! campaigns drive the serve + timesync stack through thousands of fault
+//! steps (loss, duplication, partitions, resolver churn, clock steps) and
+//! check these probes after every step: no served pool may violate the
+//! benign-fraction guarantee, no counter may regress, and nothing older
+//! than TTL + stale window may be served.
+//!
 //! ```
 //! use sdoh_core::{
 //!     AddressSource, CacheConfig, CachingPoolResolver, PoolConfig, SecurePoolGenerator,
@@ -188,8 +199,9 @@ pub use lookup::{ResolverMetrics, SecurePoolResolver};
 pub use majority::{majority_vote, meets_threshold, support_counts};
 pub use pool::{AddressPool, PoolEntry};
 pub use serve::{
-    AddressFamily, CacheConfig, CacheLookup, CachingPoolResolver, PoolCache, PoolKey,
-    RefreshScheduler, ResolvedPool, ServeMetrics, ServeSession, ServeSnapshot, Singleflight,
+    AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup, CachingPoolResolver, EntryState,
+    PoolCache, PoolKey, RefreshScheduler, ResolvedPool, ServeMetrics, ServeSession, ServeSnapshot,
+    Singleflight,
 };
 pub use session::{
     drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,

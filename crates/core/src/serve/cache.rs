@@ -168,6 +168,38 @@ impl CachedPool {
     }
 }
 
+/// Liveness of a probed cache entry at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Within its TTL: served directly.
+    Fresh,
+    /// Past its TTL but within the stale window: served while a refresh
+    /// regenerates it (successful generations only).
+    Stale,
+    /// Past every serving window; lingering until purged or evicted.
+    Dead,
+}
+
+/// Diagnostic view of one cache entry, produced by [`PoolCache::probe`].
+///
+/// Invariant monitors (e.g. the `sdoh-chaos` campaign runner) use probes to
+/// assert that the cache never serves a pool older than TTL plus the stale
+/// window: every serve must be explainable by an entry whose `state` allows
+/// it at the probed instant.
+#[derive(Debug, Clone)]
+pub struct CacheEntryProbe {
+    /// The entry's cache key.
+    pub key: PoolKey,
+    /// `true` for a cached generation *failure* (negative entry).
+    pub negative: bool,
+    /// Time since the entry was generated.
+    pub age: Duration,
+    /// TTL budget left before expiry (zero once expired).
+    pub remaining: Ttl,
+    /// Whether the entry is fresh, stale-but-servable, or dead.
+    pub state: EntryState,
+}
+
 /// Outcome of a cache lookup at a given instant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CacheLookup {
@@ -363,6 +395,40 @@ impl PoolCache {
         })
     }
 
+    /// Probes every entry across all shards at instant `now`, without
+    /// touching LRU state or counters.
+    ///
+    /// The result is sorted by key (domain, then family) so that a probe of
+    /// the same cache state is byte-identical across processes — shard maps
+    /// iterate in a process-random order. This is the invariant surface
+    /// chaos campaigns monitor after every step.
+    pub fn probe(&self, now: SimInstant) -> Vec<CacheEntryProbe> {
+        let stale_window = self.config.stale_window;
+        let mut probes: Vec<CacheEntryProbe> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.entries.iter())
+            .map(|(key, entry)| {
+                let state = if now < entry.expires_at {
+                    EntryState::Fresh
+                } else if entry.value.is_ok() && now < entry.keep_until(stale_window) {
+                    EntryState::Stale
+                } else {
+                    EntryState::Dead
+                };
+                CacheEntryProbe {
+                    key: key.clone(),
+                    negative: entry.value.is_err(),
+                    age: now.saturating_duration_since(entry.generated_at),
+                    remaining: Ttl::from_duration(entry.expires_at.saturating_duration_since(now)),
+                    state,
+                }
+            })
+            .collect();
+        probes.sort_by_key(|p| p.key.to_string());
+        probes
+    }
+
     /// Stores a generation outcome for `key` produced at `now`. Successful
     /// generations live for the configured TTL, failures for the negative
     /// TTL; a zero lifetime skips insertion entirely.
@@ -520,6 +586,44 @@ mod tests {
         assert_eq!(metrics.stale_hits, 1);
         assert_eq!(metrics.misses, 1);
         assert_eq!(metrics.expirations, 1);
+    }
+
+    #[test]
+    fn probe_reports_age_state_and_sorted_keys() {
+        let mut cache = PoolCache::new(test_config());
+        cache.insert(key("b.pool.test"), Ok(report(1)), at(0));
+        cache.insert(key("a.pool.test"), Ok(report(2)), at(10));
+        cache.insert(key("c.pool.test"), Err("fan-out failed".into()), at(70));
+
+        // At t=74 (ttl 60, stale window 30): "a" (generated at 10) and "b"
+        // (generated at 0) are past their TTL but inside the stale window;
+        // the negative "c" still has a second of its 5 s negative TTL left.
+        let before = cache.metrics();
+        let probes = cache.probe(at(74));
+        assert_eq!(probes.len(), 3);
+        let names: Vec<String> = probes.iter().map(|p| p.key.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["a.pool.test./A", "b.pool.test./A", "c.pool.test./A"],
+            "probes are sorted by key for cross-process determinism"
+        );
+        assert_eq!(probes[0].state, EntryState::Stale);
+        assert_eq!(probes[0].age, Duration::from_secs(64));
+        assert_eq!(probes[0].remaining, Ttl::ZERO);
+        assert!(!probes[0].negative);
+        assert_eq!(probes[1].state, EntryState::Stale);
+        assert_eq!(probes[1].age, Duration::from_secs(74));
+        assert_eq!(probes[2].state, EntryState::Fresh);
+        assert!(probes[2].negative);
+        assert_eq!(probes[2].remaining, Ttl::from_secs(1));
+
+        // Past every window, everything is dead (negative entries have no
+        // stale window).
+        let probes = cache.probe(at(200));
+        assert!(probes.iter().all(|p| p.state == EntryState::Dead));
+
+        // Probing touches neither LRU state nor counters.
+        assert_eq!(cache.metrics(), before);
     }
 
     #[test]

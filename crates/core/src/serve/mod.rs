@@ -36,7 +36,8 @@ mod session;
 mod singleflight;
 
 pub use cache::{
-    AddressFamily, CacheConfig, CacheLookup, CacheMetrics, CachedPool, PoolCache, PoolKey,
+    AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup, CacheMetrics, CachedPool, EntryState,
+    PoolCache, PoolKey,
 };
 pub use refresh::{RefreshScheduler, RefreshTask};
 pub use resolver::{CachingPoolResolver, ResolvedPool, ServeMetrics, ServeSnapshot};

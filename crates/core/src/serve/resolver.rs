@@ -136,6 +136,98 @@ impl ServeSnapshot {
         self.entries += other.entries;
         self.pending_refreshes += other.pending_refreshes;
     }
+
+    /// Names of the monotone counters that *decreased* between `earlier`
+    /// and `self` — empty for any legal pair of successive snapshots of the
+    /// same resolver.
+    ///
+    /// `entries` and `pending_refreshes` are gauges and legitimately shrink;
+    /// `serve.last_generation_latency` is a latest-value reading. Every
+    /// other field is a cumulative counter, and a regression means state was
+    /// lost or observed inconsistently — the monotonicity invariant chaos
+    /// campaigns check after every step.
+    pub fn regressions(&self, earlier: &ServeSnapshot) -> Vec<&'static str> {
+        let pairs: [(&'static str, u64, u64); 18] = [
+            ("serve.queries", earlier.serve.queries, self.serve.queries),
+            (
+                "serve.rejected",
+                earlier.serve.rejected,
+                self.serve.rejected,
+            ),
+            ("serve.hits", earlier.serve.hits, self.serve.hits),
+            (
+                "serve.stale_serves",
+                earlier.serve.stale_serves,
+                self.serve.stale_serves,
+            ),
+            (
+                "serve.negative_hits",
+                earlier.serve.negative_hits,
+                self.serve.negative_hits,
+            ),
+            ("serve.misses", earlier.serve.misses, self.serve.misses),
+            (
+                "serve.coalesced_waiters",
+                earlier.serve.coalesced_waiters,
+                self.serve.coalesced_waiters,
+            ),
+            (
+                "serve.generations",
+                earlier.serve.generations,
+                self.serve.generations,
+            ),
+            (
+                "serve.generation_failures",
+                earlier.serve.generation_failures,
+                self.serve.generation_failures,
+            ),
+            (
+                "serve.refreshes",
+                earlier.serve.refreshes,
+                self.serve.refreshes,
+            ),
+            (
+                "serve.source_answers",
+                earlier.serve.source_answers,
+                self.serve.source_answers,
+            ),
+            (
+                "serve.source_failures",
+                earlier.serve.source_failures,
+                self.serve.source_failures,
+            ),
+            ("cache.hits", earlier.cache.hits, self.cache.hits),
+            (
+                "cache.stale_hits",
+                earlier.cache.stale_hits,
+                self.cache.stale_hits,
+            ),
+            ("cache.misses", earlier.cache.misses, self.cache.misses),
+            (
+                "cache.insertions",
+                earlier.cache.insertions,
+                self.cache.insertions,
+            ),
+            (
+                "cache.evictions",
+                earlier.cache.evictions,
+                self.cache.evictions,
+            ),
+            (
+                "cache.expirations",
+                earlier.cache.expirations,
+                self.cache.expirations,
+            ),
+        ];
+        let mut regressed: Vec<&'static str> = pairs
+            .into_iter()
+            .filter_map(|(name, before, after)| (after < before).then_some(name))
+            .collect();
+        if self.serve.total_generation_latency < earlier.serve.total_generation_latency {
+            regressed.push("serve.total_generation_latency");
+        }
+        regressed
+    }
 }
 
 /// A DNS query handler serving secure pools through the caching subsystem.
@@ -167,6 +259,12 @@ impl CachingPoolResolver {
     /// Access to the pool cache (diagnostics and tests).
     pub fn cache(&self) -> &PoolCache {
         &self.cache
+    }
+
+    /// Probes every cache entry at instant `now` (see [`PoolCache::probe`]):
+    /// the per-entry age/liveness surface invariant monitors check.
+    pub fn probe_entries(&self, now: SimInstant) -> Vec<super::cache::CacheEntryProbe> {
+        self.cache.probe(now)
     }
 
     /// Snapshot of the serving counters.
@@ -850,6 +948,42 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, crate::PoolError::Generation(_)), "{err:?}");
+    }
+
+    #[test]
+    fn snapshot_regressions_name_decreasing_counters() {
+        let mut earlier = ServeSnapshot::default();
+        earlier.serve.queries = 10;
+        earlier.cache.hits = 5;
+        earlier.entries = 7;
+        earlier.pending_refreshes = 2;
+
+        let mut later = earlier;
+        later.serve.queries = 12;
+        later.entries = 0; // gauges may shrink
+        later.pending_refreshes = 0;
+        assert!(later.regressions(&earlier).is_empty());
+
+        later.serve.queries = 9;
+        later.cache.hits = 4;
+        assert_eq!(
+            later.regressions(&earlier),
+            vec!["serve.queries", "cache.hits"]
+        );
+    }
+
+    #[test]
+    fn probe_entries_follow_served_state() {
+        let net = SimNet::new(95);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        let query = Message::query(7, "pool.ntp.org".parse().unwrap(), RrType::A);
+        resolver.handle_query(&mut exchanger, &query);
+        let probes = resolver.probe_entries(net.now());
+        assert_eq!(probes.len(), 1);
+        assert_eq!(probes[0].state, super::super::EntryState::Fresh);
+        assert!(!probes[0].negative);
+        assert!(probes[0].age <= Duration::from_secs(1));
     }
 
     #[test]

@@ -16,6 +16,17 @@ pub struct LinkConfig {
     pub jitter: Duration,
     /// Probability that a plain datagram is lost (per direction).
     pub loss: f64,
+    /// Probability that a plain request datagram is duplicated in flight:
+    /// the destination service handles the payload twice and the redundant
+    /// reply is discarded on the wire.
+    pub duplicate: f64,
+    /// Probability that a plain response datagram is reordered: it is held
+    /// back by an extra delay in `[0, reorder_window)`, letting later
+    /// responses overtake it within a concurrent batch.
+    pub reorder: f64,
+    /// Upper bound of the extra hold-back delay a reordered response
+    /// suffers.
+    pub reorder_window: Duration,
     /// When `true`, nothing gets through in either direction.
     pub blocked: bool,
 }
@@ -26,6 +37,9 @@ impl Default for LinkConfig {
             latency: Duration::from_millis(10),
             jitter: Duration::from_millis(2),
             loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_window: Duration::from_millis(50),
             blocked: false,
         }
     }
@@ -53,6 +67,20 @@ impl LinkConfig {
         self
     }
 
+    /// Sets the duplication probability, returning `self` for chaining.
+    pub fn duplicate(mut self, duplicate: f64) -> Self {
+        self.duplicate = duplicate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the reordering probability and hold-back window, returning
+    /// `self` for chaining.
+    pub fn reorder(mut self, reorder: f64, window: Duration) -> Self {
+        self.reorder = reorder.clamp(0.0, 1.0);
+        self.reorder_window = window;
+        self
+    }
+
     /// Marks the link as blocked (network partition).
     pub fn blocked(mut self) -> Self {
         self.blocked = true;
@@ -71,6 +99,28 @@ impl LinkConfig {
     /// Samples whether a plain datagram is lost on this link.
     pub fn sample_loss(&self, rng: &mut SimRng) -> bool {
         rng.chance(self.loss)
+    }
+
+    /// Samples whether a plain request datagram is duplicated on this link.
+    /// Draws no randomness when duplication is disabled, so enabling the
+    /// knob on one link leaves the random stream of every other exchange
+    /// untouched.
+    pub fn sample_duplicate(&self, rng: &mut SimRng) -> bool {
+        self.duplicate > 0.0 && rng.chance(self.duplicate)
+    }
+
+    /// Samples the extra hold-back delay of a reordered response: `None`
+    /// when the response is delivered in order (also drawing no randomness
+    /// when reordering is disabled).
+    pub fn sample_reorder(&self, rng: &mut SimRng) -> Option<Duration> {
+        if self.reorder <= 0.0 || !rng.chance(self.reorder) {
+            return None;
+        }
+        if self.reorder_window.is_zero() {
+            return Some(Duration::ZERO);
+        }
+        let extra = rng.range_u64(0, self.reorder_window.as_nanos() as u64);
+        Some(Duration::from_nanos(extra))
     }
 }
 
@@ -133,5 +183,59 @@ mod tests {
     #[test]
     fn blocked_builder() {
         assert!(LinkConfig::default().blocked().blocked);
+    }
+
+    #[test]
+    fn duplicate_and_reorder_builders() {
+        let cfg = LinkConfig::default()
+            .duplicate(0.4)
+            .reorder(0.2, Duration::from_millis(80));
+        assert_eq!(cfg.duplicate, 0.4);
+        assert_eq!(cfg.reorder, 0.2);
+        assert_eq!(cfg.reorder_window, Duration::from_millis(80));
+    }
+
+    #[test]
+    fn duplicate_and_reorder_are_clamped() {
+        assert_eq!(LinkConfig::default().duplicate(3.0).duplicate, 1.0);
+        assert_eq!(LinkConfig::default().duplicate(-1.0).duplicate, 0.0);
+        assert_eq!(
+            LinkConfig::default().reorder(9.0, Duration::ZERO).reorder,
+            1.0
+        );
+        assert_eq!(
+            LinkConfig::default().reorder(-9.0, Duration::ZERO).reorder,
+            0.0
+        );
+    }
+
+    #[test]
+    fn disabled_knobs_draw_no_randomness() {
+        let cfg = LinkConfig::default();
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert!(!cfg.sample_duplicate(&mut a));
+            assert!(cfg.sample_reorder(&mut a).is_none());
+        }
+        // `a` drew nothing, so it still agrees with the untouched `b`.
+        assert_eq!(a.gen_u64(), b.gen_u64());
+    }
+
+    #[test]
+    fn sample_duplicate_respects_probability() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let always = LinkConfig::default().duplicate(1.0);
+        assert!((0..10).all(|_| always.sample_duplicate(&mut rng)));
+    }
+
+    #[test]
+    fn sample_reorder_stays_within_window() {
+        let cfg = LinkConfig::default().reorder(1.0, Duration::from_millis(25));
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let extra = cfg.sample_reorder(&mut rng).expect("reorder always fires");
+            assert!(extra < Duration::from_millis(25));
+        }
     }
 }

@@ -30,6 +30,11 @@ pub struct Metrics {
     pub replaced_responses: u64,
     /// Requests or responses dropped by an adversary.
     pub adversary_drops: u64,
+    /// Plain requests duplicated in flight (the service handled the payload
+    /// twice; the redundant reply was discarded).
+    pub duplicated_requests: u64,
+    /// Plain responses delivered out of order after an extra hold-back delay.
+    pub reordered_responses: u64,
 }
 
 impl Metrics {
@@ -51,6 +56,8 @@ impl Metrics {
         self.forged_responses += other.forged_responses;
         self.replaced_responses += other.replaced_responses;
         self.adversary_drops += other.adversary_drops;
+        self.duplicated_requests += other.duplicated_requests;
+        self.reordered_responses += other.reordered_responses;
     }
 
     /// Fraction of requests that received any response (successfully).
@@ -112,6 +119,22 @@ mod tests {
         assert_eq!(a.responses, 6);
         assert_eq!(a.forged_responses, 1);
         assert_eq!(a.bytes_sent, 100);
+    }
+
+    #[test]
+    fn merge_adds_fault_counters() {
+        let mut a = Metrics {
+            duplicated_requests: 2,
+            reordered_responses: 1,
+            ..Metrics::new()
+        };
+        a.merge(&Metrics {
+            duplicated_requests: 3,
+            reordered_responses: 4,
+            ..Metrics::new()
+        });
+        assert_eq!(a.duplicated_requests, 5);
+        assert_eq!(a.reordered_responses, 5);
     }
 
     #[test]

@@ -435,6 +435,15 @@ impl SimNet {
             }
         };
 
+        // Forward-path duplication: a second copy of a plain datagram also
+        // reaches the service (side effects included) but its reply is
+        // redundant and discarded on the wire. Secure (stream) transports
+        // deduplicate, so duplication never fires there.
+        let duplicated = channel == ChannelKind::Plain && {
+            let mut state = self.state.borrow_mut();
+            link.sample_duplicate(&mut state.rng)
+        };
+
         let response = {
             let mut ctx = Ctx {
                 net: self,
@@ -449,6 +458,23 @@ impl SimNet {
                 Err(_) => ServiceResponse::NoReply,
             }
         };
+
+        if duplicated {
+            self.state.borrow_mut().metrics.duplicated_requests += 1;
+            // The duplicate is processed "alongside" the genuine exchange:
+            // rewind the clock afterwards so shadow processing never delays
+            // the requester's view of the round trip.
+            let resume_at = self.clock.now();
+            let mut ctx = Ctx {
+                net: self,
+                local: dst,
+                depth: depth + 1,
+            };
+            if let Ok(mut svc) = service.try_borrow_mut() {
+                let _ = svc.handle(&mut ctx, src, channel, payload);
+            }
+            self.clock.rewind_to(resume_at);
+        }
 
         let genuine = match response {
             ServiceResponse::Reply(bytes) => bytes,
@@ -509,6 +535,21 @@ impl SimNet {
             link.sample_delay(&mut state.rng)
         };
         self.clock.advance(return_delay);
+
+        // Return-path reordering: the response datagram is held back by an
+        // extra delay within the link's reorder window, letting later
+        // responses overtake it inside a concurrent batch. Stream transports
+        // deliver in order, so only plain datagrams reorder.
+        if channel == ChannelKind::Plain {
+            let held_back = {
+                let mut state = self.state.borrow_mut();
+                link.sample_reorder(&mut state.rng)
+            };
+            if let Some(extra) = held_back {
+                self.clock.advance(extra);
+                self.state.borrow_mut().metrics.reordered_responses += 1;
+            }
+        }
 
         if self.clock.elapsed_since(started) > timeout {
             self.state.borrow_mut().metrics.timeouts += 1;
@@ -1025,6 +1066,141 @@ mod tests {
             .unwrap();
         assert_eq!(reply, b"ababab");
         assert_eq!(net.metrics().requests, 4);
+    }
+
+    #[test]
+    fn duplicated_request_is_handled_twice_but_answered_once() {
+        use std::cell::Cell;
+
+        let net = SimNet::new(30);
+        let server = SimAddr::v4(192, 0, 2, 50, 53);
+        let client = SimAddr::v4(198, 51, 100, 1, 40000);
+        let hits = Rc::new(Cell::new(0u32));
+        let recorder = Rc::clone(&hits);
+        net.register(
+            server,
+            FnService::new("count", move |_ctx, _from, _ch, payload: &[u8]| {
+                recorder.set(recorder.get() + 1);
+                ServiceResponse::Reply(payload.to_vec())
+            }),
+        );
+        net.set_link(
+            client.ip,
+            server.ip,
+            LinkConfig::with_latency(Duration::from_millis(10)).duplicate(1.0),
+        );
+        let t0 = net.now();
+        let reply = net
+            .transact(client, server, ChannelKind::Plain, b"q", TIMEOUT)
+            .unwrap();
+        assert_eq!(reply, b"q");
+        assert_eq!(hits.get(), 2, "the service saw the payload twice");
+        let metrics = net.metrics();
+        assert_eq!(metrics.requests, 1);
+        assert_eq!(
+            metrics.responses, 1,
+            "the client still got exactly one reply"
+        );
+        assert_eq!(metrics.duplicated_requests, 1);
+        assert_eq!(
+            net.now().saturating_duration_since(t0),
+            Duration::from_millis(20),
+            "shadow processing of the duplicate does not delay the genuine exchange"
+        );
+    }
+
+    #[test]
+    fn secure_channels_do_not_duplicate() {
+        use std::cell::Cell;
+
+        let net = SimNet::new(31);
+        let server = SimAddr::v4(192, 0, 2, 51, 443);
+        let client = SimAddr::v4(198, 51, 100, 1, 40000);
+        let hits = Rc::new(Cell::new(0u32));
+        let recorder = Rc::clone(&hits);
+        net.register(
+            server,
+            FnService::new("count", move |_ctx, _from, _ch, payload: &[u8]| {
+                recorder.set(recorder.get() + 1);
+                ServiceResponse::Reply(payload.to_vec())
+            }),
+        );
+        net.set_link(client.ip, server.ip, LinkConfig::default().duplicate(1.0));
+        net.transact(client, server, ChannelKind::Secure, b"q", TIMEOUT)
+            .unwrap();
+        assert_eq!(hits.get(), 1);
+        assert_eq!(net.metrics().duplicated_requests, 0);
+    }
+
+    #[test]
+    fn reordered_response_is_held_back_and_counted() {
+        let net = SimNet::new(32);
+        let server = SimAddr::v4(192, 0, 2, 52, 53);
+        let client = SimAddr::v4(198, 51, 100, 1, 40000);
+        net.register(server, echo_service());
+        net.set_link(
+            client.ip,
+            server.ip,
+            LinkConfig::with_latency(Duration::from_millis(10))
+                .reorder(1.0, Duration::from_millis(40)),
+        );
+        let t0 = net.now();
+        net.transact(client, server, ChannelKind::Plain, b"x", TIMEOUT)
+            .unwrap();
+        let elapsed = net.now().saturating_duration_since(t0);
+        assert!(elapsed >= Duration::from_millis(20));
+        assert!(elapsed < Duration::from_millis(60), "elapsed {elapsed:?}");
+        assert_eq!(net.metrics().reordered_responses, 1);
+
+        // Streams deliver in order: a secure exchange is never held back.
+        let t1 = net.now();
+        net.transact(client, server, ChannelKind::Secure, b"x", TIMEOUT)
+            .unwrap();
+        assert_eq!(
+            net.now().saturating_duration_since(t1),
+            Duration::from_millis(20)
+        );
+        assert_eq!(net.metrics().reordered_responses, 1);
+    }
+
+    #[test]
+    fn reordering_flips_concurrent_delivery_order() {
+        let net = SimNet::new(33);
+        let client = SimAddr::v4(198, 51, 100, 1, 40000);
+        let held = SimAddr::v4(192, 0, 2, 1, 53);
+        let steady = SimAddr::v4(192, 0, 2, 2, 53);
+        net.register(held, echo_service());
+        net.register(steady, echo_service());
+        net.set_link(
+            client.ip,
+            held.ip,
+            LinkConfig::with_latency(Duration::from_millis(10))
+                .reorder(1.0, Duration::from_millis(100)),
+        );
+        net.set_link(
+            client.ip,
+            steady.ip,
+            LinkConfig::with_latency(Duration::from_millis(10)),
+        );
+        let outcomes = net.transact_concurrent(
+            client,
+            [held, steady]
+                .iter()
+                .map(|&dst| ConcurrentRequest {
+                    dst,
+                    channel: ChannelKind::Plain,
+                    payload: b"ping".to_vec(),
+                    timeout: TIMEOUT,
+                })
+                .collect(),
+        );
+        // Both exchanges share a 10 ms one-way latency, but the first one's
+        // response is held back inside the reorder window, so the second
+        // request's reply overtakes it.
+        assert_eq!(outcomes[0].index, 1, "steady response delivered first");
+        assert_eq!(outcomes[1].index, 0);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        assert_eq!(net.metrics().reordered_responses, 1);
     }
 
     #[test]

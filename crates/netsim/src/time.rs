@@ -75,7 +75,14 @@ impl fmt::Display for SimInstant {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    now: Arc<Mutex<SimInstant>>,
+    state: Arc<Mutex<ClockState>>,
+}
+
+#[derive(Debug, Default)]
+struct ClockState {
+    now: SimInstant,
+    drift_rate: f64,
+    steps: u64,
 }
 
 impl SimClock {
@@ -86,22 +93,59 @@ impl SimClock {
 
     /// Current virtual time.
     pub fn now(&self) -> SimInstant {
-        *self.now.lock()
+        self.state.lock().now
     }
 
-    /// Advances the clock by `duration`.
+    /// Advances the clock by `duration`, scaled by any injected drift.
     pub fn advance(&self, duration: Duration) {
-        let mut now = self.now.lock();
-        *now = now.saturating_add(duration);
+        let mut state = self.state.lock();
+        let effective = if state.drift_rate == 0.0 {
+            duration
+        } else {
+            // A drifting time source stretches (or compresses) every
+            // elapsed interval; the rate is clamped so time never reverses.
+            let scale = (1.0 + state.drift_rate).max(0.0);
+            Duration::from_nanos((duration.as_nanos() as f64 * scale) as u64)
+        };
+        state.now = state.now.saturating_add(effective);
     }
 
     /// Advances the clock to `instant` if it is in the future; a clock never
     /// moves backwards.
     pub fn advance_to(&self, instant: SimInstant) {
-        let mut now = self.now.lock();
-        if instant > *now {
-            *now = instant;
+        let mut state = self.state.lock();
+        if instant > state.now {
+            state.now = instant;
         }
+    }
+
+    /// Steps the clock forward by `jump` instantly — a chaos fault modelling
+    /// a time-source step (VM pause, leap smear gone wrong, operator reset).
+    ///
+    /// Unlike [`SimClock::advance`] the jump is never scaled by drift, and
+    /// each step is counted so campaigns can trace how often they fired.
+    pub fn step(&self, jump: Duration) {
+        let mut state = self.state.lock();
+        state.now = state.now.saturating_add(jump);
+        state.steps += 1;
+    }
+
+    /// Number of [`SimClock::step`] faults applied so far.
+    pub fn steps(&self) -> u64 {
+        self.state.lock().steps
+    }
+
+    /// Injects a drift rate: every subsequently advanced interval is scaled
+    /// by `1 + rate` (e.g. `1e-4` runs the clock 100 ppm fast, negative
+    /// rates run it slow; rates at or below `-1` freeze it). Zero clears
+    /// the fault and restores exact nanosecond accounting.
+    pub fn set_drift(&self, rate: f64) {
+        self.state.lock().drift_rate = rate;
+    }
+
+    /// The currently injected drift rate.
+    pub fn drift(&self) -> f64 {
+        self.state.lock().drift_rate
     }
 
     /// Elapsed virtual time since `start`.
@@ -116,7 +160,7 @@ impl SimClock {
     /// batch's departure instant. From the outside the clock stays
     /// monotonic — the batch as a whole ends at the latest completion.
     pub(crate) fn rewind_to(&self, instant: SimInstant) {
-        *self.now.lock() = instant;
+        self.state.lock().now = instant;
     }
 }
 
@@ -177,5 +221,55 @@ mod tests {
         let start = clock.now();
         clock.advance(Duration::from_millis(42));
         assert_eq!(clock.elapsed_since(start), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn step_jumps_forward_and_is_counted() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        clock.step(Duration::from_secs(120));
+        assert_eq!(clock.now().as_secs_f64(), 121.0);
+        assert_eq!(clock.steps(), 1);
+        let clone = clock.clone();
+        clone.step(Duration::from_secs(1));
+        assert_eq!(clock.steps(), 2, "clones share the step counter");
+    }
+
+    #[test]
+    fn drift_scales_advanced_intervals() {
+        let clock = SimClock::new();
+        clock.set_drift(0.5);
+        assert_eq!(clock.drift(), 0.5);
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(clock.now().as_secs_f64(), 15.0, "runs 50% fast");
+
+        clock.set_drift(-0.5);
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(clock.now().as_secs_f64(), 20.0, "runs 50% slow");
+
+        clock.set_drift(0.0);
+        clock.advance(Duration::from_nanos(7));
+        assert_eq!(
+            clock.now().as_nanos(),
+            20_000_000_007,
+            "zero drift restores exact accounting"
+        );
+    }
+
+    #[test]
+    fn extreme_negative_drift_freezes_but_never_reverses() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(5));
+        clock.set_drift(-2.0);
+        clock.advance(Duration::from_secs(100));
+        assert_eq!(clock.now().as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn step_is_not_scaled_by_drift() {
+        let clock = SimClock::new();
+        clock.set_drift(1.0);
+        clock.step(Duration::from_secs(10));
+        assert_eq!(clock.now().as_secs_f64(), 10.0);
     }
 }

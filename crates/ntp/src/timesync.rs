@@ -427,6 +427,52 @@ mod tests {
     }
 
     #[test]
+    fn stepped_and_drifting_clocks_stay_disciplined_across_syncs() {
+        let net = SimNet::new(405);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let ips = ntp_fleet(&net, 15, 0, 0.0);
+        let frontend = frontend_over(&ips, 60);
+        let mut client = SecureTimeClient::new(
+            Box::new(ConsensusFrontEnd::new(Arc::clone(&frontend))),
+            "pool.ntpns.org".parse().unwrap(),
+            chronos(405),
+        );
+        let mut clock = LocalClock::new(net.clock(), 0.0);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        client.sync(&net, &mut exchanger, &mut clock).unwrap();
+        assert!(clock.offset_from_true().abs() < 0.1);
+
+        // A sim-time step past the TTL window (the whole world jumps; the
+        // local offset is stored separately and is unaffected) forces the
+        // next sync to re-pull the pool.
+        net.clock().step(Duration::from_secs(120));
+        assert_eq!(net.clock().steps(), 1);
+        let refreshed = client.sync(&net, &mut exchanger, &mut clock).unwrap();
+        assert!(refreshed.pool_refreshed, "TTL expired across the step");
+        assert!(clock.offset_from_true().abs() < 0.1);
+
+        // An operator-style step of the *local* clock is pulled back by the
+        // next Chronos sync.
+        clock.adjust(45.0);
+        assert!(clock.offset_from_true() > 44.0);
+        client.sync(&net, &mut exchanger, &mut clock).unwrap();
+        assert!(
+            clock.offset_from_true().abs() < 0.1,
+            "step corrected: {}",
+            clock.offset_from_true()
+        );
+
+        // Injected drift stretches advanced intervals; syncing afterwards
+        // still converges because offsets are measured, not assumed.
+        net.clock().set_drift(5e-4);
+        net.clock().advance(Duration::from_secs(120));
+        net.clock().set_drift(0.0);
+        let after_drift = client.sync(&net, &mut exchanger, &mut clock).unwrap();
+        assert!(after_drift.pool_refreshed);
+        assert!(clock.offset_from_true().abs() < 0.1);
+    }
+
+    #[test]
     fn stale_serves_grant_a_zero_window_and_repull_next_sync() {
         let net = SimNet::new(401);
         net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));

@@ -12,7 +12,10 @@
 //! generation, many answers — and closes by taking the very same stack
 //! **out of the simulator**: a threaded real-socket runtime
 //! ([`PoolRuntime`](secure_doh::runtime::PoolRuntime)) serving the pool
-//! over an actual loopback UDP socket.
+//! over an actual loopback UDP socket. A final seeded chaos campaign
+//! ([`run_campaign`](sdoh_chaos::run_campaign)) throws the whole
+//! mixed-adversary fault vocabulary at the hardened stack and asserts
+//! zero invariant violations.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -235,5 +238,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.total.serve.generations,
         stats.total.serve.hit_ratio() * 100.0
     );
+
+    // Step 9: prove the whole stack holds up under fire — a short seeded
+    // chaos campaign. The fault scheduler throws degraded links,
+    // partitions, resolver churn and compromise, clock trouble and a
+    // persistent off-path spoofer at the hardened stack while an
+    // invariant monitor re-checks the paper's guarantees every step; the
+    // same seed always replays the identical campaign.
+    use sdoh_chaos::{run_campaign, CampaignConfig};
+    let campaign = CampaignConfig::hardened(42, 60).with_persistent_spoofer(64);
+    let report = run_campaign(&campaign);
+    println!(
+        "\nchaos campaign (seed {}, {} steps, {} faults): {}/{} queries answered, \
+         {} syncs, max |offset| {:.4} s -> {} violations ({})",
+        report.seed,
+        report.steps,
+        report.faults_applied.values().sum::<u64>(),
+        report.queries_answered,
+        report.queries_issued,
+        report.syncs,
+        report.max_abs_offset_after_sync,
+        report.total_violations,
+        if report.ready { "READY" } else { "NOT READY" }
+    );
+    assert!(report.ready);
     Ok(())
 }

@@ -274,52 +274,8 @@ impl Scenario {
         // The DoH resolver fleet.
         let directory = ResolverDirectory::well_known(config.seed);
         let resolver_infos = directory.take(config.resolvers);
-        for (index, info) in resolver_infos.iter().enumerate() {
-            let recursive = RecursiveResolver::new(
-                RecursiveConfig {
-                    root_hints: vec![ROOT_SERVER],
-                    ..RecursiveConfig::default()
-                },
-                net.clock(),
-            );
-            let compromise = config
-                .compromised
-                .iter()
-                .find(|(i, _)| *i == index)
-                .map(|(_, behaviour)| behaviour.clone());
-            let handler: Box<dyn QueryHandler> = match compromise {
-                None => Box::new(recursive),
-                Some(behaviour) => {
-                    // One poisoning wrapper per pool domain, so a
-                    // compromised resolver misbehaves for every domain a
-                    // serving workload spreads its queries over.
-                    let mut handler: Box<dyn QueryHandler> = Box::new(recursive);
-                    for domain in &pool_domains {
-                        let mode = match &behaviour {
-                            ResolverCompromise::ReplaceWithAttackerAddresses(count) => {
-                                PoisonMode::ReplaceAddresses(
-                                    attacker_ntp.iter().take((*count).max(1)).copied().collect(),
-                                )
-                            }
-                            ResolverCompromise::InflateWithAttackerAddresses(count) => {
-                                PoisonMode::InflateWith(
-                                    attacker_ntp.iter().take((*count).max(1)).copied().collect(),
-                                )
-                            }
-                            ResolverCompromise::EmptyAnswer => PoisonMode::EmptyAnswer,
-                        };
-                        handler = Box::new(PoisonedResolver::new(
-                            handler,
-                            PoisonConfig::new(domain.clone(), mode),
-                        ));
-                    }
-                    handler
-                }
-            };
-            net.register(info.addr, DohServerService::new(info.clone(), handler));
-        }
 
-        Scenario {
+        let scenario = Scenario {
             net,
             directory,
             resolver_infos,
@@ -329,7 +285,89 @@ impl Scenario {
             attacker_ntp,
             pool_ntp_malicious: Vec::new(),
             config,
+        };
+        for index in 0..scenario.resolver_infos.len() {
+            let compromise = scenario
+                .config
+                .compromised
+                .iter()
+                .find(|(i, _)| *i == index)
+                .map(|(_, behaviour)| behaviour.clone());
+            scenario.install_resolver(index, compromise.as_ref());
         }
+        scenario
+    }
+
+    /// (Re-)installs the DoH resolver at `index` of the fleet, replacing
+    /// whatever is registered at its address: a fresh honest recursive
+    /// resolver when `compromise` is `None`, otherwise one wrapped in a
+    /// poisoning layer per pool domain. Build time uses this to stand the
+    /// fleet up; chaos campaigns use it to churn, compromise and restore
+    /// resolvers mid-run (a reinstalled resolver starts with a cold cache,
+    /// like a replacement instance would).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the installed fleet.
+    pub fn install_resolver(&self, index: usize, compromise: Option<&ResolverCompromise>) {
+        let info = &self.resolver_infos[index];
+        let recursive = RecursiveResolver::new(
+            RecursiveConfig {
+                root_hints: vec![ROOT_SERVER],
+                ..RecursiveConfig::default()
+            },
+            self.net.clock(),
+        );
+        let handler: Box<dyn QueryHandler> = match compromise {
+            None => Box::new(recursive),
+            Some(behaviour) => {
+                // One poisoning wrapper per pool domain, so a
+                // compromised resolver misbehaves for every domain a
+                // serving workload spreads its queries over.
+                let mut handler: Box<dyn QueryHandler> = Box::new(recursive);
+                for domain in &self.pool_domains {
+                    let mode = match behaviour {
+                        ResolverCompromise::ReplaceWithAttackerAddresses(count) => {
+                            PoisonMode::ReplaceAddresses(
+                                self.attacker_ntp
+                                    .iter()
+                                    .take((*count).max(1))
+                                    .copied()
+                                    .collect(),
+                            )
+                        }
+                        ResolverCompromise::InflateWithAttackerAddresses(count) => {
+                            PoisonMode::InflateWith(
+                                self.attacker_ntp
+                                    .iter()
+                                    .take((*count).max(1))
+                                    .copied()
+                                    .collect(),
+                            )
+                        }
+                        ResolverCompromise::EmptyAnswer => PoisonMode::EmptyAnswer,
+                    };
+                    handler = Box::new(PoisonedResolver::new(
+                        handler,
+                        PoisonConfig::new(domain.clone(), mode),
+                    ));
+                }
+                handler
+            }
+        };
+        self.net
+            .register(info.addr, DohServerService::new(info.clone(), handler));
+    }
+
+    /// Unregisters the DoH resolver at `index` (it died); returns whether it
+    /// was registered. [`Scenario::install_resolver`] revives it.
+    pub fn kill_resolver(&self, index: usize) -> bool {
+        self.net.unregister(self.resolver_infos[index].addr)
+    }
+
+    /// The network address of the DoH resolver at `index` of the fleet.
+    pub fn resolver_addr(&self, index: usize) -> SimAddr {
+        self.resolver_infos[index].addr
     }
 
     /// Re-registers the NTP fleet behind the **published** pool addresses:

@@ -1,0 +1,53 @@
+//! E17: fleet observability reconciliation — exported metrics vs the
+//! clients' exact ground truth, across a multi-instance loopback fleet.
+//!
+//! Usage: `exp_observability [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs the reduced-scale configuration CI uses; `--out`
+//! writes the reconciliation as a `BENCH_observability.json`-shaped
+//! file. The run *asserts* the reconciliation (exact counter equality,
+//! p99 within one bucket, every instance healthy) and aborts on any
+//! mismatch.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (instances, shards, clients, queries_per_client) =
+        if smoke { (2, 2, 3, 25) } else { (3, 4, 6, 200) };
+    let (table, report) =
+        sdoh_bench::observability::run(instances, shards, clients, queries_per_client, 17);
+    println!("{table}");
+
+    if let Some(path) = out {
+        let notes = format!(
+            "E17 fleet of {} instances x {} shards under {} clients x {} queries each ({}); \
+             counters reconcile exactly with client sends, p99 within {} bucket(s) of the \
+             exact value. Latency recording costs {:.0} ns/query = {:.2}% of the serving \
+             path at the observed warm rate (direct measurement; the A/B q/s delta of \
+             {:+.1}% is run-to-run noise on a shared host).",
+            instances,
+            shards,
+            clients,
+            queries_per_client,
+            if smoke { "smoke scale" } else { "full scale" },
+            report.p99_bucket_distance,
+            report.record_cost_ns,
+            report.overhead_percent,
+            report.ab_delta_percent
+        );
+        let json = sdoh_bench::observability::to_json(&report, &today(), &notes);
+        std::fs::write(&path, json).expect("write BENCH json");
+        println!("wrote {path}");
+    }
+}
+
+/// Date stamp for the JSON record; overridable for reproducible output.
+fn today() -> String {
+    std::env::var("BENCH_RECORDED_DATE").unwrap_or_else(|_| "unrecorded".to_string())
+}

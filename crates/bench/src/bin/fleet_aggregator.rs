@@ -1,0 +1,62 @@
+//! Fleet aggregator: scrape N runtime stats listeners and print one
+//! fleet-wide rollup.
+//!
+//! Usage: `fleet-aggregator [--timeout-ms N] ADDR [ADDR ...]`
+//!
+//! Each `ADDR` is a stats listener (`host:port`, the address given to
+//! `RuntimeConfig::stats_bind`). The aggregator probes `/healthz` and
+//! scrapes `/metrics` from every instance, then prints a commented
+//! per-instance health table followed by the merged Prometheus
+//! exposition: counters summed, histograms bucket-merged, gauges
+//! averaged. Unreachable instances show up in the health table; they
+//! never abort the rollup. Exits non-zero only on usage errors, so a
+//! partially-down fleet still yields a report.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use sdoh_metrics::scrape_fleet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut timeout = Duration::from_secs(2);
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout-ms" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage("--timeout-ms needs a value");
+                };
+                let Ok(ms) = value.parse::<u64>() else {
+                    return usage("--timeout-ms value must be an integer");
+                };
+                timeout = Duration::from_millis(ms);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: fleet-aggregator [--timeout-ms N] ADDR [ADDR ...]");
+                return;
+            }
+            other => {
+                let Ok(addr) = other.parse::<SocketAddr>() else {
+                    return usage(&format!("not a host:port address: {other}"));
+                };
+                addrs.push(addr);
+                i += 1;
+            }
+        }
+    }
+    if addrs.is_empty() {
+        return usage("no instance addresses given");
+    }
+
+    let rollup = scrape_fleet(&addrs, timeout);
+    print!("{}", rollup.render());
+}
+
+fn usage(error: &str) {
+    eprintln!("fleet-aggregator: {error}");
+    eprintln!("usage: fleet-aggregator [--timeout-ms N] ADDR [ADDR ...]");
+    std::process::exit(2);
+}

@@ -8,6 +8,7 @@ pub mod dualstack;
 pub mod empty_answer;
 pub mod fig1;
 pub mod majority;
+pub mod observability;
 pub mod offpath;
 pub mod offpath_poisoning;
 pub mod overhead;

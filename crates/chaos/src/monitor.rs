@@ -70,6 +70,7 @@ pub struct InvariantMonitor {
     total_violations: u64,
     last_snapshot: Option<ServeSnapshot>,
     last_net_metrics: Option<Metrics>,
+    violations_counter: Option<sdoh_metrics::Counter>,
 }
 
 impl InvariantMonitor {
@@ -89,12 +90,28 @@ impl InvariantMonitor {
             total_violations: 0,
             last_snapshot: None,
             last_net_metrics: None,
+            violations_counter: None,
         }
+    }
+
+    /// Registers the monitor's breach counter into `registry`: every
+    /// recorded violation also bumps `sdoh_invariant_violations_total`, so
+    /// a chaos campaign's safety breaches surface on the same `/metrics`
+    /// endpoint (and fleet rollups) as the serving counters.
+    pub fn register_metrics(&mut self, registry: &sdoh_metrics::Registry) {
+        self.violations_counter = Some(registry.counter(
+            "sdoh_invariant_violations_total",
+            "Invariant breaches recorded by the chaos campaign monitor \
+             (guarantee, clock, monotonicity, cache age, accounting).",
+        ));
     }
 
     /// Records a breach (counted always, detailed up to the cap).
     pub fn record_violation(&mut self, step: u64, invariant: &'static str, detail: String) {
         self.total_violations += 1;
+        if let Some(counter) = &self.violations_counter {
+            counter.inc();
+        }
         if self.violations.len() < MAX_RECORDED_VIOLATIONS {
             self.violations.push(Violation {
                 step,
@@ -343,6 +360,26 @@ mod tests {
         monitor.queries_denied = 1;
         monitor.check_accounting(10);
         assert_eq!(monitor.total_violations(), 1);
+    }
+
+    #[test]
+    fn registered_counter_mirrors_total_violations() {
+        let registry = sdoh_metrics::Registry::new();
+        let mut monitor = InvariantMonitor::new(1.0);
+        monitor.register_metrics(&registry);
+        assert!(registry.lint().is_empty(), "violation counter carries help");
+        monitor.record_violation(1, "pool_guarantee", "first".to_string());
+        monitor.check_offset(2, 99.0);
+        let exported = registry
+            .gather()
+            .into_iter()
+            .find(|s| s.name == "sdoh_invariant_violations_total")
+            .expect("counter exported");
+        assert_eq!(
+            exported.value,
+            sdoh_metrics::SampleValue::Counter(monitor.total_violations())
+        );
+        assert_eq!(monitor.total_violations(), 2);
     }
 
     #[test]

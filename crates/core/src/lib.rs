@@ -199,9 +199,9 @@ pub use lookup::{ResolverMetrics, SecurePoolResolver};
 pub use majority::{majority_vote, meets_threshold, support_counts};
 pub use pool::{AddressPool, PoolEntry};
 pub use serve::{
-    AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup, CachingPoolResolver, EntryState,
-    PoolCache, PoolKey, RefreshScheduler, ResolvedPool, ServeMetrics, ServeSession, ServeSnapshot,
-    Singleflight,
+    snapshot_samples, AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup,
+    CachingPoolResolver, EntryState, PoolCache, PoolKey, RefreshScheduler, ResolvedPool,
+    ServeMetrics, ServeSession, ServeSnapshot, Singleflight, SERVE_COUNTER_HELP, SERVE_GAUGE_HELP,
 };
 pub use session::{
     drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,

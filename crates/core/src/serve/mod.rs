@@ -32,6 +32,7 @@
 mod cache;
 mod refresh;
 mod resolver;
+mod samples;
 mod session;
 mod singleflight;
 
@@ -41,6 +42,7 @@ pub use cache::{
 };
 pub use refresh::{RefreshScheduler, RefreshTask};
 pub use resolver::{CachingPoolResolver, ResolvedPool, ServeMetrics, ServeSnapshot};
+pub use samples::{snapshot_samples, SERVE_COUNTER_HELP, SERVE_GAUGE_HELP};
 pub use session::{
     drive_serve, FlightOutcome, ServeAction, ServeEvent, ServeSession, ServeTransactionId,
     ServeTransmit,

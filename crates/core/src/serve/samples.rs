@@ -1,0 +1,234 @@
+//! The serve layer's export vocabulary: [`ServeSnapshot`] → metric
+//! [`Sample`]s.
+//!
+//! This module is the single source of truth for the metric names and help
+//! strings of every serving counter — the runtime's `/metrics` endpoint,
+//! the fleet aggregator and the experiments all speak this vocabulary, so
+//! a counter renamed here renames everywhere (and the CI help-string lint
+//! checks this table, not scattered call sites).
+
+use sdoh_metrics::{Sample, SampleValue};
+
+use super::resolver::ServeSnapshot;
+
+/// `(name, help)` rows of every counter exported from a [`ServeSnapshot`],
+/// in export order. Public so lints and docs can enumerate the vocabulary
+/// without building a snapshot.
+pub const SERVE_COUNTER_HELP: &[(&str, &str)] = &[
+    (
+        "sdoh_serve_queries_total",
+        "Address queries received by the serving layer (after protocol-level rejection).",
+    ),
+    (
+        "sdoh_serve_rejected_total",
+        "Queries rejected before lookup (no question or non-address type).",
+    ),
+    (
+        "sdoh_serve_hits_total",
+        "Queries answered from a fresh cache entry.",
+    ),
+    (
+        "sdoh_serve_stale_serves_total",
+        "Queries answered from a stale entry while a background refresh was queued.",
+    ),
+    (
+        "sdoh_serve_negative_hits_total",
+        "Queries answered SERVFAIL from a cached generation failure (negative caching).",
+    ),
+    (
+        "sdoh_serve_misses_total",
+        "Queries that found no usable entry and triggered (or joined) a generation.",
+    ),
+    (
+        "sdoh_serve_coalesced_waiters_total",
+        "Misses that attached to another query's in-flight generation (singleflight).",
+    ),
+    (
+        "sdoh_generations_total",
+        "Pool generations performed (demand misses plus background refreshes).",
+    ),
+    (
+        "sdoh_generation_failures_total",
+        "Pool generations that failed and were negatively cached.",
+    ),
+    (
+        "sdoh_refreshes_total",
+        "Background refresh generations performed off the query path.",
+    ),
+    (
+        "sdoh_source_answers_total",
+        "Per-resolver lookups that produced a usable answer, across all generations.",
+    ),
+    (
+        "sdoh_source_failures_total",
+        "Per-resolver lookups that failed, across all generations.",
+    ),
+    (
+        "sdoh_cache_hits_total",
+        "Cache lookups answered from a fresh entry.",
+    ),
+    (
+        "sdoh_cache_stale_hits_total",
+        "Cache lookups answered from a stale entry within the stale window.",
+    ),
+    (
+        "sdoh_cache_misses_total",
+        "Cache lookups that found nothing usable.",
+    ),
+    ("sdoh_cache_insertions_total", "Cache entries inserted."),
+    (
+        "sdoh_cache_evictions_total",
+        "Cache entries evicted to make room (LRU within the shard).",
+    ),
+    (
+        "sdoh_cache_expirations_total",
+        "Cache entries dropped because they were expired beyond use.",
+    ),
+];
+
+/// `(name, help)` rows of every gauge exported from a [`ServeSnapshot`].
+pub const SERVE_GAUGE_HELP: &[(&str, &str)] = &[
+    (
+        "sdoh_cache_entries",
+        "Entries currently cached (including not-yet-purged expired ones).",
+    ),
+    (
+        "sdoh_pending_refreshes",
+        "Background refreshes currently queued.",
+    ),
+    (
+        "sdoh_serve_hit_ratio",
+        "Fraction of address queries served without a generation on the query path.",
+    ),
+    (
+        "sdoh_last_generation_seconds",
+        "Virtual time the most recent generation batch took, in seconds.",
+    ),
+    (
+        "sdoh_generation_seconds_total",
+        "Total virtual time spent generating pools, in seconds.",
+    ),
+];
+
+/// Renders one [`ServeSnapshot`] as export samples under the given label
+/// set (e.g. `&[]` for an instance aggregate, `[("shard", "3")]` for one
+/// shard). Counter values come straight from the snapshot's cumulative
+/// fields, so successive scrapes of a live resolver are monotone.
+pub fn snapshot_samples(snapshot: &ServeSnapshot, labels: &[(&str, &str)]) -> Vec<Sample> {
+    let counters: [u64; 18] = [
+        snapshot.serve.queries,
+        snapshot.serve.rejected,
+        snapshot.serve.hits,
+        snapshot.serve.stale_serves,
+        snapshot.serve.negative_hits,
+        snapshot.serve.misses,
+        snapshot.serve.coalesced_waiters,
+        snapshot.serve.generations,
+        snapshot.serve.generation_failures,
+        snapshot.serve.refreshes,
+        snapshot.serve.source_answers,
+        snapshot.serve.source_failures,
+        snapshot.cache.hits,
+        snapshot.cache.stale_hits,
+        snapshot.cache.misses,
+        snapshot.cache.insertions,
+        snapshot.cache.evictions,
+        snapshot.cache.expirations,
+    ];
+    let gauges: [f64; 5] = [
+        snapshot.entries as f64,
+        snapshot.pending_refreshes as f64,
+        snapshot.serve.hit_ratio(),
+        snapshot.serve.last_generation_latency.as_secs_f64(),
+        snapshot.serve.total_generation_latency.as_secs_f64(),
+    ];
+    let owned_labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let mut samples = Vec::with_capacity(counters.len() + gauges.len());
+    for ((name, help), value) in SERVE_COUNTER_HELP.iter().zip(counters) {
+        samples.push(Sample {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: owned_labels.clone(),
+            value: SampleValue::Counter(value),
+        });
+    }
+    for ((name, help), value) in SERVE_GAUGE_HELP.iter().zip(gauges) {
+        samples.push(Sample {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: owned_labels.clone(),
+            value: SampleValue::Gauge(value),
+        });
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn every_snapshot_field_exports_with_help() {
+        let mut snapshot = ServeSnapshot::default();
+        snapshot.serve.queries = 10;
+        snapshot.serve.hits = 7;
+        snapshot.serve.misses = 3;
+        snapshot.serve.generations = 3;
+        snapshot.cache.insertions = 3;
+        snapshot.entries = 3;
+        snapshot.serve.total_generation_latency = Duration::from_millis(1500);
+
+        let samples = snapshot_samples(&snapshot, &[("shard", "2")]);
+        assert_eq!(
+            samples.len(),
+            SERVE_COUNTER_HELP.len() + SERVE_GAUGE_HELP.len()
+        );
+        for sample in &samples {
+            assert!(!sample.help.trim().is_empty(), "{} lacks help", sample.name);
+            assert_eq!(sample.labels, vec![("shard".to_string(), "2".to_string())]);
+        }
+        let by_name = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+                .clone()
+        };
+        assert_eq!(
+            by_name("sdoh_serve_queries_total"),
+            SampleValue::Counter(10)
+        );
+        assert_eq!(by_name("sdoh_serve_hits_total"), SampleValue::Counter(7));
+        assert_eq!(by_name("sdoh_generations_total"), SampleValue::Counter(3));
+        assert_eq!(by_name("sdoh_cache_entries"), SampleValue::Gauge(3.0));
+        assert_eq!(by_name("sdoh_serve_hit_ratio"), SampleValue::Gauge(0.7));
+        assert_eq!(
+            by_name("sdoh_generation_seconds_total"),
+            SampleValue::Gauge(1.5)
+        );
+    }
+
+    #[test]
+    fn vocabulary_names_are_unique_and_valid() {
+        let mut names: Vec<&str> = SERVE_COUNTER_HELP
+            .iter()
+            .chain(SERVE_GAUGE_HELP)
+            .map(|(name, _)| *name)
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric names in vocabulary");
+        for name in names {
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{name} is not a valid metric name"
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The scalar metric handles: monotonic [`Counter`]s and [`Gauge`]s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// Clones share the same cell, so the recording site keeps one handle and
+/// the registry another. All operations are relaxed atomics — safe from
+/// any thread, never a lock.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta` (counters only ever go up).
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions (queue depths, entry
+/// counts, ratios). Stored as `f64` bits in an atomic cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let counter = Counter::new();
+        let writer = counter.clone();
+        writer.inc();
+        writer.add(41);
+        assert_eq!(counter.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let gauge = Gauge::new();
+        assert_eq!(gauge.get(), 0.0);
+        gauge.set(7.5);
+        assert_eq!(gauge.get(), 7.5);
+        gauge.set(-1.25);
+        assert_eq!(gauge.get(), -1.25);
+    }
+}

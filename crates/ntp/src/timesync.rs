@@ -246,6 +246,15 @@ pub struct SecureTimeClient {
     pool: Vec<IpAddr>,
     pool_expires: Option<SimInstant>,
     pool_refreshes: u64,
+    metrics: Option<TimeSyncCounters>,
+}
+
+/// The export counters of one [`SecureTimeClient`], registered via
+/// [`SecureTimeClient::register_metrics`].
+struct TimeSyncCounters {
+    syncs: sdoh_metrics::Counter,
+    failures: sdoh_metrics::Counter,
+    refreshes: sdoh_metrics::Counter,
 }
 
 impl SecureTimeClient {
@@ -259,7 +268,34 @@ impl SecureTimeClient {
             pool: Vec::new(),
             pool_expires: None,
             pool_refreshes: 0,
+            metrics: None,
         }
+    }
+
+    /// Registers this client's counters into `registry`, labelled by the
+    /// configured pool source: successful syncs, failed syncs (pool fetch,
+    /// empty pool or Chronos rejection) and pool re-pulls. Call once per
+    /// client; a second registration for the same source name panics (the
+    /// registry rejects duplicate series).
+    pub fn register_metrics(&mut self, registry: &sdoh_metrics::Registry) {
+        let labels = [("source", self.source.source_name())];
+        self.metrics = Some(TimeSyncCounters {
+            syncs: registry.counter_with(
+                "sdoh_timesync_syncs_total",
+                "Successful time synchronizations (Chronos accepted an update).",
+                &labels,
+            ),
+            failures: registry.counter_with(
+                "sdoh_timesync_failures_total",
+                "Failed time synchronizations (pool fetch, empty pool or Chronos rejection).",
+                &labels,
+            ),
+            refreshes: registry.counter_with(
+                "sdoh_timesync_pool_refreshes_total",
+                "NTP server pool re-pulls after a TTL window elapsed.",
+                &labels,
+            ),
+        });
     }
 
     /// The pool the next in-window sync would use (empty before the first
@@ -300,6 +336,27 @@ impl SecureTimeClient {
     /// and [`TimeSyncError::Ntp`] when Chronos rejects every sampling round
     /// over the fetched pool.
     pub fn sync(
+        &mut self,
+        net: &SimNet,
+        exchanger: &mut dyn Exchanger,
+        clock: &mut LocalClock,
+    ) -> Result<TimeSyncOutcome, TimeSyncError> {
+        let outcome = self.sync_inner(net, exchanger, clock);
+        if let Some(metrics) = &self.metrics {
+            match &outcome {
+                Ok(result) => {
+                    metrics.syncs.inc();
+                    if result.pool_refreshed {
+                        metrics.refreshes.inc();
+                    }
+                }
+                Err(_) => metrics.failures.inc(),
+            }
+        }
+        outcome
+    }
+
+    fn sync_inner(
         &mut self,
         net: &SimNet,
         exchanger: &mut dyn Exchanger,
@@ -568,6 +625,80 @@ mod tests {
         assert_eq!(clock.offset_from_true(), 5.0, "clock untouched");
         assert!(format!("{client:?}").contains("SecureTimeClient"));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn registered_counters_track_syncs_failures_and_refreshes() {
+        let net = SimNet::new(406);
+        net.set_default_link(LinkConfig::with_latency(Duration::from_millis(5)));
+        let ips = ntp_fleet(&net, 15, 0, 0.0);
+        let frontend = frontend_over(&ips, 60);
+        let registry = sdoh_metrics::Registry::new();
+        let mut client = SecureTimeClient::new(
+            Box::new(ConsensusFrontEnd::new(Arc::clone(&frontend))),
+            "pool.ntpns.org".parse().unwrap(),
+            chronos(406),
+        );
+        client.register_metrics(&registry);
+        assert!(registry.lint().is_empty(), "every counter carries help");
+
+        let mut clock = LocalClock::new(net.clock(), -10.0);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        client.sync(&net, &mut exchanger, &mut clock).unwrap();
+        net.clock().advance(Duration::from_secs(20));
+        client.sync(&net, &mut exchanger, &mut clock).unwrap(); // in-window: no re-pull
+
+        // Sum across the per-source label sets of one family.
+        let value = |name: &str| {
+            let samples: Vec<_> = registry
+                .gather()
+                .into_iter()
+                .filter(|s| s.name == name)
+                .collect();
+            assert!(!samples.is_empty(), "{name} not exported");
+            samples
+                .into_iter()
+                .map(|s| match s.value {
+                    sdoh_metrics::SampleValue::Counter(v) => v,
+                    other => panic!("{name} not a counter: {other:?}"),
+                })
+                .sum::<u64>()
+        };
+        assert_eq!(value("sdoh_timesync_syncs_total"), 2);
+        assert_eq!(value("sdoh_timesync_pool_refreshes_total"), 1);
+        assert_eq!(value("sdoh_timesync_failures_total"), 0);
+        assert_eq!(
+            client.pool_refreshes(),
+            value("sdoh_timesync_pool_refreshes_total"),
+            "exported counter matches the client's own accounting"
+        );
+
+        // A client over a source that always fails bumps only failures.
+        struct EmptySource;
+        impl NtpPoolSource for EmptySource {
+            fn fetch_pool(
+                &mut self,
+                _exchanger: &mut dyn Exchanger,
+                _domain: &Name,
+            ) -> Result<ResolvedPool, TimeSyncError> {
+                Ok(ResolvedPool {
+                    addresses: Vec::new(),
+                    ttl: Ttl::from_secs(60),
+                })
+            }
+            fn source_name(&self) -> &str {
+                "always-empty"
+            }
+        }
+        let mut failing = SecureTimeClient::new(
+            Box::new(EmptySource),
+            "pool.ntpns.org".parse().unwrap(),
+            chronos(407),
+        );
+        failing.register_metrics(&registry);
+        failing.sync(&net, &mut exchanger, &mut clock).unwrap_err();
+        assert_eq!(value("sdoh_timesync_failures_total"), 1);
+        assert_eq!(value("sdoh_timesync_syncs_total"), 2, "successes unchanged");
     }
 
     #[test]

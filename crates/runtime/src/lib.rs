@@ -26,6 +26,31 @@
 //! * [`RuntimeClock`] — the host clock expressed as the workspace's
 //!   instant type, so cache TTLs and refresh deadlines measure real time.
 //!
+//! # Observability
+//!
+//! Every [`PoolRuntime`] owns an [`sdoh_metrics::Registry`]
+//! ([`PoolRuntime::registry`]): the front-door socket counters
+//! (`sdoh_udp_queries_total`, `sdoh_tcp_queries_total`,
+//! `sdoh_truncated_responses_total`) are registry counters, each shard
+//! worker records per-query serving latency into its own
+//! `sdoh_serve_latency_seconds` histogram (two relaxed atomic adds on the
+//! hot path — disable via [`RuntimeConfig::record_latency`] for overhead
+//! runs), and a scrape-time collector pulls fresh
+//! [`ServeSnapshot`](sdoh_core::ServeSnapshot)s from the workers and
+//! exports them through the shared vocabulary in
+//! [`sdoh_core::snapshot_samples`].
+//!
+//! Set [`RuntimeConfig::stats_bind`] to bind the HTTP stats listener:
+//! `/metrics` serves the Prometheus text exposition, `/metrics.json` the
+//! JSON flavour, and `/healthz` is the readiness probe — 200 while every
+//! shard answers its snapshot within the health deadline, 503 with an
+//! `unresponsive_shards` count otherwise, plus the pool-guarantee state
+//! (generation failures / negative serves). Point the workspace's
+//! `fleet-aggregator` binary (or [`sdoh_metrics::scrape_fleet`]) at
+//! several instances' listeners for fleet-wide rollups. Shards that miss
+//! a snapshot deadline surface as `None` entries in
+//! [`RuntimeStats::per_shard`] and are never silently counted as zeros.
+//!
 //! # Example: serving static pools over real sockets
 //!
 //! ```

@@ -35,16 +35,28 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::Hasher;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use sdoh_core::{CachingPoolResolver, ServeSnapshot};
+use sdoh_core::{snapshot_samples, CachingPoolResolver, ServeSnapshot};
 use sdoh_dns_server::Exchanger;
 use sdoh_dns_wire::{Message, Rcode};
+use sdoh_metrics::{
+    render_json, render_prometheus, Counter, Histogram, HttpResponse, Registry, Sample,
+    SampleValue, StatsServer,
+};
 use sdoh_netsim::SimInstant;
+
+/// How long a stats aggregation waits for each shard before marking it
+/// unresponsive (a wedged worker must not wedge the exporter).
+const SNAPSHOT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The shorter deadline `/healthz` probes shards with: a readiness check
+/// has to answer promptly even when a worker is stuck in a generation.
+const HEALTH_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Configuration of a [`PoolRuntime`].
 #[derive(Debug, Clone)]
@@ -68,6 +80,14 @@ pub struct RuntimeConfig {
     pub poll_interval: Duration,
     /// Whether to bind the TCP fallback listener.
     pub enable_tcp: bool,
+    /// Address to bind the HTTP stats listener on (`/metrics`,
+    /// `/metrics.json`, `/healthz`); `None` disables it. Port 0 picks an
+    /// ephemeral port; read it back from [`PoolRuntime::stats_addr`].
+    pub stats_bind: Option<SocketAddr>,
+    /// Whether shard workers record per-query serving latency into the
+    /// `sdoh_serve_latency_seconds` histograms. On by default; the E17
+    /// overhead measurement compares warm throughput with this on and off.
+    pub record_latency: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -79,6 +99,8 @@ impl Default for RuntimeConfig {
             udp_payload_limit: 1232,
             poll_interval: Duration::from_millis(5),
             enable_tcp: true,
+            stats_bind: None,
+            record_latency: true,
         }
     }
 }
@@ -111,22 +133,44 @@ impl std::fmt::Debug for Shard {
 }
 
 /// Front-door counters kept by the socket threads (everything behind the
-/// dispatch point is counted per shard in [`ServeSnapshot`]s).
-#[derive(Debug, Default)]
+/// dispatch point is counted per shard in [`ServeSnapshot`]s). The cells
+/// are registry [`Counter`] handles, so the same bumps feed both
+/// [`RuntimeStats`] and the `/metrics` exposition.
+#[derive(Debug)]
 struct FrontCounters {
-    udp_received: AtomicU64,
-    tcp_received: AtomicU64,
-    truncated: AtomicU64,
+    udp_received: Counter,
+    tcp_received: Counter,
+    truncated: Counter,
+}
+
+impl FrontCounters {
+    fn register(registry: &Registry) -> FrontCounters {
+        FrontCounters {
+            udp_received: registry.counter(
+                "sdoh_udp_queries_total",
+                "Datagrams accepted by the UDP dispatcher.",
+            ),
+            tcp_received: registry.counter(
+                "sdoh_tcp_queries_total",
+                "Queries accepted over the TCP fallback listener.",
+            ),
+            truncated: registry.counter(
+                "sdoh_truncated_responses_total",
+                "UDP responses truncated to TC=1 because they exceeded the payload limit.",
+            ),
+        }
+    }
 }
 
 /// One aggregated statistics observation of a running [`PoolRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeStats {
-    /// Snapshot of every shard, in shard order. Entries of shards that did
-    /// not answer the snapshot request within the timeout are defaulted
-    /// (all-zero) — seen only if a worker is wedged in a generation.
-    pub per_shard: Vec<ServeSnapshot>,
-    /// The fleet-wide aggregate of `per_shard`.
+    /// Snapshot of every shard, in shard order. `None` for shards that did
+    /// not answer the snapshot request within the timeout — a wedged
+    /// worker (e.g. stuck in a generation), never silently folded into the
+    /// totals as zeros.
+    pub per_shard: Vec<Option<ServeSnapshot>>,
+    /// The fleet-wide aggregate of the *responsive* shards.
     pub total: ServeSnapshot,
     /// Datagrams accepted by the UDP dispatcher.
     pub udp_queries: u64,
@@ -137,6 +181,114 @@ pub struct RuntimeStats {
     pub truncated_responses: u64,
     /// Runtime uptime when the snapshot was taken.
     pub taken_at: SimInstant,
+}
+
+impl RuntimeStats {
+    /// Shards that missed the snapshot deadline (their `per_shard` entry
+    /// is `None`). Non-zero means `total` undercounts and `/healthz`
+    /// reports the instance unready.
+    pub fn unresponsive_shards(&self) -> usize {
+        self.per_shard.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Renders the stats as a JSON document (stable hand-rolled schema:
+    /// `total`, `per_shard` with `null` for unresponsive shards, and the
+    /// front-door counters).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"taken_at_seconds\": {}, \"udp_queries\": {}, \"tcp_queries\": {}, \
+             \"truncated_responses\": {}, \"unresponsive_shards\": {}, \"total\": {}, \
+             \"per_shard\": [",
+            self.taken_at.as_nanos() as f64 / 1e9,
+            self.udp_queries,
+            self.tcp_queries,
+            self.truncated_responses,
+            self.unresponsive_shards(),
+            snapshot_json(&self.total),
+        ));
+        for (index, shard) in self.per_shard.iter().enumerate() {
+            if index > 0 {
+                out.push_str(", ");
+            }
+            match shard {
+                Some(snapshot) => out.push_str(&snapshot_json(snapshot)),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One [`ServeSnapshot`] as a JSON object (helper of
+/// [`RuntimeStats::to_json`]).
+fn snapshot_json(snapshot: &ServeSnapshot) -> String {
+    format!(
+        "{{\"queries\": {}, \"hits\": {}, \"stale_serves\": {}, \"negative_hits\": {}, \
+         \"misses\": {}, \"coalesced_waiters\": {}, \"generations\": {}, \
+         \"generation_failures\": {}, \"refreshes\": {}, \"hit_ratio\": {:.6}, \
+         \"cache_entries\": {}, \"pending_refreshes\": {}}}",
+        snapshot.serve.queries,
+        snapshot.serve.hits,
+        snapshot.serve.stale_serves,
+        snapshot.serve.negative_hits,
+        snapshot.serve.misses,
+        snapshot.serve.coalesced_waiters,
+        snapshot.serve.generations,
+        snapshot.serve.generation_failures,
+        snapshot.serve.refreshes,
+        snapshot.serve.hit_ratio(),
+        snapshot.entries,
+        snapshot.pending_refreshes,
+    )
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "runtime stats @ {:.1}s: udp={} tcp={} truncated={} shards={} unresponsive={}",
+            self.taken_at.as_nanos() as f64 / 1e9,
+            self.udp_queries,
+            self.tcp_queries,
+            self.truncated_responses,
+            self.per_shard.len(),
+            self.unresponsive_shards(),
+        )?;
+        writeln!(
+            f,
+            "  total: queries={} hits={} stale={} neg={} misses={} coalesced={} \
+             generations={} failures={} refreshes={} hit_ratio={:.1}% entries={} pending={}",
+            self.total.serve.queries,
+            self.total.serve.hits,
+            self.total.serve.stale_serves,
+            self.total.serve.negative_hits,
+            self.total.serve.misses,
+            self.total.serve.coalesced_waiters,
+            self.total.serve.generations,
+            self.total.serve.generation_failures,
+            self.total.serve.refreshes,
+            self.total.serve.hit_ratio() * 100.0,
+            self.total.entries,
+            self.total.pending_refreshes,
+        )?;
+        for (index, shard) in self.per_shard.iter().enumerate() {
+            match shard {
+                Some(snapshot) => writeln!(
+                    f,
+                    "  shard {index}: queries={} hits={} misses={} generations={} entries={}",
+                    snapshot.serve.queries,
+                    snapshot.serve.hits,
+                    snapshot.serve.misses,
+                    snapshot.serve.generations,
+                    snapshot.entries,
+                )?,
+                None => writeln!(f, "  shard {index}: unresponsive (snapshot timed out)")?,
+            }
+        }
+        Ok(())
+    }
 }
 
 enum WorkItem {
@@ -171,6 +323,8 @@ pub struct PoolRuntime {
     counters: Arc<FrontCounters>,
     latest: Arc<Mutex<Option<RuntimeStats>>>,
     clock: crate::clock::RuntimeClock,
+    registry: Registry,
+    stats_server: Option<StatsServer>,
 }
 
 impl PoolRuntime {
@@ -202,7 +356,8 @@ impl PoolRuntime {
         let tcp_addr = tcp.as_ref().map(|l| l.local_addr()).transpose()?;
 
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(FrontCounters::default());
+        let registry = Registry::new();
+        let counters = Arc::new(FrontCounters::register(&registry));
         let latest: Arc<Mutex<Option<RuntimeStats>>> = Arc::new(Mutex::new(None));
         let clock = crate::clock::RuntimeClock::new();
 
@@ -213,13 +368,75 @@ impl PoolRuntime {
             let socket = Arc::clone(&udp);
             let shard_counters = Arc::clone(&counters);
             let limit = config.udp_payload_limit;
+            // One latency histogram per shard: bumps stay on cache lines
+            // the recording shard owns, merged only at scrape time.
+            let latency = config.record_latency.then(|| {
+                registry.histogram_with(
+                    "sdoh_serve_latency_seconds",
+                    "Wall-clock latency of serving one query on the shard worker, \
+                     from dequeue to response bytes ready.",
+                    &[("shard", &index.to_string())],
+                )
+            });
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("sdoh-shard-{index}"))
-                    .spawn(move || worker_loop(index, shard, rx, socket, limit, shard_counters))?,
+                    .spawn(move || {
+                        worker_loop(index, shard, rx, socket, limit, shard_counters, latency)
+                    })?,
             );
             workers.push(tx);
         }
+
+        // The serve-layer counters live inside the worker threads; a
+        // scrape-time collector fetches fresh snapshots over the work
+        // queues and renders them through the shared serve vocabulary.
+        {
+            let senders = workers.clone();
+            let shard_count = senders.len();
+            registry.register_collector(Box::new(move || {
+                let per_shard = take_shard_snapshots(&senders, SNAPSHOT_TIMEOUT);
+                let unresponsive = per_shard.iter().filter(|s| s.is_none()).count();
+                let mut total = ServeSnapshot::default();
+                for snapshot in per_shard.iter().flatten() {
+                    total.absorb(snapshot);
+                }
+                let mut samples = snapshot_samples(&total, &[]);
+                samples.push(Sample {
+                    name: "sdoh_shards".to_string(),
+                    help: "Serving shards (worker threads) of this instance.".to_string(),
+                    labels: Vec::new(),
+                    value: SampleValue::Gauge(shard_count as f64),
+                });
+                samples.push(Sample {
+                    name: "sdoh_unresponsive_shards".to_string(),
+                    help: "Shards that missed the latest snapshot deadline (wedged workers)."
+                        .to_string(),
+                    labels: Vec::new(),
+                    value: SampleValue::Gauge(unresponsive as f64),
+                });
+                samples
+            }));
+        }
+
+        let stats_server = match config.stats_bind {
+            Some(bind) => {
+                let scrape_registry = registry.clone();
+                let senders = workers.clone();
+                let handler: sdoh_metrics::Handler = Arc::new(move |path| match path {
+                    "/metrics" => {
+                        HttpResponse::ok_text(render_prometheus(&scrape_registry.gather()))
+                    }
+                    "/metrics.json" => {
+                        HttpResponse::ok_json(render_json(&scrape_registry.gather()))
+                    }
+                    "/healthz" => healthz(&senders),
+                    _ => HttpResponse::text(404, "not found\n"),
+                });
+                Some(StatsServer::start(bind, handler)?)
+            }
+            None => None,
+        };
 
         let mut service_handles = Vec::new();
         {
@@ -290,6 +507,8 @@ impl PoolRuntime {
             counters,
             latest,
             clock,
+            registry,
+            stats_server,
         })
     }
 
@@ -301,6 +520,20 @@ impl PoolRuntime {
     /// The bound TCP fallback address (`None` when TCP is disabled).
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// The bound stats-listener address (`None` when
+    /// [`RuntimeConfig::stats_bind`] was `None`).
+    pub fn stats_addr(&self) -> Option<SocketAddr> {
+        self.stats_server.as_ref().map(|server| server.addr())
+    }
+
+    /// The metrics registry this runtime exports: the front-door counters,
+    /// per-shard serving-latency histograms and the serve-layer snapshot
+    /// collector. Clone it to register additional application metrics
+    /// (e.g. time-sync or chaos counters) on the same `/metrics` endpoint.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Number of serving shards (worker threads).
@@ -325,9 +558,13 @@ impl PoolRuntime {
     /// Graceful shutdown: stop accepting traffic, drain the worker queues,
     /// take the final aggregate and join every thread. Returns the final
     /// statistics.
-    pub fn shutdown(self) -> RuntimeStats {
-        // 1. Stop the socket/tick threads; no new work enters the queues.
+    pub fn shutdown(mut self) -> RuntimeStats {
+        // 1. Stop the socket/tick threads (and the stats listener, so no
+        //    scrape races the drain); no new work enters the queues.
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(mut server) = self.stats_server.take() {
+            server.shutdown();
+        }
         for handle in self.service_handles {
             let _ = handle.join();
         }
@@ -370,11 +607,13 @@ fn tick_loop(stop: Arc<AtomicBool>, interval: Duration, poll: Duration, mut tick
     }
 }
 
-fn take_stats(
+/// Asks every shard for a snapshot over its work queue. Shards that do
+/// not answer within `timeout` — wedged in a generation, or already shut
+/// down — come back as `None`, never as silently-zero defaults.
+fn take_shard_snapshots(
     workers: &[mpsc::Sender<WorkItem>],
-    counters: &FrontCounters,
-    taken_at: SimInstant,
-) -> RuntimeStats {
+    timeout: Duration,
+) -> Vec<Option<ServeSnapshot>> {
     let (tx, rx) = mpsc::channel();
     let mut requested = 0;
     for sender in workers {
@@ -383,25 +622,64 @@ fn take_stats(
         }
     }
     drop(tx);
-    let mut per_shard = vec![ServeSnapshot::default(); workers.len()];
+    let mut per_shard: Vec<Option<ServeSnapshot>> = vec![None; workers.len()];
+    let deadline = Instant::now() + timeout;
     for _ in 0..requested {
-        match rx.recv_timeout(Duration::from_secs(5)) {
-            Ok((index, snapshot)) => per_shard[index] = snapshot,
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(remaining) {
+            Ok((index, snapshot)) => per_shard[index] = Some(snapshot),
             Err(_) => break,
         }
     }
+    per_shard
+}
+
+fn take_stats(
+    workers: &[mpsc::Sender<WorkItem>],
+    counters: &FrontCounters,
+    taken_at: SimInstant,
+) -> RuntimeStats {
+    let per_shard = take_shard_snapshots(workers, SNAPSHOT_TIMEOUT);
     let mut total = ServeSnapshot::default();
-    for snapshot in &per_shard {
+    for snapshot in per_shard.iter().flatten() {
         total.absorb(snapshot);
     }
     RuntimeStats {
         per_shard,
         total,
-        udp_queries: counters.udp_received.load(Ordering::Relaxed),
-        tcp_queries: counters.tcp_received.load(Ordering::Relaxed),
-        truncated_responses: counters.truncated.load(Ordering::Relaxed),
+        udp_queries: counters.udp_received.get(),
+        tcp_queries: counters.tcp_received.get(),
+        truncated_responses: counters.truncated.get(),
         taken_at,
     }
+}
+
+/// The `/healthz` readiness probe: 200 when every shard answered its
+/// snapshot within the (short) health deadline, 503 otherwise. The body
+/// reports shard liveness plus the pool-guarantee state — generation
+/// failures mean some queries were answered from negatively-cached
+/// failures rather than fresh secure generations.
+fn healthz(workers: &[mpsc::Sender<WorkItem>]) -> HttpResponse {
+    let per_shard = take_shard_snapshots(workers, HEALTH_TIMEOUT);
+    let unresponsive = per_shard.iter().filter(|s| s.is_none()).count();
+    let mut total = ServeSnapshot::default();
+    for snapshot in per_shard.iter().flatten() {
+        total.absorb(snapshot);
+    }
+    let ready = unresponsive == 0;
+    let body = format!(
+        "{}\nshards {}\nunresponsive_shards {}\ncache_entries {}\npending_refreshes {}\n\
+         generation_failures {}\nnegative_hits {}\nguarantee_degraded {}\n",
+        if ready { "ok" } else { "unready" },
+        per_shard.len(),
+        unresponsive,
+        total.entries,
+        total.pending_refreshes,
+        total.serve.generation_failures,
+        total.serve.negative_hits,
+        total.serve.generation_failures > 0,
+    );
+    HttpResponse::text(if ready { 200 } else { 503 }, body)
 }
 
 /// Routes a wire-format query to its shard: hash of the lowercased qname
@@ -460,7 +738,7 @@ fn dispatcher_loop(
     while !stop.load(Ordering::SeqCst) {
         match socket.recv_from(&mut buf) {
             Ok((len, peer)) => {
-                counters.udp_received.fetch_add(1, Ordering::Relaxed);
+                counters.udp_received.inc();
                 let wire = buf[..len].to_vec();
                 let shard = shard_for(&wire, senders.len());
                 let _ = senders[shard].send(WorkItem::Query {
@@ -520,7 +798,7 @@ fn serve_tcp_connection(
         let len = u16::from_be_bytes(len_buf) as usize;
         let mut wire = vec![0u8; len];
         stream.read_exact(&mut wire)?;
-        counters.tcp_received.fetch_add(1, Ordering::Relaxed);
+        counters.tcp_received.inc();
         let shard = shard_for(&wire, senders.len());
         let (tx, rx) = mpsc::channel();
         if senders[shard]
@@ -563,6 +841,7 @@ fn worker_loop(
     socket: Arc<UdpSocket>,
     udp_payload_limit: usize,
     counters: Arc<FrontCounters>,
+    latency: Option<Histogram>,
 ) {
     let Shard {
         mut resolver,
@@ -571,11 +850,17 @@ fn worker_loop(
     while let Ok(item) = rx.recv() {
         match item {
             WorkItem::Query { wire, reply } => {
+                // Histogram recording is two relaxed fetch_adds on this
+                // shard's own cache lines — no lock, no allocation.
+                let started = latency.as_ref().map(|_| Instant::now());
                 let response = serve_wire(&mut resolver, exchanger.as_mut(), &wire);
+                if let (Some(histogram), Some(started)) = (&latency, started) {
+                    histogram.record(started.elapsed());
+                }
                 match reply {
                     ReplyPath::Udp(peer) => {
                         let bytes = if response.len() > udp_payload_limit {
-                            counters.truncated.fetch_add(1, Ordering::Relaxed);
+                            counters.truncated.inc();
                             truncate_for_udp(&wire)
                         } else {
                             response

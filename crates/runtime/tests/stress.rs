@@ -97,8 +97,17 @@ fn concurrent_clients_lose_nothing_and_shutdown_is_clean() {
     std::thread::sleep(Duration::from_millis(100));
     let later = runtime.stats();
     for (shard, (earlier, after)) in mid.per_shard.iter().zip(&later.per_shard).enumerate() {
+        let earlier = earlier
+            .as_ref()
+            .expect("shard answered mid-flight snapshot");
+        let after = after.as_ref().expect("shard answered later snapshot");
         assert_monotone(earlier, after, shard);
     }
+    assert_eq!(
+        later.unresponsive_shards(),
+        0,
+        "no wedged shards under load"
+    );
 
     for worker in workers {
         worker.join().expect("client thread panicked");
@@ -124,7 +133,11 @@ fn concurrent_clients_lose_nothing_and_shutdown_is_clean() {
         stats.total.serve
     );
     for (shard, snapshot) in stats.per_shard.iter().enumerate() {
-        assert_monotone(&later.per_shard[shard], snapshot, shard);
+        let snapshot = snapshot.as_ref().expect("shard answered final snapshot");
+        let earlier = later.per_shard[shard]
+            .as_ref()
+            .expect("shard answered later snapshot");
+        assert_monotone(earlier, snapshot, shard);
         // Shard-local consistency of the final snapshot.
         assert_eq!(
             snapshot.serve.queries,
@@ -135,6 +148,7 @@ fn concurrent_clients_lose_nothing_and_shutdown_is_clean() {
     let active = stats
         .per_shard
         .iter()
+        .flatten()
         .filter(|s| s.serve.queries > 0)
         .count();
     assert!(active > 1, "{DOMAINS} domains only ever hit {active} shard");

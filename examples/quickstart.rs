@@ -219,7 +219,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let fleet = LoopbackFleet::build(LoopbackConfig::default());
     let shards = fleet.shards(2, PoolConfig::algorithm1(), CacheConfig::default())?;
-    let runtime = PoolRuntime::start(RuntimeConfig::default(), shards)?;
+    let runtime = PoolRuntime::start(
+        RuntimeConfig {
+            stats_bind: Some("127.0.0.1:0".parse()?),
+            ..RuntimeConfig::default()
+        },
+        shards,
+    )?;
     let stub = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr())?;
     for id in 0..10u16 {
         let response = stub.query(&secure_doh::wire::Message::query(
@@ -229,9 +235,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
         assert_eq!(response.answer_addresses().len(), 24);
     }
+
+    // Step 8.5: the observability plane. The runtime exported everything
+    // it just did on its stats listener — scrape it the way a fleet
+    // aggregator (or Prometheus) would and read the counters and the
+    // serving-latency percentiles back out of the text exposition.
+    use secure_doh::metrics::scrape_fleet;
+    let stats_addr = runtime.stats_addr().expect("stats listener bound");
+    let rollup = scrape_fleet(&[stats_addr], std::time::Duration::from_secs(2));
+    let served = rollup
+        .counter_total("sdoh_serve_queries_total")
+        .expect("runtime exports sdoh_serve_queries_total");
+    let latency = rollup
+        .histogram_merged("sdoh_serve_latency_seconds")
+        .expect("runtime exports serve-latency histograms");
+    let (p50, p99, _) = latency.percentiles().expect("non-empty histogram");
+    println!(
+        "\nobservability: /metrics reports {} queries served, \
+         p50 <= {:?}, p99 <= {:?}; /healthz {}",
+        served,
+        p50,
+        p99,
+        if rollup.health[0].healthy == Some(true) {
+            "ready"
+        } else {
+            "unready"
+        }
+    );
+    assert_eq!(served, 10);
+
     let stats = runtime.shutdown();
     println!(
-        "\nreal-socket runtime ({} loopback shards): {} queries, {} generation(s), \
+        "real-socket runtime ({} loopback shards): {} queries, {} generation(s), \
          hit ratio {:.0}%",
         stats.per_shard.len(),
         stats.total.serve.queries,

@@ -121,10 +121,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.truncated_responses,
     );
     for (index, shard) in stats.per_shard.iter().enumerate() {
-        println!(
-            "  shard {index}: {} queries, {} generations, {} cached entries",
-            shard.serve.queries, shard.serve.generations, shard.entries
-        );
+        match shard {
+            Some(shard) => println!(
+                "  shard {index}: {} queries, {} generations, {} cached entries",
+                shard.serve.queries, shard.serve.generations, shard.entries
+            ),
+            None => println!("  shard {index}: unresponsive (snapshot timed out)"),
+        }
     }
     println!(
         "  upstream DoH lookups: {} answered, {} failed",

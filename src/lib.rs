@@ -15,6 +15,7 @@
 //! | [`core`] | secure pool generation (Algorithm 1, majority mode) |
 //! | [`analysis`] | Section III security analysis and Monte-Carlo sweeps |
 //! | [`runtime`] | threaded real-socket Do53 serving runtime |
+//! | [`metrics`] | Prometheus-style registry, exporters, fleet rollups |
 //! | [`scenario`] | ready-made Figure 1 scenarios wiring all of the above |
 
 #![warn(missing_docs)]
@@ -25,6 +26,7 @@ pub use sdoh_core as core;
 pub use sdoh_dns_server as dns;
 pub use sdoh_dns_wire as wire;
 pub use sdoh_doh as doh;
+pub use sdoh_metrics as metrics;
 pub use sdoh_netsim as netsim;
 pub use sdoh_ntp as ntp;
 pub use sdoh_runtime as runtime;

@@ -12,6 +12,7 @@ pub mod observability;
 pub mod offpath;
 pub mod offpath_poisoning;
 pub mod overhead;
+pub mod reconfig;
 pub mod required_fraction;
 pub mod runtime_throughput;
 pub mod time_sync;

@@ -129,11 +129,9 @@ fn start_instance(shards: usize, seed: u64, record_latency: bool) -> Instance {
                 .with_stale_window(Duration::from_secs(3600)),
         )
         .expect("valid configuration");
-    let config = RuntimeConfig {
-        stats_bind: Some("127.0.0.1:0".parse().expect("loopback addr")),
-        record_latency,
-        ..RuntimeConfig::default()
-    };
+    let config = RuntimeConfig::default()
+        .with_stats_bind(Some("127.0.0.1:0".parse().expect("loopback addr")))
+        .with_record_latency(record_latency);
     let runtime = PoolRuntime::start(config, shard_set).expect("bind loopback");
     let domains = fleet.domains.clone();
     Instance {

@@ -16,8 +16,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use sdoh_core::{CacheConfig, CachingPoolResolver, PoolConfig};
+use sdoh_core::{CacheConfig, CachingPoolResolver, PoolConfig, ServeConfig};
 use sdoh_dns_server::{ClientExchanger, HardeningConfig, ResolveError, StubResolver};
+use sdoh_dns_wire::Ttl;
 use sdoh_netsim::LinkConfig;
 use sdoh_ntp::{
     ChronosClient, ChronosConfig, ConsensusFrontEnd, LocalClock, NtpClient, SecureTimeClient,
@@ -170,7 +171,10 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
     scenario.install_ntp_fleet(NtpFleetConfig::default());
 
     let cache_config = CacheConfig::default();
-    let max_cache_age = cache_config.ttl.as_duration() + cache_config.stale_window;
+    // Widened by every Reconfigure fault: a served entry may be as old as
+    // the *maximum* TTL + stale horizon any applied epoch allowed.
+    let mut max_cache_age = cache_config.ttl.as_duration() + cache_config.stale_window;
+    let mut serve_config = Arc::new(ServeConfig::new(cache_config).expect("default is valid"));
     let frontend: Option<Arc<Mutex<CachingPoolResolver>>> = match config.stack {
         StackKind::Hardened => Some(
             scenario
@@ -238,6 +242,9 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
                 &mut local_clock,
                 &mut current_default,
                 INFLATE_ADDRESSES,
+                frontend.as_ref(),
+                &mut serve_config,
+                &mut max_cache_age,
             );
             *applied.entry(fault.label()).or_insert(0) += 1;
             trace.push(TraceEvent {
@@ -341,13 +348,18 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
 }
 
 /// Applies one fault to the running scenario through the simulator's own
-/// boundaries (links, service registry, adversary slot, clocks).
+/// boundaries (links, service registry, adversary slot, clocks, the serve
+/// config epoch).
+#[allow(clippy::too_many_arguments)]
 fn apply_fault(
     scenario: &Scenario,
     fault: &Fault,
     local_clock: &mut LocalClock,
     current_default: &mut LinkConfig,
     inflate_addresses: usize,
+    frontend: Option<&Arc<Mutex<CachingPoolResolver>>>,
+    serve_config: &mut Arc<ServeConfig>,
+    max_cache_age: &mut Duration,
 ) {
     match fault {
         Fault::DegradeLinks {
@@ -422,6 +434,23 @@ fn apply_fault(
         Fault::ClockDrift { rate_ppm } => {
             scenario.net.clock().set_drift(*rate_ppm as f64 * 1e-6);
         }
+        Fault::Reconfigure {
+            ttl_secs,
+            stale_secs,
+        } => {
+            // Weak baseline: no serving cache to retune — a recorded no-op.
+            if let Some(frontend) = frontend {
+                let cache = CacheConfig::default()
+                    .with_ttl(Ttl::from_secs(*ttl_secs as u32))
+                    .with_stale_window(Duration::from_secs(*stale_secs));
+                let next = Arc::new(serve_config.next(cache).expect("generated knobs are valid"));
+                frontend
+                    .lock()
+                    .apply_config(next.clone(), scenario.net.now());
+                *serve_config = next;
+                *max_cache_age = (*max_cache_age).max(cache.ttl.as_duration() + cache.stale_window);
+            }
+        }
     }
 }
 
@@ -450,6 +479,48 @@ mod tests {
         assert!(report.syncs >= 2);
         assert!(report.max_abs_offset_after_sync < 1.0);
         assert!(report.faults_applied.is_empty());
+    }
+
+    #[test]
+    fn reconfigure_faults_keep_the_hardened_stack_clean() {
+        // Epoch switches mid-campaign: cached entries survive, the age
+        // bound widens to the maximum applied horizon, and the guarantee
+        // monitor stays clean throughout.
+        let mut config = CampaignConfig::hardened(21, 150);
+        config.fault_mix = FaultMix::calm();
+        config.fault_mix.reconfigure = 0.15;
+        let report = run_campaign(&config);
+        assert!(report.ready, "violations: {:?}", report.violations);
+        assert_eq!(report.total_violations, 0);
+        let applied = report
+            .faults_applied
+            .get("reconfigure")
+            .copied()
+            .unwrap_or(0);
+        assert!(applied > 0, "no reconfigure fault fired: {report:?}");
+    }
+
+    #[test]
+    fn reconfigure_is_a_noop_on_the_weak_baseline() {
+        // The weak baseline has no serving cache: the fault is applied
+        // (and counted) but changes nothing, and the campaign still runs
+        // to completion deterministically.
+        let mut config = CampaignConfig::weak_baseline(22, 80);
+        config.fault_mix = FaultMix::calm();
+        config.fault_mix.reconfigure = 0.2;
+        let first = run_campaign(&config);
+        let second = run_campaign(&config);
+        assert!(
+            first
+                .faults_applied
+                .get("reconfigure")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        assert_eq!(first.queries_issued, second.queries_issued);
+        assert_eq!(first.total_violations, second.total_violations);
+        assert_eq!(first.trace.len(), second.trace.len());
     }
 
     #[test]

@@ -102,6 +102,17 @@ pub enum Fault {
         /// Signed drift rate in ppm.
         rate_ppm: i64,
     },
+    /// Publish a new serving-config epoch on the caching front end: the
+    /// TTL and stale window change mid-campaign while cached entries stay
+    /// put. The invariant monitor's age bound widens to the maximum
+    /// horizon any applied epoch allowed. A no-op on the weak baseline,
+    /// which has no serving cache to retune.
+    Reconfigure {
+        /// New pool TTL in seconds.
+        ttl_secs: u64,
+        /// New stale window in seconds.
+        stale_secs: u64,
+    },
 }
 
 impl Fault {
@@ -121,6 +132,7 @@ impl Fault {
             Fault::ClockStep { .. } => "clock_step",
             Fault::TimeJump { .. } => "time_jump",
             Fault::ClockDrift { .. } => "clock_drift",
+            Fault::Reconfigure { .. } => "reconfigure",
         }
     }
 
@@ -154,6 +166,10 @@ impl Fault {
                     format!("drift simulated clock at {rate_ppm:+} ppm")
                 }
             }
+            Fault::Reconfigure {
+                ttl_secs,
+                stale_secs,
+            } => format!("reconfigure serving: ttl={ttl_secs}s stale_window={stale_secs}s"),
         }
     }
 }
@@ -190,6 +206,8 @@ pub struct FaultMix {
     pub time_jump: f64,
     /// Start a simulated clock-drift window.
     pub drift: f64,
+    /// One-shot serving-config epoch switch (TTL / stale window).
+    pub reconfigure: f64,
 }
 
 impl FaultMix {
@@ -206,6 +224,7 @@ impl FaultMix {
             clock_step: 0.01,
             time_jump: 0.005,
             drift: 0.01,
+            reconfigure: 0.01,
         }
     }
 
@@ -221,6 +240,7 @@ impl FaultMix {
             clock_step: 0.0,
             time_jump: 0.0,
             drift: 0.0,
+            reconfigure: 0.0,
         }
     }
 }
@@ -249,6 +269,7 @@ impl FaultPlan {
         let mut incident_rng = master.fork("chaos-incidents");
         let mut spoofer_rng = master.fork("chaos-spoofer");
         let mut clock_rng = master.fork("chaos-clock");
+        let mut reconfig_rng = master.fork("chaos-reconfig");
 
         let mut events = Vec::new();
         // Window-end faults pending at a future step; drained (in insertion
@@ -372,6 +393,19 @@ impl FaultPlan {
                     .push(Fault::ClockDrift { rate_ppm: 0 });
                 drift_until = Some(end);
             }
+            if reconfig_rng.chance(mix.reconfigure) {
+                // One-shot epoch switches; horizons from a 5 s hard TTL to
+                // a 10 s TTL with a two-minute stale tail.
+                let ttl_secs = reconfig_rng.range_u64(5, 121);
+                let stale_secs = reconfig_rng.range_u64(0, 121);
+                events.push(FaultEvent {
+                    step,
+                    fault: Fault::Reconfigure {
+                        ttl_secs,
+                        stale_secs,
+                    },
+                });
+            }
         }
 
         FaultPlan { events }
@@ -474,6 +508,7 @@ mod tests {
             "clock_step",
             "time_jump",
             "clock_drift",
+            "reconfigure",
         ] {
             assert!(counts.contains_key(label), "missing {label}: {counts:?}");
         }

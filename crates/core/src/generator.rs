@@ -125,6 +125,36 @@ impl SecurePoolGenerator {
         &self.config
     }
 
+    /// Replaces the upstream resolver set on a live generator — the
+    /// operational response to a compromised or retired resolver. The new
+    /// set takes effect from the next generation; in-flight sessions
+    /// (which borrow the old sources) are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::NoResolvers`] for an empty set, leaving the
+    /// current set in place.
+    pub fn replace_sources(&mut self, sources: Vec<Box<dyn AddressSource>>) -> PoolResult<()> {
+        if sources.is_empty() {
+            return Err(PoolError::NoResolvers);
+        }
+        self.sources = sources;
+        Ok(())
+    }
+
+    /// Replaces the pool-generation configuration on a live generator,
+    /// validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of [`PoolConfig::validate`], leaving
+    /// the current configuration in place.
+    pub fn set_config(&mut self, config: PoolConfig) -> PoolResult<()> {
+        config.validate()?;
+        self.config = config;
+        Ok(())
+    }
+
     /// Number of configured resolvers (`N` in the paper's analysis).
     pub fn resolver_count(&self) -> usize {
         self.sources.len()
@@ -407,6 +437,51 @@ mod tests {
             vec![boxed(StaticSource::answering("r", vec![ip(1)]))]
         )
         .is_err());
+    }
+
+    #[test]
+    fn sources_and_config_swap_on_a_live_generator() {
+        let net = SimNet::new(2);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut generator = SecurePoolGenerator::new(
+            PoolConfig::algorithm1(),
+            vec![
+                boxed(StaticSource::answering("old1", vec![ip(1), ip(2)])),
+                boxed(StaticSource::answering("old2", vec![ip(3), ip(4)])),
+            ],
+        )
+        .unwrap();
+        let domain: Name = "pool.ntp.org".parse().unwrap();
+        let before = generator.generate(&mut exchanger, &domain).unwrap();
+        assert_eq!(before.sources[0].0, "old1");
+
+        // Rejections leave the generator untouched.
+        assert!(matches!(
+            generator.replace_sources(vec![]),
+            Err(PoolError::NoResolvers)
+        ));
+        assert_eq!(generator.resolver_count(), 2);
+        assert!(generator
+            .set_config(PoolConfig::algorithm1().with_benign_fraction(2.0))
+            .is_err());
+        assert_eq!(generator.config().min_responses, 1);
+
+        // A valid swap takes effect from the next generation.
+        generator
+            .replace_sources(vec![
+                boxed(StaticSource::answering("new1", vec![ip(5), ip(6)])),
+                boxed(StaticSource::answering("new2", vec![ip(7), ip(8)])),
+                boxed(StaticSource::answering("new3", vec![ip(9), ip(10)])),
+            ])
+            .unwrap();
+        generator
+            .set_config(PoolConfig::algorithm1().with_min_responses(2))
+            .unwrap();
+        assert_eq!(generator.resolver_count(), 3);
+        let after = generator.generate(&mut exchanger, &domain).unwrap();
+        assert_eq!(after.sources.len(), 3);
+        assert_eq!(after.sources[0].0, "new1");
+        assert_eq!(after.pool.len(), 6);
     }
 
     #[test]

@@ -199,9 +199,10 @@ pub use lookup::{ResolverMetrics, SecurePoolResolver};
 pub use majority::{majority_vote, meets_threshold, support_counts};
 pub use pool::{AddressPool, PoolEntry};
 pub use serve::{
-    snapshot_samples, AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup,
-    CachingPoolResolver, EntryState, PoolCache, PoolKey, RefreshScheduler, ResolvedPool,
-    ServeMetrics, ServeSession, ServeSnapshot, Singleflight, SERVE_COUNTER_HELP, SERVE_GAUGE_HELP,
+    snapshot_samples, AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup, CachedPool,
+    CachingPoolResolver, ConfigError, EntryState, PoolCache, PoolKey, RefreshScheduler,
+    ResolvedPool, ServeConfig, ServeMetrics, ServeSession, ServeSnapshot, Singleflight,
+    SERVE_COUNTER_HELP, SERVE_GAUGE_HELP,
 };
 pub use session::{
     drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,

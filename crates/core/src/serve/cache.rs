@@ -23,6 +23,7 @@ use std::time::Duration;
 use sdoh_dns_wire::{Name, Question, RrType, Ttl};
 use sdoh_netsim::SimInstant;
 
+use super::epoch::ConfigError;
 use crate::generator::GenerationReport;
 
 /// The address family of a cached pool — the second half of the cache key.
@@ -87,7 +88,13 @@ impl std::fmt::Display for PoolKey {
 }
 
 /// Configuration of a [`PoolCache`].
+///
+/// Non-exhaustive so future serving knobs aren't breaking changes: build
+/// it from [`CacheConfig::default`] with the `with_*` methods, and gate
+/// hand-rolled values through [`CacheConfig::validate`] (the epoch
+/// constructor [`ServeConfig::new`](super::ServeConfig::new) does).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CacheConfig {
     /// Total number of entries the cache may hold across all shards.
     pub capacity: usize,
@@ -145,6 +152,25 @@ impl CacheConfig {
     pub fn with_negative_ttl(mut self, ttl: impl Into<Ttl>) -> Self {
         self.negative_ttl = ttl.into();
         self
+    }
+
+    /// Rejects configurations that would misbehave at runtime: a cache
+    /// with zero shards or zero capacity cannot hold a single entry.
+    /// ([`PoolCache::new`] historically clamps both to 1; validated
+    /// construction through [`ServeConfig::new`](super::ServeConfig::new)
+    /// errors instead.)
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Zero`] naming the first zero field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::Zero("shards"));
+        }
+        if self.capacity == 0 {
+            return Err(ConfigError::Zero("capacity"));
+        }
+        Ok(())
     }
 }
 
@@ -260,12 +286,23 @@ struct Entry {
 }
 
 impl Entry {
-    /// The instant past which the entry serves no purpose: successful
-    /// generations may still be served through the stale window, negative
-    /// entries die at expiry.
-    fn keep_until(&self, stale_window: Duration) -> SimInstant {
+    /// The instant past which the entry serves no purpose under the
+    /// **current** config: successful generations may still be served
+    /// through the stale window, negative entries die at expiry.
+    ///
+    /// Stale serving is bounded both by the stamped expiry plus the
+    /// current stale window and by the current `ttl + stale_window`
+    /// horizon measured from generation. For a constant config the two
+    /// bounds coincide (entries are stamped `generated_at + ttl`); across
+    /// a config-epoch change the cap guarantees nothing is ever served
+    /// older than the **maximum** of the old and new horizons.
+    fn keep_until(&self, config: &CacheConfig) -> SimInstant {
         if self.value.is_ok() {
-            self.expires_at.saturating_add(stale_window)
+            let by_stamp = self.expires_at.saturating_add(config.stale_window);
+            let by_horizon = self
+                .generated_at
+                .saturating_add(config.ttl.as_duration() + config.stale_window);
+            by_stamp.min(by_horizon)
         } else {
             self.expires_at
         }
@@ -351,7 +388,7 @@ impl PoolCache {
     pub fn get(&mut self, key: &PoolKey, now: SimInstant) -> CacheLookup {
         self.tick += 1;
         let tick = self.tick;
-        let stale_window = self.config.stale_window;
+        let config = self.config;
         let shard = self.shard_index(key);
         let entry = match self.shards[shard].entries.get_mut(key) {
             Some(entry) => entry,
@@ -370,8 +407,7 @@ impl PoolCache {
             self.metrics.hits += 1;
             return CacheLookup::Fresh(cached);
         }
-        let serve_stale =
-            entry.value.is_ok() && now < entry.expires_at.saturating_add(stale_window);
+        let serve_stale = entry.value.is_ok() && now < entry.keep_until(&config);
         if serve_stale {
             entry.last_used = tick;
             self.metrics.stale_hits += 1;
@@ -403,7 +439,7 @@ impl PoolCache {
     /// iterate in a process-random order. This is the invariant surface
     /// chaos campaigns monitor after every step.
     pub fn probe(&self, now: SimInstant) -> Vec<CacheEntryProbe> {
-        let stale_window = self.config.stale_window;
+        let config = self.config;
         let mut probes: Vec<CacheEntryProbe> = self
             .shards
             .iter()
@@ -411,7 +447,7 @@ impl PoolCache {
             .map(|(key, entry)| {
                 let state = if now < entry.expires_at {
                     EntryState::Fresh
-                } else if entry.value.is_ok() && now < entry.keep_until(stale_window) {
+                } else if entry.value.is_ok() && now < entry.keep_until(&config) {
                     EntryState::Stale
                 } else {
                     EntryState::Dead
@@ -473,7 +509,7 @@ impl PoolCache {
     /// preferring an entry already past any use over the least recently
     /// used one.
     fn evict_one(&mut self, scope: Option<usize>, now: SimInstant) {
-        let stale_window = self.config.stale_window;
+        let config = self.config;
         let shards: Vec<usize> = match scope {
             Some(shard) => vec![shard],
             None => (0..self.shards.len()).collect(),
@@ -482,7 +518,7 @@ impl PoolCache {
         let mut lru: Option<(u64, usize, PoolKey)> = None;
         'shards: for &shard in &shards {
             for (key, entry) in &self.shards[shard].entries {
-                if now >= entry.keep_until(stale_window) {
+                if now >= entry.keep_until(&config) {
                     dead = Some((shard, key.clone()));
                     break 'shards;
                 }
@@ -498,6 +534,95 @@ impl PoolCache {
         }
     }
 
+    /// Adopts a new config epoch's knobs **in place**: TTL, stale window,
+    /// negative TTL and capacity change for every subsequent operation
+    /// while each cached entry keeps the expiry it was stamped with at
+    /// insert (stale serving of old entries is additionally capped by the
+    /// new `ttl + stale_window` horizon — see `Entry::keep_until`).
+    ///
+    /// The shard count is structural (entries were hashed onto shards at
+    /// insert), so `config.shards` is overridden with the built value.
+    /// When the capacity shrank, surplus entries are evicted immediately,
+    /// dead entries first.
+    pub fn apply_config(&mut self, mut config: CacheConfig, now: SimInstant) {
+        config.shards = self.shards.len();
+        self.capacity = config.capacity.max(1);
+        self.per_shard_capacity = self.capacity.div_ceil(self.shards.len());
+        self.config = config;
+        while self.len() > self.capacity {
+            self.evict_one(None, now);
+        }
+    }
+
+    /// Removes and returns every entry whose key matches `predicate`,
+    /// with its generation/expiry stamps intact — the extraction half of
+    /// a shard-rescale cache handoff. Results are sorted by key so a
+    /// handoff is deterministic across processes. Touches neither LRU
+    /// state nor the lookup counters.
+    pub fn extract_matching(
+        &mut self,
+        mut predicate: impl FnMut(&PoolKey) -> bool,
+    ) -> Vec<(PoolKey, CachedPool)> {
+        let mut extracted = Vec::new();
+        for shard in &mut self.shards {
+            let keys: Vec<PoolKey> = shard
+                .entries
+                .keys()
+                .filter(|key| predicate(key))
+                .cloned()
+                .collect();
+            for key in keys {
+                if let Some(entry) = shard.entries.remove(&key) {
+                    extracted.push((
+                        key,
+                        CachedPool {
+                            value: entry.value,
+                            generated_at: entry.generated_at,
+                            expires_at: entry.expires_at,
+                        },
+                    ));
+                }
+            }
+        }
+        extracted.sort_by_key(|(key, _)| key.to_string());
+        extracted
+    }
+
+    /// Installs an entry extracted from another cache, **preserving** its
+    /// original generation and expiry stamps — the receiving half of a
+    /// shard-rescale handoff. Returns `false` (dropping the entry) when
+    /// it is already past every serving window at `now`, or when an
+    /// existing entry for the key is at least as fresh — so a key is
+    /// never owned by two entries and a handoff never clobbers a newer
+    /// generation. Capacity bounds are enforced exactly as on insert.
+    pub fn install(&mut self, key: PoolKey, cached: CachedPool, now: SimInstant) -> bool {
+        self.tick += 1;
+        let entry = Entry {
+            value: cached.value,
+            generated_at: cached.generated_at,
+            expires_at: cached.expires_at,
+            last_used: self.tick,
+        };
+        if now >= entry.keep_until(&self.config) {
+            return false;
+        }
+        let shard_index = self.shard_index(&key);
+        match self.shards[shard_index].entries.get(&key) {
+            Some(existing) if existing.expires_at >= entry.expires_at => return false,
+            Some(_) => {}
+            None => {
+                if self.len() >= self.capacity {
+                    self.evict_one(None, now);
+                } else if self.shards[shard_index].entries.len() >= self.per_shard_capacity {
+                    self.evict_one(Some(shard_index), now);
+                }
+            }
+        }
+        self.shards[shard_index].entries.insert(key, entry);
+        self.metrics.insertions += 1;
+        true
+    }
+
     /// Removes the entry for `key`, returning whether one existed.
     pub fn invalidate(&mut self, key: &PoolKey) -> bool {
         let shard = self.shard_index(key);
@@ -507,13 +632,11 @@ impl PoolCache {
     /// Drops every entry that is past its stale window at `now`; returns
     /// how many were dropped.
     pub fn purge_expired(&mut self, now: SimInstant) -> usize {
-        let stale_window = self.config.stale_window;
+        let config = self.config;
         let mut dropped = 0;
         for shard in &mut self.shards {
             let before = shard.entries.len();
-            shard
-                .entries
-                .retain(|_, e| now < e.keep_until(stale_window));
+            shard.entries.retain(|_, e| now < e.keep_until(&config));
             dropped += before - shard.entries.len();
         }
         self.metrics.expirations += dropped as u64;
@@ -760,6 +883,129 @@ mod tests {
         let mut cache = PoolCache::new(test_config().with_negative_ttl(Ttl::ZERO));
         cache.insert(key("a.test"), Err("boom".into()), at(0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn apply_config_retunes_knobs_without_touching_entries() {
+        let mut cache = PoolCache::new(test_config());
+        cache.insert(key("pool.ntp.org"), Ok(report(1)), at(0));
+        let stamped = cache.peek(&key("pool.ntp.org")).unwrap().expires_at;
+
+        // New epoch: longer stale window, same TTL. The entry keeps its
+        // stamped expiry but the new stale window applies to it at once.
+        cache.apply_config(
+            test_config().with_stale_window(Duration::from_secs(90)),
+            at(10),
+        );
+        assert_eq!(
+            cache.peek(&key("pool.ntp.org")).unwrap().expires_at,
+            stamped
+        );
+        match cache.get(&key("pool.ntp.org"), at(100)) {
+            CacheLookup::Stale(_) => {}
+            other => panic!("stale under the widened window, got {other:?}"),
+        }
+        // Shards are structural: the override never changes the count.
+        cache.apply_config(test_config().with_shards(99), at(10));
+        assert_eq!(cache.shard_count(), 8);
+        assert_eq!(cache.config().shards, 8);
+    }
+
+    #[test]
+    fn apply_config_shrinking_capacity_evicts_immediately() {
+        let config = test_config().with_capacity(8).with_shards(1);
+        let mut cache = PoolCache::new(config);
+        for i in 0..8 {
+            cache.insert(key(&format!("host{i}.test")), Ok(report(1)), at(0));
+        }
+        cache.apply_config(test_config().with_capacity(3).with_shards(1), at(1));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.metrics().evictions, 5);
+        // And the new bound holds for subsequent inserts.
+        cache.insert(key("extra.test"), Ok(report(2)), at(2));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn stale_serving_is_capped_by_the_new_horizon() {
+        // Old epoch: ttl 60, stale 0. New epoch: ttl 1, stale 120. The
+        // naive bound (stamped expiry + new stale) would allow serving an
+        // old entry at age 180 — beyond BOTH epochs' ttl+stale horizons.
+        // The horizon cap limits it to min(60, 1) + 120 = age 121.
+        let mut cache = PoolCache::new(test_config().with_stale_window(Duration::ZERO));
+        cache.insert(key("pool.ntp.org"), Ok(report(1)), at(0));
+        cache.apply_config(
+            test_config()
+                .with_ttl(Ttl::from_secs(1))
+                .with_stale_window(Duration::from_secs(120)),
+            at(30),
+        );
+        match cache.get(&key("pool.ntp.org"), at(59)) {
+            CacheLookup::Fresh(_) => {}
+            other => panic!("still fresh by its stamp, got {other:?}"),
+        }
+        match cache.get(&key("pool.ntp.org"), at(100)) {
+            CacheLookup::Stale(_) => {}
+            other => panic!("within the capped window, got {other:?}"),
+        }
+        assert!(
+            cache.get(&key("pool.ntp.org"), at(122)).is_miss(),
+            "age 122 exceeds the max of the old (60) and new (121) horizons"
+        );
+    }
+
+    #[test]
+    fn extract_and_install_preserve_stamps() {
+        let mut donor = PoolCache::new(test_config());
+        donor.insert(key("a.test"), Ok(report(1)), at(5));
+        donor.insert(key("b.test"), Ok(report(2)), at(10));
+        donor.insert(key("dead.test"), Err("boom".into()), at(0));
+
+        let moved = donor.extract_matching(|k| k.domain.to_string().starts_with('a'));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(donor.len(), 2);
+
+        let mut receiver = PoolCache::new(test_config());
+        for (k, cached) in moved {
+            assert!(receiver.install(k, cached, at(20)));
+        }
+        let adopted = receiver.peek(&key("a.test")).unwrap();
+        assert_eq!(adopted.generated_at, at(5));
+        assert_eq!(adopted.expires_at, at(65), "expiry stamp preserved");
+
+        // Installing a dead entry is refused...
+        let all = donor.extract_matching(|_| true);
+        assert_eq!(all.len(), 2);
+        assert!(donor.is_empty());
+        let (dead_key, dead) = all
+            .iter()
+            .find(|(k, _)| k.domain.to_string().starts_with("dead"))
+            .cloned()
+            .unwrap();
+        assert!(!receiver.install(dead_key.clone(), dead, at(20)));
+        assert!(receiver.peek(&dead_key).is_none());
+
+        // ...and so is clobbering an at-least-as-fresh existing entry.
+        let stale_twin = CachedPool {
+            value: Ok(report(9)),
+            generated_at: at(0),
+            expires_at: at(60),
+        };
+        assert!(!receiver.install(key("a.test"), stale_twin, at(20)));
+        assert_eq!(receiver.peek(&key("a.test")).unwrap().expires_at, at(65));
+    }
+
+    #[test]
+    fn validate_rejects_zero_structural_knobs() {
+        assert_eq!(
+            test_config().with_shards(0).validate(),
+            Err(ConfigError::Zero("shards"))
+        );
+        assert_eq!(
+            test_config().with_capacity(0).validate(),
+            Err(ConfigError::Zero("capacity"))
+        );
+        assert_eq!(test_config().validate(), Ok(()));
     }
 
     #[test]

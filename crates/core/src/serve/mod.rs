@@ -30,6 +30,7 @@
 //! [`GenerationReport`]: crate::GenerationReport
 
 mod cache;
+mod epoch;
 mod refresh;
 mod resolver;
 mod samples;
@@ -40,6 +41,7 @@ pub use cache::{
     AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup, CacheMetrics, CachedPool, EntryState,
     PoolCache, PoolKey,
 };
+pub use epoch::{ConfigError, ServeConfig};
 pub use refresh::{RefreshScheduler, RefreshTask};
 pub use resolver::{CachingPoolResolver, ResolvedPool, ServeMetrics, ServeSnapshot};
 pub use samples::{snapshot_samples, SERVE_COUNTER_HELP, SERVE_GAUGE_HELP};

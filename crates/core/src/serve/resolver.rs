@@ -20,12 +20,14 @@
 //! is served.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use sdoh_dns_server::{Exchanger, QueryHandler};
 use sdoh_dns_wire::{Message, Question, Rcode, Ttl};
 
-use super::cache::{CacheConfig, CacheLookup, CacheMetrics, PoolCache, PoolKey};
+use super::cache::{CacheConfig, CacheLookup, CacheMetrics, CachedPool, PoolCache, PoolKey};
+use super::epoch::ServeConfig;
 use super::refresh::RefreshScheduler;
 use super::session::{drive_serve, ServeSession};
 use super::singleflight::Singleflight;
@@ -238,6 +240,7 @@ pub struct CachingPoolResolver {
     cache: PoolCache,
     refresh: RefreshScheduler,
     metrics: ServeMetrics,
+    serve_config: Arc<ServeConfig>,
 }
 
 impl CachingPoolResolver {
@@ -248,12 +251,72 @@ impl CachingPoolResolver {
             cache: PoolCache::new(config),
             refresh: RefreshScheduler::new(),
             metrics: ServeMetrics::default(),
+            serve_config: Arc::new(ServeConfig::initial(config)),
         }
+    }
+
+    /// Adopts a new config epoch: the cache knobs are retuned at once (see
+    /// [`PoolCache::apply_config`] — entries keep their stamps, stale
+    /// serving stays bounded by the max of the old and new horizons) and
+    /// the epoch becomes this resolver's [`current_epoch`].
+    ///
+    /// This is the per-shard half of hot reconfiguration: a control plane
+    /// validates the new knobs once into an `Arc<ServeConfig>` and hands
+    /// the same `Arc` to every shard's resolver through its work queue.
+    ///
+    /// [`current_epoch`]: CachingPoolResolver::current_epoch
+    pub fn apply_config(&mut self, config: Arc<ServeConfig>, now: SimInstant) {
+        self.cache.apply_config(*config.cache(), now);
+        self.serve_config = config;
+    }
+
+    /// The epoch number of the config this resolver last adopted (0 until
+    /// the first [`apply_config`](CachingPoolResolver::apply_config)).
+    pub fn current_epoch(&self) -> u64 {
+        self.serve_config.epoch()
+    }
+
+    /// The config epoch this resolver currently serves under.
+    pub fn serve_config(&self) -> &Arc<ServeConfig> {
+        &self.serve_config
     }
 
     /// Access to the underlying generator.
     pub fn generator(&self) -> &SecurePoolGenerator {
         &self.generator
+    }
+
+    /// Mutable access to the underlying generator — how a control plane
+    /// swaps the upstream resolver set or the pool-generation config on a
+    /// live shard (see [`SecurePoolGenerator::replace_sources`] and
+    /// [`SecurePoolGenerator::set_config`]).
+    pub fn generator_mut(&mut self) -> &mut SecurePoolGenerator {
+        &mut self.generator
+    }
+
+    /// Removes and returns every cache entry whose key matches `predicate`,
+    /// with generation/expiry stamps intact, cancelling any queued refresh
+    /// for a moved key (its new owner will re-queue one on its own stale
+    /// serve). The handoff half of a live shard rescale: a retiring shard
+    /// extracts the entries it no longer owns and forwards them to their
+    /// new owners for [`install_entry`](CachingPoolResolver::install_entry).
+    pub fn extract_entries(
+        &mut self,
+        predicate: impl FnMut(&PoolKey) -> bool,
+    ) -> Vec<(PoolKey, CachedPool)> {
+        let moved = self.cache.extract_matching(predicate);
+        for (key, _) in &moved {
+            self.refresh.cancel(key);
+        }
+        moved
+    }
+
+    /// Adopts an entry handed off by another shard (see
+    /// [`PoolCache::install`]): stamps are preserved, dead-on-arrival
+    /// entries are dropped, and an existing at-least-as-fresh entry wins.
+    /// Returns whether the entry was installed.
+    pub fn install_entry(&mut self, key: PoolKey, cached: CachedPool, now: SimInstant) -> bool {
+        self.cache.install(key, cached, now)
     }
 
     /// Access to the pool cache (diagnostics and tests).
@@ -451,6 +514,7 @@ impl CachingPoolResolver {
             cache,
             metrics,
             refresh,
+            serve_config: _,
         } = self;
         let keys: Vec<PoolKey> = batch.iter().map(|(key, _)| key.clone()).collect();
         let outcome = ServeSession::new(generator, batch).and_then(|mut session| {
@@ -984,6 +1048,63 @@ mod tests {
         assert_eq!(probes[0].state, super::super::EntryState::Fresh);
         assert!(!probes[0].negative);
         assert!(probes[0].age <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn apply_config_retunes_a_live_resolver() {
+        let net = SimNet::new(96);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut resolver = resolver(test_config());
+        assert_eq!(resolver.current_epoch(), 0);
+        resolver.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+
+        // New epoch: widen the stale window. The already-cached entry is
+        // untouched but the new window applies to it immediately.
+        let next = ServeConfig::initial(test_config())
+            .next(test_config().with_stale_window(Duration::from_secs(300)))
+            .unwrap();
+        resolver.apply_config(Arc::new(next), net.now());
+        assert_eq!(resolver.current_epoch(), 1);
+        assert_eq!(
+            resolver.serve_config().cache().stale_window,
+            Duration::from_secs(300)
+        );
+
+        // Age 100 was past the old stale horizon (60+30); under the new
+        // epoch it is a stale serve — no generation on the query path.
+        net.clock().advance(Duration::from_secs(100));
+        let stale = resolver.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        assert!(stale.answers.iter().all(|r| r.ttl == 0));
+        assert_eq!(resolver.metrics().stale_serves, 1);
+        assert_eq!(resolver.metrics().generations, 1);
+    }
+
+    #[test]
+    fn extracted_entries_install_on_a_new_owner() {
+        let net = SimNet::new(97);
+        let mut exchanger = ClientExchanger::new(&net, SimAddr::v4(10, 0, 0, 1, 40000));
+        let mut donor = resolver(test_config());
+        donor.handle_query(&mut exchanger, &query(1, "pool.ntp.org"));
+        // Queue a refresh on the donor so the handoff has one to cancel.
+        net.clock().advance(Duration::from_secs(75));
+        donor.handle_query(&mut exchanger, &query(2, "pool.ntp.org"));
+        assert_eq!(donor.pending_refreshes(), 1);
+
+        let moved = donor.extract_entries(|_| true);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(donor.cache().len(), 0);
+        assert_eq!(donor.pending_refreshes(), 0, "refresh moved with the key");
+
+        let mut receiver = resolver(test_config());
+        for (key, cached) in moved {
+            assert!(receiver.install_entry(key, cached, net.now()));
+        }
+        // The receiver serves the handed-off entry (stale at this age)
+        // without a generation of its own.
+        let served = receiver.handle_query(&mut exchanger, &query(3, "pool.ntp.org"));
+        assert_eq!(served.answer_addresses().len(), 6);
+        assert_eq!(receiver.metrics().generations, 0);
+        assert_eq!(receiver.metrics().stale_serves, 1);
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! The runtime control plane: [`ControlHandle`], [`ConfigDelta`] and live
+//! shard rescale.
+//!
+//! A running [`PoolRuntime`](crate::PoolRuntime) hands out a cloneable
+//! [`ControlHandle`]. [`ControlHandle::apply`] turns a [`ConfigDelta`]
+//! into the next validated [`ServeConfig`] epoch and fans it to every
+//! shard worker **through the worker's existing work queue** — the same
+//! FIFO its queries arrive on, so the epoch switch happens-after every
+//! query already accepted under the old epoch and no lock is added to the
+//! serving path. Each worker acks the epoch number into its own atomic
+//! slot in its next loop iteration; the `/metrics` gauges
+//! `sdoh_config_epoch` and `sdoh_shard_acked_epoch{shard}` expose the
+//! propagation, and [`ControlHandle::wait_for_epoch`] blocks on it.
+//!
+//! [`ControlHandle::rescale`] changes the number of serving shards while
+//! queries keep flowing. Growing publishes the widened route table and
+//! then has the pre-existing workers extract every cache entry the new
+//! hash ring assigns elsewhere and forward it to its new owner
+//! (stamps intact — see [`PoolCache::install`](sdoh_core::PoolCache::install)).
+//! Shrinking publishes the truncated table *first*, so retiring workers
+//! stop receiving new queries, then tells them to hand every entry to its
+//! surviving owner. A retiring worker never just exits: it lingers in
+//! retired mode, still answering any stray query an in-flight dispatcher
+//! raced onto its queue (immediately forwarding whatever that generated),
+//! and terminates only when the last sender to its queue is dropped — so
+//! a rescale drops **zero** queries by construction.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sdoh_core::{
+    AddressSource, CacheConfig, CacheEntryProbe, ConfigError, PoolConfig, PoolKey, ServeConfig,
+};
+
+use crate::runtime::{spawn_worker, Shard, WorkItem, WorkerContext};
+
+/// Builds one shard's upstream source set, by shard index — how a
+/// [`ConfigDelta`] carries a new resolver set to N workers when
+/// [`AddressSource`]s are not cloneable (each worker needs its own
+/// exchanger-bound instances).
+pub type SourceFactory = Arc<dyn Fn(usize) -> Vec<Box<dyn AddressSource>> + Send + Sync>;
+
+/// A requested change to the live serving configuration: the fields to
+/// change, everything else carried over from the current epoch. Applied
+/// with [`ControlHandle::apply`].
+#[derive(Clone, Default)]
+#[non_exhaustive]
+pub struct ConfigDelta {
+    pub(crate) cache: Option<CacheConfig>,
+    pub(crate) pool: Option<PoolConfig>,
+    pub(crate) sources: Option<SourceFactory>,
+}
+
+impl ConfigDelta {
+    /// An empty delta (applying it still advances the epoch).
+    pub fn new() -> Self {
+        ConfigDelta::default()
+    }
+
+    /// Replace the cache/serving knobs (TTL, stale window, negative TTL,
+    /// capacity).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Replace the pool-generation configuration (combination mode,
+    /// hardening knobs, `min_responses`, …).
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Replace the upstream resolver set. The factory is called once per
+    /// shard with the shard index and must return a non-empty set; a shard
+    /// handed an empty set keeps its current sources.
+    pub fn with_sources(mut self, sources: SourceFactory) -> Self {
+        self.sources = Some(sources);
+        self
+    }
+}
+
+impl std::fmt::Debug for ConfigDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConfigDelta")
+            .field("cache", &self.cache)
+            .field("pool", &self.pool)
+            .field("sources", &self.sources.as_ref().map(|_| "<factory>"))
+            .finish()
+    }
+}
+
+/// Receipt of an accepted control operation: the epoch the fleet is
+/// converging to and the shard count it was fanned out to. Workers ack
+/// asynchronously — observe propagation via
+/// [`ControlHandle::acked_epochs`] / [`ControlHandle::wait_for_epoch`] or
+/// the `sdoh_shard_acked_epoch` gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EpochReceipt {
+    /// The newly published epoch number.
+    pub epoch: u64,
+    /// Shards the epoch was fanned out to.
+    pub shards: usize,
+}
+
+/// The epoch fan-out order a worker receives over its queue.
+pub(crate) struct EpochOrder {
+    pub(crate) config: Arc<ServeConfig>,
+    pub(crate) pool: Option<PoolConfig>,
+    pub(crate) sources: Option<SourceFactory>,
+}
+
+/// The live routing table: one sender plus one acked-epoch slot per shard,
+/// in shard order.
+pub(crate) struct RouteTable {
+    pub(crate) senders: Vec<mpsc::Sender<WorkItem>>,
+    pub(crate) acked: Vec<Arc<AtomicU64>>,
+}
+
+/// Shared routing state. The dispatcher keeps a local copy of the senders
+/// and re-reads the table only when the version counter moved — the hot
+/// path costs one relaxed atomic load per packet, never a lock.
+pub(crate) struct RouteState {
+    pub(crate) version: AtomicU64,
+    pub(crate) table: Mutex<RouteTable>,
+}
+
+impl RouteState {
+    pub(crate) fn new(table: RouteTable) -> RouteState {
+        RouteState {
+            version: AtomicU64::new(0),
+            table: Mutex::new(table),
+        }
+    }
+
+    /// A snapshot of the current senders.
+    pub(crate) fn senders(&self) -> Vec<mpsc::Sender<WorkItem>> {
+        self.table.lock().senders.clone()
+    }
+
+    /// Swaps in a new table and bumps the version so dispatchers reload.
+    pub(crate) fn publish(&self, table: RouteTable) {
+        *self.table.lock() = table;
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// How long a rescale waits for the handoff acknowledgements of the
+/// pre-existing workers before returning anyway (the handoff itself has
+/// completed or will complete; only the confirmation is late).
+const RESCALE_TIMEOUT: Duration = Duration::from_secs(10);
+
+pub(crate) struct ControlInner {
+    pub(crate) routes: Arc<RouteState>,
+    pub(crate) config: Mutex<Arc<ServeConfig>>,
+    pub(crate) epoch: Arc<AtomicU64>,
+    /// Serializes apply/rescale against each other (never against serving).
+    op_lock: Mutex<()>,
+    pub(crate) ctx: WorkerContext,
+    pub(crate) worker_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The control plane of a running [`PoolRuntime`](crate::PoolRuntime):
+/// hot reconfiguration ([`ControlHandle::apply`]) and live shard rescale
+/// ([`ControlHandle::rescale`]). Cloneable and `Send` — hold it on an
+/// operator thread while the runtime serves. See the module docs for the
+/// propagation model.
+#[derive(Clone)]
+pub struct ControlHandle {
+    pub(crate) inner: Arc<ControlInner>,
+}
+
+impl ControlHandle {
+    pub(crate) fn new(
+        routes: Arc<RouteState>,
+        config: Arc<ServeConfig>,
+        ctx: WorkerContext,
+        worker_handles: Vec<JoinHandle<()>>,
+    ) -> ControlHandle {
+        ControlHandle {
+            inner: Arc::new(ControlInner {
+                routes,
+                epoch: Arc::new(AtomicU64::new(config.epoch())),
+                config: Mutex::new(config),
+                op_lock: Mutex::new(()),
+                ctx,
+                worker_handles: Mutex::new(worker_handles),
+            }),
+        }
+    }
+
+    /// The currently published config epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// The currently published serving configuration.
+    pub fn current_config(&self) -> Arc<ServeConfig> {
+        self.inner.config.lock().clone()
+    }
+
+    /// The epoch each shard last acked, in shard order. A shard whose
+    /// entry lags [`ControlHandle::current_epoch`] has not yet processed
+    /// the fan-out item in its queue.
+    pub fn acked_epochs(&self) -> Vec<u64> {
+        self.inner
+            .routes
+            .table
+            .lock()
+            .acked
+            .iter()
+            .map(|slot| slot.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Number of serving shards currently routed to.
+    pub fn shard_count(&self) -> usize {
+        self.inner.routes.table.lock().senders.len()
+    }
+
+    /// Blocks until every shard has acked at least `epoch` (true) or the
+    /// timeout passed (false).
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let acked = self.acked_epochs();
+            if !acked.is_empty() && acked.iter().all(|&e| e >= epoch) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Publishes the next config epoch carrying `delta` and fans it to
+    /// every shard through its work queue. Returns immediately with the
+    /// receipt; workers adopt the epoch in their next loop iteration
+    /// (observe via [`ControlHandle::wait_for_epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] of validating the delta's cache or pool
+    /// configuration; nothing is published on error.
+    pub fn apply(&self, delta: ConfigDelta) -> Result<EpochReceipt, ConfigError> {
+        let _op = self.inner.op_lock.lock();
+        if let Some(pool) = &delta.pool {
+            pool.validate().map_err(|err| ConfigError::Invalid {
+                field: "pool",
+                reason: err.to_string(),
+            })?;
+        }
+        let current = self.current_config();
+        let cache = delta.cache.unwrap_or(*current.cache());
+        let next = Arc::new(current.next(cache)?);
+        let order = Arc::new(EpochOrder {
+            config: next.clone(),
+            pool: delta.pool,
+            sources: delta.sources,
+        });
+        let shards = {
+            let table = self.inner.routes.table.lock();
+            for (sender, ack) in table.senders.iter().zip(&table.acked) {
+                let _ = sender.send(WorkItem::Reconfigure {
+                    order: order.clone(),
+                    ack: ack.clone(),
+                });
+            }
+            table.senders.len()
+        };
+        self.publish_config(next.clone());
+        Ok(EpochReceipt {
+            epoch: next.epoch(),
+            shards,
+        })
+    }
+
+    /// Changes the number of serving shards to `shards` while queries keep
+    /// flowing, re-routing the hash ring and handing cache entries from
+    /// retiring shards to their new owners with stamps intact. `factory`
+    /// builds each **added** shard (called with its shard index; not
+    /// called at all when shrinking). The rescale publishes a fresh epoch
+    /// (same knobs) so the transition is observable through the epoch
+    /// gauges; it returns once the pre-existing workers have confirmed
+    /// their handoff.
+    ///
+    /// Serve counters are owned per shard: a retiring shard's cumulative
+    /// serve metrics leave the aggregate with it. The front-door counters
+    /// (`sdoh_udp_queries_total`, `sdoh_dropped_queries_total`, …) are
+    /// global and unaffected.
+    ///
+    /// # Errors
+    ///
+    /// `shards == 0` and worker-spawn failures. The route table is only
+    /// published after every new worker spawned successfully.
+    pub fn rescale(
+        &self,
+        shards: usize,
+        mut factory: impl FnMut(usize) -> Shard,
+    ) -> std::io::Result<EpochReceipt> {
+        if shards == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a runtime needs at least one shard",
+            ));
+        }
+        let _op = self.inner.op_lock.lock();
+        let current = self.current_config();
+        let next = Arc::new(current.next(*current.cache()).map_err(|err| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, err.to_string())
+        })?);
+        let order = Arc::new(EpochOrder {
+            config: next.clone(),
+            pool: None,
+            sources: None,
+        });
+
+        let (old_senders, old_acked) = {
+            let table = self.inner.routes.table.lock();
+            (table.senders.clone(), table.acked.clone())
+        };
+        let old = old_senders.len();
+
+        if shards >= old {
+            // Grow: spawn the added workers, put everyone on the new epoch,
+            // publish the widened ring, then pull the entries it re-homed.
+            let mut senders = old_senders.clone();
+            let mut acked = old_acked.clone();
+            for index in old..shards {
+                let (tx, rx) = mpsc::channel();
+                let ack = Arc::new(AtomicU64::new(0));
+                let handle = spawn_worker(&self.inner.ctx, index, factory(index), rx)?;
+                self.inner.worker_handles.lock().push(handle);
+                let _ = tx.send(WorkItem::Reconfigure {
+                    order: order.clone(),
+                    ack: ack.clone(),
+                });
+                senders.push(tx);
+                acked.push(ack);
+            }
+            for (sender, ack) in old_senders.iter().zip(&old_acked) {
+                let _ = sender.send(WorkItem::Reconfigure {
+                    order: order.clone(),
+                    ack: ack.clone(),
+                });
+            }
+            let ring = Arc::new(senders.clone());
+            self.inner.routes.publish(RouteTable { senders, acked });
+            let (done_tx, done_rx) = mpsc::channel();
+            for sender in &old_senders {
+                let _ = sender.send(WorkItem::Rehash {
+                    table: ring.clone(),
+                    shards,
+                    done: done_tx.clone(),
+                });
+            }
+            drop(done_tx);
+            await_handoff(&done_rx, old);
+        } else {
+            // Shrink: stop routing to the retirees *first*, then put the
+            // survivors on the new epoch and have the retirees hand every
+            // entry to its surviving owner. The retirees linger to serve
+            // stray in-flight queries and exit on queue disconnect.
+            let survivors = old_senders[..shards].to_vec();
+            let survivor_acked = old_acked[..shards].to_vec();
+            let ring = Arc::new(survivors.clone());
+            self.inner.routes.publish(RouteTable {
+                senders: survivors.clone(),
+                acked: survivor_acked.clone(),
+            });
+            for (sender, ack) in survivors.iter().zip(&survivor_acked) {
+                let _ = sender.send(WorkItem::Reconfigure {
+                    order: order.clone(),
+                    ack: ack.clone(),
+                });
+            }
+            let (done_tx, done_rx) = mpsc::channel();
+            for sender in &old_senders[shards..] {
+                let _ = sender.send(WorkItem::Retire {
+                    table: ring.clone(),
+                    shards,
+                    done: done_tx.clone(),
+                });
+            }
+            drop(done_tx);
+            await_handoff(&done_rx, old - shards);
+        }
+
+        self.publish_config(next.clone());
+        Ok(EpochReceipt {
+            epoch: next.epoch(),
+            shards,
+        })
+    }
+
+    /// Probes every cache entry of every shard (see
+    /// [`CachingPoolResolver::probe_entries`](sdoh_core::CachingPoolResolver::probe_entries)):
+    /// `(shard index, probes)` for each shard that answered within
+    /// `timeout`. Invariant checks use this to assert that no key is
+    /// cached by two shards at once after a rescale.
+    pub fn probe_entries(&self, timeout: Duration) -> Vec<(usize, Vec<CacheEntryProbe>)> {
+        let senders = self.inner.routes.senders();
+        let (tx, rx) = mpsc::channel();
+        let mut requested = 0;
+        for sender in &senders {
+            if sender.send(WorkItem::Probe(tx.clone())).is_ok() {
+                requested += 1;
+            }
+        }
+        drop(tx);
+        let deadline = Instant::now() + timeout;
+        let mut probes = Vec::new();
+        for _ in 0..requested {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(entry) => probes.push(entry),
+                Err(_) => break,
+            }
+        }
+        probes.sort_by_key(|(index, _)| *index);
+        probes
+    }
+
+    /// The `/config` document: current epoch, shard count, per-shard acked
+    /// epochs and the published cache knobs, as JSON.
+    pub fn config_json(&self) -> String {
+        let config = self.current_config();
+        let cache = *config.cache();
+        let acked = self.acked_epochs();
+        let mut acked_json = String::from("[");
+        for (i, epoch) in acked.iter().enumerate() {
+            if i > 0 {
+                acked_json.push_str(", ");
+            }
+            acked_json.push_str(&epoch.to_string());
+        }
+        acked_json.push(']');
+        format!(
+            "{{\"epoch\": {}, \"shards\": {}, \"acked_epochs\": {}, \"cache\": \
+             {{\"capacity\": {}, \"ttl_seconds\": {}, \"stale_window_seconds\": {}, \
+             \"negative_ttl_seconds\": {}}}}}",
+            config.epoch(),
+            acked.len(),
+            acked_json,
+            cache.capacity,
+            cache.ttl.as_duration().as_secs_f64(),
+            cache.stale_window.as_secs_f64(),
+            cache.negative_ttl.as_duration().as_secs_f64(),
+        )
+    }
+
+    fn publish_config(&self, next: Arc<ServeConfig>) {
+        self.inner.epoch.store(next.epoch(), Ordering::Release);
+        *self.inner.config.lock() = next;
+    }
+}
+
+impl std::fmt::Debug for ControlHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlHandle")
+            .field("epoch", &self.current_epoch())
+            .field("shards", &self.shard_count())
+            .finish()
+    }
+}
+
+/// Collects up to `expected` handoff confirmations within the rescale
+/// deadline. Late confirmations are not an error — the handoff items are
+/// already queued FIFO before anything that could depend on them.
+fn await_handoff(done: &mpsc::Receiver<usize>, expected: usize) {
+    let deadline = Instant::now() + RESCALE_TIMEOUT;
+    for _ in 0..expected {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if done.recv_timeout(remaining).is_err() {
+            break;
+        }
+    }
+}
+
+/// The shard a cache key is routed to: the control-plane mirror of the
+/// dispatcher's wire-level `question_hash` (lowercased labels, each
+/// followed by a dot separator, then the query type code). Workers use it
+/// to decide which entries a new hash ring re-homes; it MUST match the
+/// dispatcher's routing or handed-off entries would land on shards that
+/// never see their queries.
+pub(crate) fn owner_of(key: &PoolKey, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    for label in key.domain.labels() {
+        for &byte in label {
+            hasher.write_u8(byte.to_ascii_lowercase());
+        }
+        hasher.write_u8(b'.');
+    }
+    hasher.write_u16(key.family.rtype().code());
+    (hasher.finish() % shards as u64) as usize
+}

@@ -51,6 +51,61 @@
 //! a snapshot deadline surface as `None` entries in
 //! [`RuntimeStats::per_shard`] and are never silently counted as zeros.
 //!
+//! # Hot reconfiguration
+//!
+//! A running [`PoolRuntime`] hands out a cloneable [`ControlHandle`]
+//! ([`PoolRuntime::control`]). Serving configuration lives in immutable,
+//! monotonically numbered **epochs** ([`sdoh_core::ServeConfig`]):
+//! [`ControlHandle::apply`] validates a [`ConfigDelta`] (new TTLs, stale
+//! window, upstream resolver set, pool hardening knobs), publishes the
+//! next epoch and fans it to every shard **through the shard's existing
+//! work queue** — no lock is added to the serving path, and each shard
+//! acks the epoch in its next loop iteration. Cached entries are never
+//! invalidated by an epoch switch; they are re-judged against the new
+//! knobs at lookup time, and a served answer's age is always bounded by
+//! the *maximum* of the old and new `TTL + stale window` horizons.
+//! [`ControlHandle::rescale`] changes the shard count live, handing cache
+//! entries from retiring shards to their new owners while queries keep
+//! flowing.
+//!
+//! ```
+//! use std::time::Duration;
+//! use sdoh_core::{AddressSource, CacheConfig, CachingPoolResolver, PoolConfig,
+//!                 SecurePoolGenerator, StaticSource};
+//! use sdoh_netsim::SimAddr;
+//! use sdoh_runtime::{BackendNet, ConfigDelta, PoolRuntime, RuntimeConfig, Shard};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let backends = BackendNet::builder().build();
+//! let shards = (0..2)
+//!     .map(|i| {
+//!         let sources: Vec<Box<dyn AddressSource>> = vec![
+//!             Box::new(StaticSource::answering("r1", vec!["203.0.113.1".parse().unwrap()])),
+//!             Box::new(StaticSource::answering("r2", vec!["203.0.113.2".parse().unwrap()])),
+//!         ];
+//!         let generator = SecurePoolGenerator::new(PoolConfig::algorithm1(), sources)?;
+//!         Ok(Shard::new(
+//!             CachingPoolResolver::new(generator, CacheConfig::default()),
+//!             Box::new(backends.exchanger(SimAddr::v4(10, 0, 0, i, 40000))),
+//!         ))
+//!     })
+//!     .collect::<Result<Vec<_>, sdoh_core::PoolError>>()?;
+//! let runtime = PoolRuntime::start(RuntimeConfig::default(), shards)?;
+//!
+//! // Flip the TTL live: epoch 0 -> 1, acked by every shard, no restart.
+//! let control = runtime.control();
+//! let mut cache = *control.current_config().cache();
+//! cache.ttl = Duration::from_secs(2).into();
+//! let receipt = control.apply(ConfigDelta::new().with_cache(cache))?;
+//! assert_eq!(receipt.epoch, 1);
+//! assert!(control.wait_for_epoch(receipt.epoch, Duration::from_secs(5)));
+//!
+//! let stats = runtime.shutdown();
+//! assert_eq!(stats.config_epoch, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Example: serving static pools over real sockets
 //!
 //! ```
@@ -94,11 +149,13 @@
 mod backend;
 mod client;
 mod clock;
+mod control;
 mod loopback;
 mod runtime;
 
 pub use backend::{BackendExchanger, BackendNet, BackendNetBuilder, PayloadService};
 pub use client::RuntimeClient;
 pub use clock::RuntimeClock;
+pub use control::{ConfigDelta, ControlHandle, EpochReceipt, SourceFactory};
 pub use loopback::{LoopbackConfig, LoopbackFleet};
 pub use runtime::{PoolRuntime, RuntimeConfig, RuntimeStats, Shard};

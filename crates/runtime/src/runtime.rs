@@ -32,16 +32,20 @@
 //! queues, takes a final snapshot and joins every thread.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::Hasher;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use sdoh_core::{snapshot_samples, CachingPoolResolver, ServeSnapshot};
+use sdoh_core::{
+    snapshot_samples, CacheEntryProbe, CachedPool, CachingPoolResolver, ConfigError, PoolKey,
+    ServeConfig, ServeSnapshot,
+};
 use sdoh_dns_server::Exchanger;
 use sdoh_dns_wire::{Message, Rcode};
 use sdoh_metrics::{
@@ -49,6 +53,8 @@ use sdoh_metrics::{
     SampleValue, StatsServer,
 };
 use sdoh_netsim::SimInstant;
+
+use crate::control::{owner_of, ControlHandle, EpochOrder, RouteState, RouteTable};
 
 /// How long a stats aggregation waits for each shard before marking it
 /// unresponsive (a wedged worker must not wedge the exporter).
@@ -59,14 +65,23 @@ const SNAPSHOT_TIMEOUT: Duration = Duration::from_secs(5);
 const HEALTH_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Configuration of a [`PoolRuntime`].
+///
+/// Non-exhaustive: build it from [`RuntimeConfig::default`] with the
+/// `with_*` builder methods so future knobs aren't breaking changes.
+/// [`RuntimeConfig::validate`] (also run by [`PoolRuntime::start`])
+/// rejects combinations that would misbehave at runtime instead of
+/// letting them wedge a tick loop.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RuntimeConfig {
     /// Address to bind the UDP socket (and the TCP listener) on. Port 0
     /// picks an ephemeral port; read it back from
     /// [`PoolRuntime::udp_addr`].
     pub bind: SocketAddr,
     /// How often the refresh thread ticks the workers to pump due
-    /// background refreshes.
+    /// background refreshes. `Duration::ZERO` disables the refresh pump
+    /// entirely — then [`PoolRuntime::start`] rejects shards configured
+    /// with a stale window, which would queue refreshes nothing ever runs.
     pub refresh_interval: Duration,
     /// How often the stats thread aggregates per-shard snapshots into
     /// [`PoolRuntime::latest_stats`].
@@ -105,6 +120,76 @@ impl Default for RuntimeConfig {
     }
 }
 
+impl RuntimeConfig {
+    /// Sets the UDP/TCP bind address.
+    pub fn with_bind(mut self, bind: SocketAddr) -> Self {
+        self.bind = bind;
+        self
+    }
+
+    /// Sets the refresh-pump interval (`Duration::ZERO` disables it).
+    pub fn with_refresh_interval(mut self, interval: Duration) -> Self {
+        self.refresh_interval = interval;
+        self
+    }
+
+    /// Sets the periodic stats-aggregation interval (must be non-zero).
+    pub fn with_stats_interval(mut self, interval: Duration) -> Self {
+        self.stats_interval = interval;
+        self
+    }
+
+    /// Sets the UDP truncation threshold (must be non-zero).
+    pub fn with_udp_payload_limit(mut self, limit: usize) -> Self {
+        self.udp_payload_limit = limit;
+        self
+    }
+
+    /// Sets the shutdown-flag polling granularity (must be non-zero).
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Enables or disables the TCP fallback listener.
+    pub fn with_tcp(mut self, enable: bool) -> Self {
+        self.enable_tcp = enable;
+        self
+    }
+
+    /// Sets the HTTP stats listener bind address (`None` disables it).
+    pub fn with_stats_bind(mut self, bind: Option<SocketAddr>) -> Self {
+        self.stats_bind = bind;
+        self
+    }
+
+    /// Enables or disables per-query latency histograms.
+    pub fn with_record_latency(mut self, record: bool) -> Self {
+        self.record_latency = record;
+        self
+    }
+
+    /// Validates the runtime knobs: the stats and poll intervals drive
+    /// tick loops and must be non-zero, and a zero payload limit would
+    /// truncate every answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Zero`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.stats_interval.is_zero() {
+            return Err(ConfigError::Zero("stats_interval"));
+        }
+        if self.poll_interval.is_zero() {
+            return Err(ConfigError::Zero("poll_interval"));
+        }
+        if self.udp_payload_limit == 0 {
+            return Err(ConfigError::Zero("udp_payload_limit"));
+        }
+        Ok(())
+    }
+}
+
 /// One serving shard: a caching resolver plus the exchanger its
 /// generations and refreshes go out through. Both move into the shard's
 /// worker thread at [`PoolRuntime::start`] — which is exactly why the
@@ -137,10 +222,11 @@ impl std::fmt::Debug for Shard {
 /// are registry [`Counter`] handles, so the same bumps feed both
 /// [`RuntimeStats`] and the `/metrics` exposition.
 #[derive(Debug)]
-struct FrontCounters {
+pub(crate) struct FrontCounters {
     udp_received: Counter,
     tcp_received: Counter,
     truncated: Counter,
+    dropped: Counter,
 }
 
 impl FrontCounters {
@@ -157,6 +243,11 @@ impl FrontCounters {
             truncated: registry.counter(
                 "sdoh_truncated_responses_total",
                 "UDP responses truncated to TC=1 because they exceeded the payload limit.",
+            ),
+            dropped: registry.counter(
+                "sdoh_dropped_queries_total",
+                "Accepted queries that could not be handed to a shard worker \
+                 (zero during normal operation, including rescales).",
             ),
         }
     }
@@ -179,6 +270,11 @@ pub struct RuntimeStats {
     /// UDP responses truncated to TC=1 because they exceeded the payload
     /// limit.
     pub truncated_responses: u64,
+    /// Accepted queries that could not be handed to a shard worker — zero
+    /// during normal operation, including live rescales.
+    pub dropped_queries: u64,
+    /// The config epoch published when the snapshot was taken.
+    pub config_epoch: u64,
     /// Runtime uptime when the snapshot was taken.
     pub taken_at: SimInstant,
 }
@@ -198,12 +294,15 @@ impl RuntimeStats {
         let mut out = String::from("{");
         out.push_str(&format!(
             "\"taken_at_seconds\": {}, \"udp_queries\": {}, \"tcp_queries\": {}, \
-             \"truncated_responses\": {}, \"unresponsive_shards\": {}, \"total\": {}, \
+             \"truncated_responses\": {}, \"dropped_queries\": {}, \"config_epoch\": {}, \
+             \"unresponsive_shards\": {}, \"total\": {}, \
              \"per_shard\": [",
             self.taken_at.as_nanos() as f64 / 1e9,
             self.udp_queries,
             self.tcp_queries,
             self.truncated_responses,
+            self.dropped_queries,
+            self.config_epoch,
             self.unresponsive_shards(),
             snapshot_json(&self.total),
         ));
@@ -248,11 +347,14 @@ impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "runtime stats @ {:.1}s: udp={} tcp={} truncated={} shards={} unresponsive={}",
+            "runtime stats @ {:.1}s: epoch={} udp={} tcp={} truncated={} dropped={} \
+             shards={} unresponsive={}",
             self.taken_at.as_nanos() as f64 / 1e9,
+            self.config_epoch,
             self.udp_queries,
             self.tcp_queries,
             self.truncated_responses,
+            self.dropped_queries,
             self.per_shard.len(),
             self.unresponsive_shards(),
         )?;
@@ -291,23 +393,104 @@ impl std::fmt::Display for RuntimeStats {
     }
 }
 
-enum WorkItem {
+pub(crate) enum WorkItem {
     /// Serve one wire-format query and reply along the given path.
     Query { wire: Vec<u8>, reply: ReplyPath },
     /// Pump due background refreshes (sent by the refresh thread).
     Pump,
     /// Report a consistent snapshot of this shard's state.
     Snapshot(mpsc::Sender<(usize, ServeSnapshot)>),
+    /// Report a probe of every cache entry (control-plane invariant
+    /// checks).
+    Probe(mpsc::Sender<(usize, Vec<CacheEntryProbe>)>),
+    /// Adopt a new config epoch and ack its number into the slot.
+    Reconfigure {
+        order: Arc<EpochOrder>,
+        ack: Arc<AtomicU64>,
+    },
+    /// The hash ring now spans `shards` shards: extract every entry this
+    /// shard no longer owns and forward it to its new owner over `table`,
+    /// then confirm on `done`.
+    Rehash {
+        table: Arc<Vec<mpsc::Sender<WorkItem>>>,
+        shards: usize,
+        done: mpsc::Sender<usize>,
+    },
+    /// Adopt an entry handed off by another shard (stamps intact).
+    Install { key: PoolKey, cached: CachedPool },
+    /// This shard left the hash ring: hand every entry to its owner under
+    /// the `shards`-wide ring, confirm on `done`, then linger in retired
+    /// mode — still answering stray queries (and immediately forwarding
+    /// whatever they generate) — until the queue disconnects.
+    Retire {
+        table: Arc<Vec<mpsc::Sender<WorkItem>>>,
+        shards: usize,
+        done: mpsc::Sender<usize>,
+    },
     /// Drain and exit.
     Shutdown,
 }
 
-enum ReplyPath {
+pub(crate) enum ReplyPath {
     /// Answer with `send_to` on the shared UDP socket; responses above the
     /// payload limit are truncated to TC=1.
     Udp(SocketAddr),
     /// Hand the full response back to the TCP connection handler.
     Tcp(mpsc::Sender<Vec<u8>>),
+}
+
+/// Everything a worker thread needs besides its shard: shared by
+/// [`PoolRuntime::start`] and [`ControlHandle::rescale`] (which spawns
+/// additional workers on a live runtime).
+pub(crate) struct WorkerContext {
+    socket: Arc<UdpSocket>,
+    counters: Arc<FrontCounters>,
+    udp_payload_limit: usize,
+    record_latency: bool,
+    registry: Registry,
+    /// Per-shard latency histograms, cached so a shrink-then-grow cycle
+    /// reuses shard `i`'s histogram instead of re-registering it (the
+    /// registry rejects duplicate registrations).
+    latency: Mutex<HashMap<usize, Histogram>>,
+}
+
+impl WorkerContext {
+    fn latency_for(&self, index: usize) -> Option<Histogram> {
+        if !self.record_latency {
+            return None;
+        }
+        let mut cache = self.latency.lock();
+        Some(
+            cache
+                .entry(index)
+                .or_insert_with(|| {
+                    self.registry.histogram_with(
+                        "sdoh_serve_latency_seconds",
+                        "Wall-clock latency of serving one query on the shard worker, \
+                         from dequeue to response bytes ready.",
+                        &[("shard", &index.to_string())],
+                    )
+                })
+                .clone(),
+        )
+    }
+}
+
+/// Spawns one shard worker thread. `index` is the shard's position in the
+/// route table.
+pub(crate) fn spawn_worker(
+    ctx: &WorkerContext,
+    index: usize,
+    shard: Shard,
+    rx: mpsc::Receiver<WorkItem>,
+) -> std::io::Result<JoinHandle<()>> {
+    let socket = Arc::clone(&ctx.socket);
+    let counters = Arc::clone(&ctx.counters);
+    let limit = ctx.udp_payload_limit;
+    let latency = ctx.latency_for(index);
+    std::thread::Builder::new()
+        .name(format!("sdoh-shard-{index}"))
+        .spawn(move || worker_loop(index, shard, rx, socket, limit, counters, latency))
 }
 
 /// The running threaded front end. Dropping it without calling
@@ -316,8 +499,7 @@ enum ReplyPath {
 pub struct PoolRuntime {
     udp_addr: SocketAddr,
     tcp_addr: Option<SocketAddr>,
-    workers: Vec<mpsc::Sender<WorkItem>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    control: ControlHandle,
     service_handles: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     counters: Arc<FrontCounters>,
@@ -334,13 +516,30 @@ impl PoolRuntime {
     /// # Errors
     ///
     /// Propagates socket binding/configuration failures. `shards` must be
-    /// non-empty.
+    /// non-empty, [`RuntimeConfig::validate`] must pass, and a disabled
+    /// refresh pump ([`RuntimeConfig::refresh_interval`] zero) rejects
+    /// shards configured with a stale window — they would queue
+    /// background refreshes nothing ever runs.
     pub fn start(config: RuntimeConfig, shards: Vec<Shard>) -> std::io::Result<PoolRuntime> {
         if shards.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "a runtime needs at least one shard",
             ));
+        }
+        let invalid = |err: ConfigError| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, err.to_string())
+        };
+        config.validate().map_err(invalid)?;
+        if config.refresh_interval.is_zero()
+            && shards
+                .iter()
+                .any(|shard| !shard.resolver.cache().config().stale_window.is_zero())
+        {
+            return Err(invalid(ConfigError::Invalid {
+                field: "refresh_interval",
+                reason: "a stale window is configured but the refresh pump is disabled".into(),
+            }));
         }
         let udp = Arc::new(UdpSocket::bind(config.bind)?);
         udp.set_read_timeout(Some(config.poll_interval))?;
@@ -361,40 +560,45 @@ impl PoolRuntime {
         let latest: Arc<Mutex<Option<RuntimeStats>>> = Arc::new(Mutex::new(None));
         let clock = crate::clock::RuntimeClock::new();
 
-        let mut workers = Vec::new();
+        // The runtime-level config epoch starts from the first shard's
+        // cache knobs (shards are normally built homogeneous); epoch 0.
+        let initial = Arc::new(ServeConfig::initial(*shards[0].resolver.cache().config()));
+
+        let ctx = WorkerContext {
+            socket: Arc::clone(&udp),
+            counters: Arc::clone(&counters),
+            udp_payload_limit: config.udp_payload_limit,
+            record_latency: config.record_latency,
+            registry: registry.clone(),
+            latency: Mutex::new(HashMap::new()),
+        };
+
+        let mut senders = Vec::new();
+        let mut acked = Vec::new();
         let mut worker_handles = Vec::new();
         for (index, shard) in shards.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<WorkItem>();
-            let socket = Arc::clone(&udp);
-            let shard_counters = Arc::clone(&counters);
-            let limit = config.udp_payload_limit;
-            // One latency histogram per shard: bumps stay on cache lines
-            // the recording shard owns, merged only at scrape time.
-            let latency = config.record_latency.then(|| {
-                registry.histogram_with(
-                    "sdoh_serve_latency_seconds",
-                    "Wall-clock latency of serving one query on the shard worker, \
-                     from dequeue to response bytes ready.",
-                    &[("shard", &index.to_string())],
-                )
-            });
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("sdoh-shard-{index}"))
-                    .spawn(move || {
-                        worker_loop(index, shard, rx, socket, limit, shard_counters, latency)
-                    })?,
-            );
-            workers.push(tx);
+            worker_handles.push(spawn_worker(&ctx, index, shard, rx)?);
+            senders.push(tx);
+            // Workers implicitly serve under epoch 0 from construction.
+            acked.push(Arc::new(AtomicU64::new(0)));
         }
+        let routes = Arc::new(RouteState::new(RouteTable { senders, acked }));
+        let control = ControlHandle::new(Arc::clone(&routes), initial, ctx, worker_handles);
 
         // The serve-layer counters live inside the worker threads; a
         // scrape-time collector fetches fresh snapshots over the work
-        // queues and renders them through the shared serve vocabulary.
+        // queues (reading the *live* route table, so rescales are
+        // reflected) and renders them through the shared serve vocabulary,
+        // plus the control-plane epoch gauges.
         {
-            let senders = workers.clone();
-            let shard_count = senders.len();
+            let routes = Arc::clone(&routes);
+            let epoch = Arc::clone(&control.inner.epoch);
             registry.register_collector(Box::new(move || {
+                let (senders, acked) = {
+                    let table = routes.table.lock();
+                    (table.senders.clone(), table.acked.clone())
+                };
                 let per_shard = take_shard_snapshots(&senders, SNAPSHOT_TIMEOUT);
                 let unresponsive = per_shard.iter().filter(|s| s.is_none()).count();
                 let mut total = ServeSnapshot::default();
@@ -406,7 +610,7 @@ impl PoolRuntime {
                     name: "sdoh_shards".to_string(),
                     help: "Serving shards (worker threads) of this instance.".to_string(),
                     labels: Vec::new(),
-                    value: SampleValue::Gauge(shard_count as f64),
+                    value: SampleValue::Gauge(senders.len() as f64),
                 });
                 samples.push(Sample {
                     name: "sdoh_unresponsive_shards".to_string(),
@@ -415,6 +619,21 @@ impl PoolRuntime {
                     labels: Vec::new(),
                     value: SampleValue::Gauge(unresponsive as f64),
                 });
+                samples.push(Sample {
+                    name: "sdoh_config_epoch".to_string(),
+                    help: "The config epoch most recently published by the control plane."
+                        .to_string(),
+                    labels: Vec::new(),
+                    value: SampleValue::Gauge(epoch.load(Ordering::Acquire) as f64),
+                });
+                for (index, slot) in acked.iter().enumerate() {
+                    samples.push(Sample {
+                        name: "sdoh_shard_acked_epoch".to_string(),
+                        help: "The config epoch this shard last acknowledged.".to_string(),
+                        labels: vec![("shard".to_string(), index.to_string())],
+                        value: SampleValue::Gauge(slot.load(Ordering::Acquire) as f64),
+                    });
+                }
                 samples
             }));
         }
@@ -422,7 +641,8 @@ impl PoolRuntime {
         let stats_server = match config.stats_bind {
             Some(bind) => {
                 let scrape_registry = registry.clone();
-                let senders = workers.clone();
+                let scrape_routes = Arc::clone(&routes);
+                let scrape_control = control.clone();
                 let handler: sdoh_metrics::Handler = Arc::new(move |path| match path {
                     "/metrics" => {
                         HttpResponse::ok_text(render_prometheus(&scrape_registry.gather()))
@@ -430,7 +650,8 @@ impl PoolRuntime {
                     "/metrics.json" => {
                         HttpResponse::ok_json(render_json(&scrape_registry.gather()))
                     }
-                    "/healthz" => healthz(&senders),
+                    "/config" => HttpResponse::ok_json(scrape_control.config_json()),
+                    "/healthz" => healthz(&scrape_routes),
                     _ => HttpResponse::text(404, "not found\n"),
                 });
                 Some(StatsServer::start(bind, handler)?)
@@ -441,28 +662,28 @@ impl PoolRuntime {
         let mut service_handles = Vec::new();
         {
             let socket = Arc::clone(&udp);
-            let senders = workers.clone();
+            let routes = Arc::clone(&routes);
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
             service_handles.push(
                 std::thread::Builder::new()
                     .name("sdoh-dispatch".into())
-                    .spawn(move || dispatcher_loop(socket, senders, stop, counters))?,
+                    .spawn(move || dispatcher_loop(socket, routes, stop, counters))?,
             );
         }
         if let Some(listener) = tcp {
-            let senders = workers.clone();
+            let routes = Arc::clone(&routes);
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
             let poll = config.poll_interval;
             service_handles.push(
                 std::thread::Builder::new()
                     .name("sdoh-tcp".into())
-                    .spawn(move || tcp_loop(listener, senders, stop, poll, counters))?,
+                    .spawn(move || tcp_loop(listener, routes, stop, poll, counters))?,
             );
         }
-        {
-            let senders = workers.clone();
+        if !config.refresh_interval.is_zero() {
+            let routes = Arc::clone(&routes);
             let stop = Arc::clone(&stop);
             let interval = config.refresh_interval;
             let poll = config.poll_interval;
@@ -471,7 +692,7 @@ impl PoolRuntime {
                     .name("sdoh-refresh".into())
                     .spawn(move || {
                         tick_loop(stop, interval, poll, move || {
-                            for sender in &senders {
+                            for sender in &routes.senders() {
                                 let _ = sender.send(WorkItem::Pump);
                             }
                         })
@@ -479,18 +700,24 @@ impl PoolRuntime {
             );
         }
         {
-            let senders = workers.clone();
+            let routes = Arc::clone(&routes);
             let stop = Arc::clone(&stop);
             let interval = config.stats_interval;
             let poll = config.poll_interval;
             let latest = Arc::clone(&latest);
             let counters = Arc::clone(&counters);
+            let epoch = Arc::clone(&control.inner.epoch);
             service_handles.push(
                 std::thread::Builder::new()
                     .name("sdoh-stats".into())
                     .spawn(move || {
                         tick_loop(stop, interval, poll, move || {
-                            let stats = take_stats(&senders, &counters, clock.now());
+                            let stats = take_stats(
+                                &routes,
+                                &counters,
+                                epoch.load(Ordering::Acquire),
+                                clock.now(),
+                            );
                             *latest.lock() = Some(stats);
                         })
                     })?,
@@ -500,8 +727,7 @@ impl PoolRuntime {
         Ok(PoolRuntime {
             udp_addr,
             tcp_addr,
-            workers,
-            worker_handles,
+            control,
             service_handles,
             stop,
             counters,
@@ -536,28 +762,48 @@ impl PoolRuntime {
         &self.registry
     }
 
-    /// Number of serving shards (worker threads).
+    /// Number of serving shards (worker threads) currently routed to.
     pub fn shard_count(&self) -> usize {
-        self.workers.len()
+        self.control.shard_count()
     }
 
-    /// The most recent periodic aggregate taken by the stats thread
+    /// The control plane of this runtime: hot reconfiguration
+    /// ([`ControlHandle::apply`]) and live shard rescale
+    /// ([`ControlHandle::rescale`]). Cloneable; hold it on an operator
+    /// thread while the runtime serves.
+    pub fn control(&self) -> ControlHandle {
+        self.control.clone()
+    }
+
+    /// The most recent **periodic** aggregate cached by the stats thread
     /// (`None` until the first tick).
+    #[deprecated(
+        note = "use `PoolRuntime::stats` for an on-demand aggregate; the periodic \
+                         cache mainly feeds dashboards that tolerate stats_interval staleness"
+    )]
     pub fn latest_stats(&self) -> Option<RuntimeStats> {
         self.latest.lock().clone()
     }
 
-    /// Takes an on-demand aggregate right now: asks every shard for a
-    /// [`ServeSnapshot`] and merges them. Each shard's snapshot is
-    /// internally consistent; shards are sampled at slightly different
-    /// instants (they answer between queries).
+    /// **The** statistics accessor: takes an on-demand aggregate right
+    /// now, asking every shard for a [`ServeSnapshot`] and merging them.
+    /// Each shard's snapshot is internally consistent; shards are sampled
+    /// at slightly different instants (they answer between queries). For
+    /// the cheaper periodic reading the stats thread already took, see
+    /// the deprecated [`PoolRuntime::latest_stats`].
     pub fn stats(&self) -> RuntimeStats {
-        take_stats(&self.workers, &self.counters, self.clock.now())
+        take_stats(
+            &self.control.inner.routes,
+            &self.counters,
+            self.control.current_epoch(),
+            self.clock.now(),
+        )
     }
 
     /// Graceful shutdown: stop accepting traffic, drain the worker queues,
-    /// take the final aggregate and join every thread. Returns the final
-    /// statistics.
+    /// take the final aggregate and join every thread — including workers
+    /// still lingering in retired mode from a shrink. Returns the final
+    /// statistics; [`RuntimeStats::config_epoch`] is the final epoch.
     pub fn shutdown(mut self) -> RuntimeStats {
         // 1. Stop the socket/tick threads (and the stats listener, so no
         //    scrape races the drain); no new work enters the queues.
@@ -570,13 +816,37 @@ impl PoolRuntime {
         }
         // 2. The final snapshot request queues *behind* any remaining
         //    queries, so the numbers include every accepted query.
-        let stats = take_stats(&self.workers, &self.counters, self.clock.now());
-        // 3. Drain and join the workers.
-        for sender in &self.workers {
+        let stats = take_stats(
+            &self.control.inner.routes,
+            &self.counters,
+            self.control.current_epoch(),
+            self.clock.now(),
+        );
+        // 3. Clear the route table: live shards get a Shutdown item, and
+        //    dropping the runtime's senders disconnects any retired
+        //    workers still lingering from a shrink (their exit signal),
+        //    even while the user holds ControlHandle clones.
+        let table = {
+            let mut table = self.control.inner.routes.table.lock();
+            std::mem::replace(
+                &mut *table,
+                RouteTable {
+                    senders: Vec::new(),
+                    acked: Vec::new(),
+                },
+            )
+        };
+        self.control
+            .inner
+            .routes
+            .version
+            .fetch_add(1, Ordering::Release);
+        for sender in &table.senders {
             let _ = sender.send(WorkItem::Shutdown);
         }
-        drop(self.workers);
-        for handle in self.worker_handles {
+        drop(table);
+        let handles = std::mem::take(&mut *self.control.inner.worker_handles.lock());
+        for handle in handles {
             let _ = handle.join();
         }
         stats
@@ -588,7 +858,8 @@ impl std::fmt::Debug for PoolRuntime {
         f.debug_struct("PoolRuntime")
             .field("udp_addr", &self.udp_addr)
             .field("tcp_addr", &self.tcp_addr)
-            .field("shards", &self.workers.len())
+            .field("shards", &self.shard_count())
+            .field("epoch", &self.control.current_epoch())
             .finish()
     }
 }
@@ -635,11 +906,12 @@ fn take_shard_snapshots(
 }
 
 fn take_stats(
-    workers: &[mpsc::Sender<WorkItem>],
+    routes: &RouteState,
     counters: &FrontCounters,
+    config_epoch: u64,
     taken_at: SimInstant,
 ) -> RuntimeStats {
-    let per_shard = take_shard_snapshots(workers, SNAPSHOT_TIMEOUT);
+    let per_shard = take_shard_snapshots(&routes.senders(), SNAPSHOT_TIMEOUT);
     let mut total = ServeSnapshot::default();
     for snapshot in per_shard.iter().flatten() {
         total.absorb(snapshot);
@@ -650,6 +922,8 @@ fn take_stats(
         udp_queries: counters.udp_received.get(),
         tcp_queries: counters.tcp_received.get(),
         truncated_responses: counters.truncated.get(),
+        dropped_queries: counters.dropped.get(),
+        config_epoch,
         taken_at,
     }
 }
@@ -659,8 +933,8 @@ fn take_stats(
 /// reports shard liveness plus the pool-guarantee state — generation
 /// failures mean some queries were answered from negatively-cached
 /// failures rather than fresh secure generations.
-fn healthz(workers: &[mpsc::Sender<WorkItem>]) -> HttpResponse {
-    let per_shard = take_shard_snapshots(workers, HEALTH_TIMEOUT);
+fn healthz(routes: &RouteState) -> HttpResponse {
+    let per_shard = take_shard_snapshots(&routes.senders(), HEALTH_TIMEOUT);
     let unresponsive = per_shard.iter().filter(|s| s.is_none()).count();
     let mut total = ServeSnapshot::default();
     for snapshot in per_shard.iter().flatten() {
@@ -730,21 +1004,42 @@ fn question_hash(wire: &[u8]) -> Option<u64> {
 
 fn dispatcher_loop(
     socket: Arc<UdpSocket>,
-    senders: Vec<mpsc::Sender<WorkItem>>,
+    routes: Arc<RouteState>,
     stop: Arc<AtomicBool>,
     counters: Arc<FrontCounters>,
 ) {
     let mut buf = [0u8; 4096];
+    // The hot path works on a local copy of the senders; one relaxed
+    // version check per packet detects a published rescale and reloads
+    // under the (cold) table lock. Retiring workers linger until every
+    // sender is dropped, so even a packet routed through a stale local
+    // copy is still served — never dropped.
+    let mut senders = routes.senders();
+    let mut version = routes.version.load(Ordering::Acquire);
     while !stop.load(Ordering::SeqCst) {
         match socket.recv_from(&mut buf) {
             Ok((len, peer)) => {
                 counters.udp_received.inc();
+                let current = routes.version.load(Ordering::Acquire);
+                if current != version {
+                    senders = routes.senders();
+                    version = current;
+                }
+                if senders.is_empty() {
+                    counters.dropped.inc();
+                    continue;
+                }
                 let wire = buf[..len].to_vec();
                 let shard = shard_for(&wire, senders.len());
-                let _ = senders[shard].send(WorkItem::Query {
-                    wire,
-                    reply: ReplyPath::Udp(peer),
-                });
+                if senders[shard]
+                    .send(WorkItem::Query {
+                        wire,
+                        reply: ReplyPath::Udp(peer),
+                    })
+                    .is_err()
+                {
+                    counters.dropped.inc();
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -759,7 +1054,7 @@ fn dispatcher_loop(
 
 fn tcp_loop(
     listener: TcpListener,
-    senders: Vec<mpsc::Sender<WorkItem>>,
+    routes: Arc<RouteState>,
     stop: Arc<AtomicBool>,
     poll: Duration,
     counters: Arc<FrontCounters>,
@@ -771,7 +1066,7 @@ fn tcp_loop(
                 // as the fallback for truncated answers, so one connection
                 // at a time keeps the thread budget fixed. Heavy TCP
                 // workloads would want an acceptor pool here.
-                let _ = serve_tcp_connection(stream, &senders, &counters);
+                let _ = serve_tcp_connection(stream, &routes, &counters);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(poll);
@@ -782,10 +1077,11 @@ fn tcp_loop(
 }
 
 /// Serves RFC 1035 4.2.2 length-prefixed queries until the peer closes
-/// (or a read times out).
+/// (or a read times out). The (cold) TCP path re-reads the route table per
+/// query, so it always follows the latest published ring.
 fn serve_tcp_connection(
     mut stream: TcpStream,
-    senders: &[mpsc::Sender<WorkItem>],
+    routes: &RouteState,
     counters: &FrontCounters,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -799,6 +1095,11 @@ fn serve_tcp_connection(
         let mut wire = vec![0u8; len];
         stream.read_exact(&mut wire)?;
         counters.tcp_received.inc();
+        let senders = routes.senders();
+        if senders.is_empty() {
+            counters.dropped.inc();
+            return Ok(());
+        }
         let shard = shard_for(&wire, senders.len());
         let (tx, rx) = mpsc::channel();
         if senders[shard]
@@ -808,6 +1109,7 @@ fn serve_tcp_connection(
             })
             .is_err()
         {
+            counters.dropped.inc();
             return Ok(());
         }
         let mut response = match rx.recv_timeout(Duration::from_secs(10)) {
@@ -847,6 +1149,13 @@ fn worker_loop(
         mut resolver,
         mut exchanger,
     } = shard;
+    // Set when this shard left the hash ring (a shrink retired it): the
+    // ring to forward entries over and its width. A retired worker keeps
+    // serving stray queries an in-flight dispatcher raced onto its queue,
+    // but owns no keys — whatever it serves or generates is immediately
+    // handed to the owning shard. It exits when the queue disconnects
+    // (every sender dropped), which is what makes rescale zero-drop.
+    let mut retired: Option<(Arc<Vec<mpsc::Sender<WorkItem>>>, usize)> = None;
     while let Ok(item) = rx.recv() {
         match item {
             WorkItem::Query { wire, reply } => {
@@ -873,6 +1182,9 @@ fn worker_loop(
                         let _ = tx.send(response);
                     }
                 }
+                if let Some((ring, shards)) = &retired {
+                    forward_entries(&mut resolver, ring, *shards, None);
+                }
             }
             WorkItem::Pump => {
                 resolver.run_due_refreshes(exchanger.as_mut());
@@ -880,8 +1192,64 @@ fn worker_loop(
             WorkItem::Snapshot(tx) => {
                 let _ = tx.send((index, resolver.snapshot()));
             }
+            WorkItem::Probe(tx) => {
+                let _ = tx.send((index, resolver.probe_entries(exchanger.now())));
+            }
+            WorkItem::Reconfigure { order, ack } => {
+                if let Some(factory) = &order.sources {
+                    // An empty per-shard set is rejected by the generator:
+                    // the shard keeps its current sources.
+                    let _ = resolver.generator_mut().replace_sources(factory(index));
+                }
+                if let Some(pool) = &order.pool {
+                    // Pre-validated by ControlHandle::apply.
+                    let _ = resolver.generator_mut().set_config(pool.clone());
+                }
+                resolver.apply_config(order.config.clone(), exchanger.now());
+                ack.store(order.config.epoch(), Ordering::Release);
+            }
+            WorkItem::Rehash {
+                table,
+                shards,
+                done,
+            } => {
+                forward_entries(&mut resolver, &table, shards, Some(index));
+                let _ = done.send(index);
+            }
+            WorkItem::Install { key, cached } => {
+                resolver.install_entry(key, cached, exchanger.now());
+            }
+            WorkItem::Retire {
+                table,
+                shards,
+                done,
+            } => {
+                forward_entries(&mut resolver, &table, shards, None);
+                retired = Some((table, shards));
+                let _ = done.send(index);
+            }
             WorkItem::Shutdown => break,
         }
+    }
+}
+
+/// Extracts every cache entry whose owner under a `shards`-wide ring is
+/// not `keep` and forwards it — stamps intact — to the owner's queue.
+/// `keep = Some(index)` re-homes after a grow; `None` empties a retiring
+/// shard completely. Extraction happens-before the forward, so no entry
+/// is ever servable from two shards at once; `install` on the receiving
+/// side refuses to clobber an at-least-as-fresh entry, so a racing
+/// regeneration by the new owner wins over the handed-off copy.
+fn forward_entries(
+    resolver: &mut CachingPoolResolver,
+    ring: &[mpsc::Sender<WorkItem>],
+    shards: usize,
+    keep: Option<usize>,
+) {
+    let moved = resolver.extract_entries(|key| Some(owner_of(key, shards)) != keep);
+    for (key, cached) in moved {
+        let owner = owner_of(&key, shards);
+        let _ = ring[owner].send(WorkItem::Install { key, cached });
     }
 }
 
@@ -954,6 +1322,33 @@ mod tests {
             "64 domains hit {} shards",
             hit.len()
         );
+    }
+
+    #[test]
+    fn owner_of_mirrors_wire_level_sharding() {
+        // The control plane's key-level hash must agree with the
+        // dispatcher's wire-level hash for every key, or a rescale would
+        // hand entries to shards that never see their queries.
+        for i in 0..64 {
+            let domain = format!("pool{i}.NTPNS.org");
+            for (rtype, family) in [
+                (sdoh_dns_wire::RrType::A, sdoh_core::AddressFamily::V4),
+                (sdoh_dns_wire::RrType::Aaaa, sdoh_core::AddressFamily::V6),
+            ] {
+                let key = PoolKey {
+                    domain: domain.parse().unwrap(),
+                    family,
+                };
+                let wire = query_wire(&domain, rtype);
+                for shards in 1..=9 {
+                    assert_eq!(
+                        owner_of(&key, shards),
+                        shard_for(&wire, shards),
+                        "{domain} {family:?} diverged at {shards} shards"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

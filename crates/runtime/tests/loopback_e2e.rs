@@ -5,12 +5,19 @@
 //! the TCP fallback for truncated answers and the off-query-path
 //! background refresh.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use sdoh_core::{check_guarantee, AddressPool, CacheConfig, GroundTruth, PoolConfig};
+use sdoh_core::{
+    check_guarantee, AddressPool, AddressSource, CacheConfig, DohSource, GroundTruth, PoolConfig,
+};
 use sdoh_dns_wire::{Message, Rcode, RrType, Ttl};
+use sdoh_doh::DohMethod;
+use sdoh_metrics::{http_get, parse_prometheus, SampleValue};
 use sdoh_runtime::{
-    LoopbackConfig, LoopbackFleet, PoolRuntime, RuntimeClient, RuntimeConfig, RuntimeStats, Shard,
+    ConfigDelta, LoopbackConfig, LoopbackFleet, PoolRuntime, RuntimeClient, RuntimeConfig,
+    RuntimeStats, Shard,
 };
 
 const SHARDS: usize = 4;
@@ -101,10 +108,7 @@ fn oversized_udp_answers_fall_back_to_tcp() {
     let (fleet, shards) = build(Vec::new(), Ttl::from_secs(60), Duration::from_secs(60));
     let truth = fleet.ground_truth();
     // A 24-record answer is ~700 bytes; a 128-byte limit forces TC=1.
-    let config = RuntimeConfig {
-        udp_payload_limit: 128,
-        ..RuntimeConfig::default()
-    };
+    let config = RuntimeConfig::default().with_udp_payload_limit(128);
     let runtime = PoolRuntime::start(config, shards).expect("bind loopback");
     let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr()).expect("client");
 
@@ -138,10 +142,7 @@ fn background_refresh_runs_off_the_query_path() {
     // served stale (TTL 0) immediately while the refresh thread
     // regenerates in the background.
     let (fleet, shards) = build(Vec::new(), Ttl::from_secs(2), Duration::from_secs(3600));
-    let config = RuntimeConfig {
-        refresh_interval: Duration::from_millis(20),
-        ..RuntimeConfig::default()
-    };
+    let config = RuntimeConfig::default().with_refresh_interval(Duration::from_millis(20));
     let runtime = PoolRuntime::start(config, shards).expect("bind loopback");
     let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr()).expect("client");
     let domain = fleet.domains[0].clone();
@@ -176,6 +177,178 @@ fn background_refresh_runs_off_the_query_path() {
         stats.total.serve
     );
     assert_eq!(stats.total.serve.queries, 3);
+}
+
+#[test]
+fn reconfiguration_and_rescale_under_load_drop_nothing() {
+    // The control-plane e2e: while real UDP clients hammer the runtime,
+    // apply a full config delta (TTL + stale window, pool hardening, a
+    // smaller upstream resolver set) and rescale 4 -> 8 -> 4 shards. Not
+    // one query may be dropped, every answer must satisfy the x = 1/2
+    // guarantee, the epoch transitions must be visible through the
+    // /metrics gauges, and afterwards no cache key may live on two shards.
+    let (fleet, shards) = build(vec![0], Ttl::from_secs(60), Duration::from_secs(60));
+    let truth = Arc::new(fleet.ground_truth());
+    let config = RuntimeConfig::default()
+        .with_stats_bind(Some(std::net::SocketAddr::from(([127, 0, 0, 1], 0))));
+    let runtime = PoolRuntime::start(config, shards).expect("bind loopback");
+    let control = runtime.control();
+    let stats_addr = runtime.stats_addr().expect("stats listener bound");
+    let udp = runtime.udp_addr();
+    let tcp = runtime.tcp_addr();
+
+    // Three loader threads; every query must come back (a drop surfaces
+    // as a client timeout) and every answer must hold the guarantee.
+    let stop = Arc::new(AtomicBool::new(false));
+    let loaders: Vec<std::thread::JoinHandle<u64>> = (0..3)
+        .map(|thread| {
+            let stop = stop.clone();
+            let truth = truth.clone();
+            let domains = fleet.domains.clone();
+            std::thread::spawn(move || {
+                let client = RuntimeClient::connect(udp, tcp).expect("client");
+                let mut id: u16 = (thread as u16) * 16384;
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for domain in &domains {
+                        id = id.wrapping_add(1);
+                        let response = client
+                            .query(&Message::query(id, domain.clone(), RrType::A))
+                            .expect("no query may be dropped during reconfiguration");
+                        assert_guarantee(&response, &truth);
+                        sent += 1;
+                    }
+                }
+                sent
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The full delta, mid-load: flip the TTL and stale window, harden the
+    // pool config, and drop the compromised upstream from the resolver
+    // set (new generations fan out to the two honest resolvers only).
+    let honest: Vec<_> = fleet.infos[1..].to_vec();
+    let delta = ConfigDelta::new()
+        .with_cache(
+            CacheConfig::default()
+                .with_ttl(Ttl::from_secs(2))
+                .with_stale_window(Duration::from_secs(10)),
+        )
+        .with_pool(PoolConfig::algorithm1().with_min_responses(2))
+        .with_sources(Arc::new(move |_shard| {
+            honest
+                .iter()
+                .map(|info| {
+                    Box::new(DohSource::new(info.clone()).method(DohMethod::Get))
+                        as Box<dyn AddressSource>
+                })
+                .collect()
+        }));
+    let receipt = control.apply(delta).expect("valid delta");
+    assert_eq!(receipt.epoch, 1);
+    assert_eq!(receipt.shards, SHARDS);
+    assert!(
+        control.wait_for_epoch(receipt.epoch, Duration::from_secs(10)),
+        "shards acked the new epoch while serving: {:?}",
+        control.acked_epochs()
+    );
+
+    // Grow 4 -> 8 mid-load: pre-built shards take indices 4..8.
+    let mut spare: Vec<Option<Shard>> = fleet
+        .shards(
+            8,
+            PoolConfig::algorithm1().with_min_responses(2),
+            *control.current_config().cache(),
+        )
+        .expect("valid config")
+        .into_iter()
+        .map(Some)
+        .collect();
+    let receipt = control
+        .rescale(8, |index| spare[index].take().expect("fresh shard"))
+        .expect("grow rescale");
+    assert_eq!(receipt.shards, 8);
+    assert_eq!(control.shard_count(), 8);
+    assert!(control.wait_for_epoch(receipt.epoch, Duration::from_secs(10)));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The epoch transition is observable through the /metrics gauges:
+    // the published epoch and all eight per-shard acked-epoch gauges.
+    let scrape = http_get(stats_addr, "/metrics", Duration::from_secs(5)).expect("scrape");
+    let samples = parse_prometheus(&scrape.body).expect("parseable exposition");
+    let gauge = |name: &str| -> Vec<f64> {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match s.value {
+                SampleValue::Gauge(v) => v,
+                ref other => panic!("{name} is not a gauge: {other:?}"),
+            })
+            .collect()
+    };
+    let expected = receipt.epoch as f64;
+    assert_eq!(gauge("sdoh_config_epoch"), vec![expected]);
+    let acked = gauge("sdoh_shard_acked_epoch");
+    assert_eq!(acked.len(), 8, "one acked gauge per live shard");
+    assert!(
+        acked.iter().all(|&epoch| epoch == expected),
+        "every shard acked epoch {expected}: {acked:?}"
+    );
+    let config_doc = http_get(stats_addr, "/config", Duration::from_secs(5)).expect("/config");
+    assert_eq!(config_doc.status, 200);
+    assert!(config_doc
+        .body
+        .contains(&format!("\"epoch\": {}", receipt.epoch)));
+    assert!(config_doc.body.contains("\"shards\": 8"));
+
+    // Shrink back 8 -> 4 mid-load: retirees hand entries to survivors and
+    // linger for stray in-flight queries.
+    let receipt = control
+        .rescale(4, |_| unreachable!("shrinking builds no shards"))
+        .expect("shrink rescale");
+    assert_eq!(receipt.shards, 4);
+    assert_eq!(control.shard_count(), 4);
+    assert!(control.wait_for_epoch(receipt.epoch, Duration::from_secs(10)));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // No cache key is owned by two shards at once after the rescales.
+    let probes = control.probe_entries(Duration::from_secs(5));
+    assert_eq!(probes.len(), 4, "every live shard answered the probe");
+    let mut seen = std::collections::HashSet::new();
+    for (shard, entries) in &probes {
+        for probe in entries {
+            assert!(
+                seen.insert(probe.key.clone()),
+                "{} cached by shard {shard} and another shard at once",
+                probe.key
+            );
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let sent: u64 = loaders.into_iter().map(|h| h.join().expect("loader")).sum();
+    assert!(sent > 0, "the loaders actually ran");
+
+    let stats = runtime.shutdown();
+    assert_eq!(
+        stats.dropped_queries, 0,
+        "zero dropped queries across apply + grow + shrink"
+    );
+    assert_eq!(stats.config_epoch, 3, "apply, grow, shrink: three epochs");
+    assert_eq!(
+        stats.udp_queries, sent,
+        "the front door counted every query"
+    );
+    // Serve counters are owned per shard: the queries shards 4..7 served
+    // between the grow and the shrink retired with their workers, so the
+    // aggregate covers the four survivors only.
+    assert!(
+        stats.total.serve.queries <= sent,
+        "surviving shards served {} of {sent}",
+        stats.total.serve.queries
+    );
+    assert!(stats.total.serve.queries > 0);
 }
 
 #[test]

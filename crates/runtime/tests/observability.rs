@@ -36,10 +36,7 @@ fn build() -> (LoopbackFleet, Vec<Shard>) {
 }
 
 fn stats_config() -> RuntimeConfig {
-    RuntimeConfig {
-        stats_bind: Some(std::net::SocketAddr::from(([127, 0, 0, 1], 0))),
-        ..RuntimeConfig::default()
-    }
+    RuntimeConfig::default().with_stats_bind(Some(std::net::SocketAddr::from(([127, 0, 0, 1], 0))))
 }
 
 fn counter(samples: &[Sample], name: &str) -> u64 {
@@ -155,10 +152,7 @@ fn registry_lints_clean_every_counter_has_help() {
 #[test]
 fn latency_recording_can_be_disabled_for_overhead_runs() {
     let (fleet, shards) = build();
-    let config = RuntimeConfig {
-        record_latency: false,
-        ..stats_config()
-    };
+    let config = stats_config().with_record_latency(false);
     let runtime = PoolRuntime::start(config, shards).expect("bind loopback");
     let client = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr()).expect("client");
     client

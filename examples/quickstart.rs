@@ -220,10 +220,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fleet = LoopbackFleet::build(LoopbackConfig::default());
     let shards = fleet.shards(2, PoolConfig::algorithm1(), CacheConfig::default())?;
     let runtime = PoolRuntime::start(
-        RuntimeConfig {
-            stats_bind: Some("127.0.0.1:0".parse()?),
-            ..RuntimeConfig::default()
-        },
+        RuntimeConfig::default().with_stats_bind(Some("127.0.0.1:0".parse()?)),
         shards,
     )?;
     let stub = RuntimeClient::connect(runtime.udp_addr(), runtime.tcp_addr())?;
@@ -235,6 +232,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
         assert_eq!(response.answer_addresses().len(), 24);
     }
+
+    // Step 8.25: hot reconfiguration. The running runtime hands out a
+    // control handle; applying a config delta validates and publishes the
+    // next config epoch and fans it to every shard through the same work
+    // queue its queries arrive on. Cached entries survive the switch —
+    // the wider stale window below judges them from now on — and not a
+    // single query stops flowing while it propagates.
+    use secure_doh::runtime::ConfigDelta;
+    let control = runtime.control();
+    let receipt = control.apply(
+        ConfigDelta::new().with_cache(
+            CacheConfig::default()
+                .with_ttl(secure_doh::wire::Ttl::from_secs(30))
+                .with_stale_window(std::time::Duration::from_secs(300)),
+        ),
+    )?;
+    control.wait_for_epoch(receipt.epoch, std::time::Duration::from_secs(5));
+    println!(
+        "\nhot reconfiguration: stale window flipped live to 300 s, \
+         config epoch {} acked by {} shard(s), cache untouched",
+        control.current_epoch(),
+        control.acked_epochs().len()
+    );
 
     // Step 8.5: the observability plane. The runtime exported everything
     // it just did on its stats listener — scrape it the way a fleet

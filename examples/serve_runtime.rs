@@ -94,10 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // tiny UDP payload limit truncates the ~700-byte answer, and the
     // client transparently retries the same query over TCP.
     let tiny = PoolRuntime::start(
-        RuntimeConfig {
-            udp_payload_limit: 128,
-            ..RuntimeConfig::default()
-        },
+        RuntimeConfig::default().with_udp_payload_limit(128),
         fleet.shards(1, PoolConfig::algorithm1(), CacheConfig::default())?,
     )?;
     let stub = RuntimeClient::connect(tiny.udp_addr(), tiny.tcp_addr())?

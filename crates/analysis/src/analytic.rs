@@ -15,7 +15,10 @@ pub fn attack_probability_paper(model: &AttackModel) -> f64 {
     if m == 0 {
         return 1.0;
     }
-    model.p_attack.clamp(0.0, 1.0).powi(m as i32)
+    model
+        .p_attack
+        .clamp(0.0, 1.0)
+        .powi(i32::try_from(m).unwrap_or(i32::MAX))
 }
 
 /// Exact probability that at least `M = ceil(x N)` of `N` independently
@@ -77,7 +80,8 @@ pub fn resolvers_for_security_gain(p_attack: f64, orders_of_magnitude: f64) -> u
     // p^dM <= 10^-orders  =>  dM >= orders * ln(10) / -ln(p)
     // A tiny tolerance keeps exact ratios (e.g. p = 0.1) from rounding up
     // because of floating-point noise.
-    (orders_of_magnitude * std::f64::consts::LN_10 / -p.ln() - 1e-9).ceil() as usize
+    let needed = orders_of_magnitude * std::f64::consts::LN_10 / -p.ln() - 1e-9;
+    needed.ceil() as usize // sdoh-lint: allow(no-narrowing-cast, "float-to-int as-casts saturate and map NaN to zero")
 }
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ impl AttackModel {
         if self.resolvers == 0 {
             return 0;
         }
-        let m = (self.required_resolver_fraction() * self.resolvers as f64).ceil() as usize;
+        let m = (self.required_resolver_fraction() * self.resolvers as f64).ceil() as usize; // sdoh-lint: allow(no-narrowing-cast, "float-to-int as-casts saturate and map NaN to zero")
         m.clamp(1, self.resolvers)
     }
 }

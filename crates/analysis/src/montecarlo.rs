@@ -89,11 +89,12 @@ pub fn estimate_pool_capture(model: &AttackModel, trials: u64, seed: u64) -> Mon
             let compromised = rng.gen::<f64>() < model.p_attack;
             for slot in 0..k {
                 let addr: IpAddr = if compromised {
-                    let a = Ipv4Addr::new(198, 18, resolver as u8, slot as u8);
+                    let a = Ipv4Addr::new(198, 18, resolver as u8, slot as u8); // sdoh-lint: allow(no-narrowing-cast, "simulated resolver and slot counts stay below 256")
                     truth.mark_malicious(IpAddr::V4(a));
                     IpAddr::V4(a)
                 } else {
-                    IpAddr::V4(Ipv4Addr::new(203, 0, resolver as u8, slot as u8))
+                    let a = Ipv4Addr::new(203, 0, resolver as u8, slot as u8); // sdoh-lint: allow(no-narrowing-cast, "simulated resolver and slot counts stay below 256")
+                    IpAddr::V4(a)
                 };
                 pool.push(addr, format!("resolver-{resolver}"));
             }

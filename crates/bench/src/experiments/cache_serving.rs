@@ -92,12 +92,14 @@ pub fn run(client_counts: &[usize], rounds: usize, seed: u64) -> Table {
         let generations = metrics.served + metrics.failures;
         push_row(
             &mut table,
-            "uncached baseline",
-            clients,
-            &stats,
-            metrics.queries,
-            generations,
-            scenario.net.metrics().secure_requests,
+            &RunRow {
+                configuration: "uncached baseline",
+                clients,
+                stats: &stats,
+                queries: metrics.queries,
+                generations,
+                doh_requests: scenario.net.metrics().secure_requests,
+            },
         );
 
         // The serving subsystem: one generation per (domain, TTL window).
@@ -110,41 +112,44 @@ pub fn run(client_counts: &[usize], rounds: usize, seed: u64) -> Table {
         let metrics = resolver.lock().metrics();
         push_row(
             &mut table,
-            "caching subsystem",
-            clients,
-            &stats,
-            metrics.queries,
-            metrics.generations,
-            scenario.net.metrics().secure_requests,
+            &RunRow {
+                configuration: "caching subsystem",
+                clients,
+                stats: &stats,
+                queries: metrics.queries,
+                generations: metrics.generations,
+                doh_requests: scenario.net.metrics().secure_requests,
+            },
         );
     }
     table
 }
 
-#[allow(clippy::too_many_arguments)]
-fn push_row(
-    table: &mut Table,
-    configuration: &str,
+/// One measured configuration of the experiment, ready for tabulation.
+struct RunRow<'a> {
+    configuration: &'a str,
     clients: usize,
-    stats: &LoadStats,
+    stats: &'a LoadStats,
     queries: u64,
     generations: u64,
     doh_requests: u64,
-) {
-    let per_generation = if generations == 0 {
+}
+
+fn push_row(table: &mut Table, row: &RunRow<'_>) {
+    let per_generation = if row.generations == 0 {
         f64::INFINITY
     } else {
-        queries as f64 / generations as f64
+        row.queries as f64 / row.generations as f64
     };
     table.push_row([
-        configuration.to_string(),
-        clients.to_string(),
-        queries.to_string(),
-        generations.to_string(),
-        doh_requests.to_string(),
+        row.configuration.to_string(),
+        row.clients.to_string(),
+        row.queries.to_string(),
+        row.generations.to_string(),
+        row.doh_requests.to_string(),
         format!("{per_generation:.1}"),
-        format!("{:.2}", stats.mean_latency().as_secs_f64() * 1000.0),
-        format!("{:.0}", stats.throughput()),
+        format!("{:.2}", row.stats.mean_latency().as_secs_f64() * 1000.0),
+        format!("{:.0}", row.stats.throughput()),
     ]);
 }
 

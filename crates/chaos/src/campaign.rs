@@ -174,12 +174,12 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
     // Widened by every Reconfigure fault: a served entry may be as old as
     // the *maximum* TTL + stale horizon any applied epoch allowed.
     let mut max_cache_age = cache_config.ttl.as_duration() + cache_config.stale_window;
-    let mut serve_config = Arc::new(ServeConfig::new(cache_config).expect("default is valid"));
+    let mut serve_config = Arc::new(ServeConfig::new(cache_config).expect("default is valid")); // sdoh-lint: allow(no-panic, "the default cache config is statically valid")
     let frontend: Option<Arc<Mutex<CachingPoolResolver>>> = match config.stack {
         StackKind::Hardened => Some(
             scenario
                 .install_caching_frontend(PoolConfig::algorithm1(), cache_config)
-                .expect("valid pool configuration"),
+                .expect("valid pool configuration"), // sdoh-lint: allow(no-panic, "the Algorithm 1 defaults are statically valid")
         ),
         StackKind::WeakBaseline => None,
     };
@@ -189,7 +189,7 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
         NtpClient::new(CLIENT_ADDR.with_port(123)),
         config.seed ^ 0xC105_0C4A,
     )
-    .expect("valid Chronos configuration");
+    .expect("valid Chronos configuration"); // sdoh-lint: allow(no-panic, "the default Chronos config is statically valid")
     let mut time_client = match &frontend {
         Some(frontend) => SecureTimeClient::new(
             Box::new(ConsensusFrontEnd::new(Arc::clone(frontend))),
@@ -228,23 +228,25 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
     // whatever (possibly degraded) link the rest of the fleet sees.
     let mut current_default = baseline_link;
     let mut traced_violations = 0usize;
-    let mut query_counter: u64 = 0;
+    let mut query_counter: usize = 0;
 
     let events = plan.events().to_vec();
     let mut next_event = 0usize;
 
     for step in 0..config.steps {
-        while next_event < events.len() && events[next_event].step <= step {
-            let fault = events[next_event].fault.clone();
+        while let Some(event) = events.get(next_event).filter(|event| event.step <= step) {
+            let fault = event.fault.clone();
             apply_fault(
-                &scenario,
+                &mut FaultContext {
+                    scenario: &scenario,
+                    local_clock: &mut local_clock,
+                    current_default: &mut current_default,
+                    inflate_addresses: INFLATE_ADDRESSES,
+                    frontend: frontend.as_ref(),
+                    serve_config: &mut serve_config,
+                    max_cache_age: &mut max_cache_age,
+                },
                 &fault,
-                &mut local_clock,
-                &mut current_default,
-                INFLATE_ADDRESSES,
-                frontend.as_ref(),
-                &mut serve_config,
-                &mut max_cache_age,
             );
             *applied.entry(fault.label()).or_insert(0) += 1;
             trace.push(TraceEvent {
@@ -258,8 +260,7 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
         scenario.net.clock().advance(STEP_DURATION);
 
         for _ in 0..config.workload.clients_per_step {
-            let domain = &scenario.pool_domains
-                [(query_counter % scenario.pool_domains.len() as u64) as usize];
+            let domain = &scenario.pool_domains[query_counter % scenario.pool_domains.len().max(1)]; // sdoh-lint: allow(no-panic, "the modulo keeps the index in range and max(1) avoids a zero divisor")
             query_counter += 1;
             monitor.queries_issued += 1;
             match stub.lookup_ipv4(&mut exchanger, domain) {
@@ -314,7 +315,7 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
         monitor.check_net_metrics(step, scenario.net.metrics());
         monitor.check_accounting(step);
 
-        for violation in &monitor.violations()[traced_violations..] {
+        for violation in monitor.violations().get(traced_violations..).unwrap_or(&[]) {
             trace.push(TraceEvent {
                 step,
                 kind: "violation",
@@ -347,20 +348,24 @@ pub fn run_campaign(config: &CampaignConfig) -> ChaosReport {
     }
 }
 
+/// The campaign state a fault may act on: the scenario's simulator
+/// boundaries plus the knobs later faults must observe (the link currently
+/// in force, the serve-config epoch, the widened cache-age horizon).
+struct FaultContext<'a> {
+    scenario: &'a Scenario,
+    local_clock: &'a mut LocalClock,
+    current_default: &'a mut LinkConfig,
+    inflate_addresses: usize,
+    frontend: Option<&'a Arc<Mutex<CachingPoolResolver>>>,
+    serve_config: &'a mut Arc<ServeConfig>,
+    max_cache_age: &'a mut Duration,
+}
+
 /// Applies one fault to the running scenario through the simulator's own
 /// boundaries (links, service registry, adversary slot, clocks, the serve
 /// config epoch).
-#[allow(clippy::too_many_arguments)]
-fn apply_fault(
-    scenario: &Scenario,
-    fault: &Fault,
-    local_clock: &mut LocalClock,
-    current_default: &mut LinkConfig,
-    inflate_addresses: usize,
-    frontend: Option<&Arc<Mutex<CachingPoolResolver>>>,
-    serve_config: &mut Arc<ServeConfig>,
-    max_cache_age: &mut Duration,
-) {
+fn apply_fault(ctx: &mut FaultContext<'_>, fault: &Fault) {
+    let scenario = ctx.scenario;
     match fault {
         Fault::DegradeLinks {
             loss,
@@ -376,11 +381,11 @@ fn apply_fault(
             .duplicate(*duplicate)
             .reorder(*reorder, Duration::from_millis(50));
             scenario.net.set_default_link(degraded);
-            *current_default = degraded;
+            *ctx.current_default = degraded;
         }
         Fault::HealLinks => {
             scenario.net.set_default_link(LinkConfig::default());
-            *current_default = LinkConfig::default();
+            *ctx.current_default = LinkConfig::default();
         }
         Fault::PartitionResolver { index } => {
             let resolver = scenario.resolver_addr(*index).ip;
@@ -392,10 +397,10 @@ fn apply_fault(
             let resolver = scenario.resolver_addr(*index).ip;
             scenario
                 .net
-                .set_link(CLIENT_ADDR.ip, resolver, *current_default);
+                .set_link(CLIENT_ADDR.ip, resolver, *ctx.current_default);
             scenario
                 .net
-                .set_link(FRONTEND_ADDR.ip, resolver, *current_default);
+                .set_link(FRONTEND_ADDR.ip, resolver, *ctx.current_default);
         }
         Fault::KillResolver { index } => {
             scenario.kill_resolver(*index);
@@ -413,7 +418,7 @@ fn apply_fault(
             scenario.install_resolver(
                 *index,
                 Some(&ResolverCompromise::InflateWithAttackerAddresses(
-                    inflate_addresses,
+                    ctx.inflate_addresses,
                 )),
             );
         }
@@ -426,7 +431,7 @@ fn apply_fault(
             scenario.net.clear_adversary();
         }
         Fault::ClockStep { seconds } => {
-            local_clock.adjust(*seconds);
+            ctx.local_clock.adjust(*seconds);
         }
         Fault::TimeJump { seconds } => {
             scenario.net.clock().step(Duration::from_secs(*seconds));
@@ -439,16 +444,18 @@ fn apply_fault(
             stale_secs,
         } => {
             // Weak baseline: no serving cache to retune — a recorded no-op.
-            if let Some(frontend) = frontend {
+            if let Some(frontend) = ctx.frontend {
                 let cache = CacheConfig::default()
-                    .with_ttl(Ttl::from_secs(*ttl_secs as u32))
+                    .with_ttl(Ttl::from_secs(u32::try_from(*ttl_secs).unwrap_or(u32::MAX)))
                     .with_stale_window(Duration::from_secs(*stale_secs));
-                let next = Arc::new(serve_config.next(cache).expect("generated knobs are valid"));
+                let retuned = ctx.serve_config.next(cache).expect("knobs are valid"); // sdoh-lint: allow(no-panic, "the fault generator only emits knobs inside the validated range")
+                let next = Arc::new(retuned);
                 frontend
                     .lock()
                     .apply_config(next.clone(), scenario.net.now());
-                *serve_config = next;
-                *max_cache_age = (*max_cache_age).max(cache.ttl.as_duration() + cache.stale_window);
+                *ctx.serve_config = next;
+                *ctx.max_cache_age =
+                    (*ctx.max_cache_age).max(cache.ttl.as_duration() + cache.stale_window);
             }
         }
     }

@@ -317,7 +317,7 @@ impl FaultPlan {
             }
 
             if incident_until.is_none() && resolvers > 0 {
-                let index = incident_rng.range_u64(0, resolvers as u64) as usize;
+                let index = incident_rng.range_u64(0, resolvers as u64) as usize; // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets, and the draw is below resolvers")
                 let duration = incident_rng.range_u64(5, 41);
                 let incident = if incident_rng.chance(mix.partition) {
                     Some((
@@ -346,7 +346,7 @@ impl FaultPlan {
             }
 
             if spoofer_until.is_none() && spoofer_rng.chance(mix.spoofer) {
-                let attempts = spoofer_rng.range_u64(32, 129) as u32;
+                let attempts = u32::try_from(spoofer_rng.range_u64(32, 129)).unwrap_or(u32::MAX);
                 let end = step + spoofer_rng.range_u64(20, 61);
                 events.push(FaultEvent {
                     step,
@@ -376,7 +376,7 @@ impl FaultPlan {
                 });
             }
             if drift_until.is_none() && clock_rng.chance(mix.drift) {
-                let magnitude = clock_rng.range_u64(100, 2001) as i64;
+                let magnitude = i64::try_from(clock_rng.range_u64(100, 2001)).unwrap_or(i64::MAX);
                 let rate_ppm = if clock_rng.chance(0.5) {
                     magnitude
                 } else {

@@ -99,11 +99,8 @@ impl InvariantMonitor {
     /// a chaos campaign's safety breaches surface on the same `/metrics`
     /// endpoint (and fleet rollups) as the serving counters.
     pub fn register_metrics(&mut self, registry: &sdoh_metrics::Registry) {
-        self.violations_counter = Some(registry.counter(
-            "sdoh_invariant_violations_total",
-            "Invariant breaches recorded by the chaos campaign monitor \
-             (guarantee, clock, monotonicity, cache age, accounting).",
-        ));
+        let (name, help) = sdoh_core::METRIC_INVARIANT_VIOLATIONS;
+        self.violations_counter = Some(registry.counter(name, help));
     }
 
     /// Records a breach (counted always, detailed up to the cap).

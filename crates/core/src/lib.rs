@@ -202,7 +202,11 @@ pub use serve::{
     snapshot_samples, AddressFamily, CacheConfig, CacheEntryProbe, CacheLookup, CachedPool,
     CachingPoolResolver, ConfigError, EntryState, PoolCache, PoolKey, RefreshScheduler,
     ResolvedPool, ServeConfig, ServeMetrics, ServeSession, ServeSnapshot, Singleflight,
-    SERVE_COUNTER_HELP, SERVE_GAUGE_HELP,
+    APP_METRIC_HELP, METRIC_CONFIG_EPOCH, METRIC_DROPPED_QUERIES, METRIC_INVARIANT_VIOLATIONS,
+    METRIC_SERVE_LATENCY, METRIC_SHARDS, METRIC_SHARD_ACKED_EPOCH, METRIC_TCP_QUERIES,
+    METRIC_TIMESYNC_FAILURES, METRIC_TIMESYNC_POOL_REFRESHES, METRIC_TIMESYNC_SYNCS,
+    METRIC_TRUNCATED_RESPONSES, METRIC_UDP_QUERIES, METRIC_UNRESPONSIVE_SHARDS,
+    RUNTIME_METRIC_HELP, SERVE_COUNTER_HELP, SERVE_GAUGE_HELP,
 };
 pub use session::{
     drive, drive_sequential, Action, PoolSession, SessionEvent, TransactionId, Transmit,

@@ -86,7 +86,7 @@ fn small_rational(t: f64) -> Option<(u64, u64)> {
         if a > MAX_DEN as f64 {
             return None;
         }
-        let a_int = a as u64;
+        let a_int = a as u64; // sdoh-lint: allow(no-narrowing-cast, "a is a non-negative floor checked against MAX_DEN, and float-to-int as-casts saturate")
         let p_next = a_int.checked_mul(p)?.checked_add(p_prev)?;
         let q_next = a_int.checked_mul(q)?.checked_add(q_prev)?;
         if q_next > MAX_DEN {
@@ -109,7 +109,7 @@ fn small_rational(t: f64) -> Option<(u64, u64)> {
 /// `t` into its dyadic mantissa/exponent form.
 fn exceeds_dyadic(support: usize, total: usize, t: f64) -> bool {
     let bits = t.to_bits();
-    let biased = ((bits >> 52) & 0x7ff) as i64;
+    let biased = ((bits >> 52) & 0x7ff) as i64; // sdoh-lint: allow(no-narrowing-cast, "masked to the 11 exponent bits before the cast")
     let frac = bits & ((1u64 << 52) - 1);
     let (mantissa, exponent) = if biased == 0 {
         (frac, -1074i64)
@@ -125,7 +125,8 @@ fn exceeds_dyadic(support: usize, total: usize, t: f64) -> bool {
         if rhs == 0 {
             return lhs > 0;
         }
-        if exponent >= 128 || (exponent as u32) > rhs.leading_zeros() {
+        let exp_u32 = exponent as u32; // sdoh-lint: allow(no-narrowing-cast, "only consulted when 0 <= exponent < 128")
+        if exponent >= 128 || exp_u32 > rhs.leading_zeros() {
             return false; // the product is at least 2^128, beyond any support
         }
         lhs > (rhs << exponent)
@@ -135,7 +136,8 @@ fn exceeds_dyadic(support: usize, total: usize, t: f64) -> bool {
             return false;
         }
         let shift = -exponent;
-        if shift >= 128 || (shift as u32) > lhs.leading_zeros() {
+        let shift_u32 = shift as u32; // sdoh-lint: allow(no-narrowing-cast, "only consulted when 0 < shift < 128")
+        if shift >= 128 || shift_u32 > lhs.leading_zeros() {
             return true; // the shifted support is at least 2^128 > rhs < 2^118
         }
         (lhs << shift) > rhs

@@ -332,6 +332,7 @@ pub struct PoolCache {
 impl PoolCache {
     /// Creates a cache from a configuration (capacity and shard count are
     /// clamped to at least 1).
+    // sdoh-lint: allow(hot-path-purity, "construction happens once, before serving starts")
     pub fn new(config: CacheConfig) -> Self {
         let shards = config.shards.max(1);
         let capacity = config.capacity.max(1);
@@ -376,6 +377,7 @@ impl PoolCache {
         // across runs, keeping the simulation reproducible from its seed.
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
+        // sdoh-lint: allow(no-narrowing-cast, "hash truncation only perturbs shard choice; the modulo keeps the index in range")
         (hasher.finish() as usize) % self.shards.len()
     }
 
@@ -385,6 +387,7 @@ impl PoolCache {
     /// stale window is returned as [`CacheLookup::Stale`] (the caller
     /// serves it and schedules a refresh); anything older — and any expired
     /// negative entry — is dropped and reported as a miss.
+    // sdoh-lint: allow(no-panic, "shard_index is a modulo over shards.len(), always in range")
     pub fn get(&mut self, key: &PoolKey, now: SimInstant) -> CacheLookup {
         self.tick += 1;
         let tick = self.tick;
@@ -422,6 +425,7 @@ impl PoolCache {
 
     /// Inspects the entry for `key` without touching LRU state or counters
     /// (diagnostics and tests).
+    // sdoh-lint: allow(no-panic, "shard_index is a modulo over shards.len(), always in range")
     pub fn peek(&self, key: &PoolKey) -> Option<CachedPool> {
         let shard = self.shard_index(key);
         self.shards[shard].entries.get(key).map(|entry| CachedPool {
@@ -438,6 +442,7 @@ impl PoolCache {
     /// the same cache state is byte-identical across processes — shard maps
     /// iterate in a process-random order. This is the invariant surface
     /// chaos campaigns monitor after every step.
+    // sdoh-lint: allow(hot-path-purity, "probe is the chaos-monitor surface, never the serving path")
     pub fn probe(&self, now: SimInstant) -> Vec<CacheEntryProbe> {
         let config = self.config;
         let mut probes: Vec<CacheEntryProbe> = self
@@ -468,6 +473,7 @@ impl PoolCache {
     /// Stores a generation outcome for `key` produced at `now`. Successful
     /// generations live for the configured TTL, failures for the negative
     /// TTL; a zero lifetime skips insertion entirely.
+    // sdoh-lint: allow(no-panic, "shard_index is a modulo over shards.len(), always in range")
     pub fn insert(
         &mut self,
         key: PoolKey,
@@ -508,6 +514,8 @@ impl PoolCache {
     /// Evicts one entry from `scope` (one shard, or the whole cache),
     /// preferring an entry already past any use over the least recently
     /// used one.
+    // sdoh-lint: allow(hot-path-purity, "eviction scans run only when the cache is full; amortized cold")
+    // sdoh-lint: allow(no-panic, "scope and victim shards come from 0..shards.len()")
     fn evict_one(&mut self, scope: Option<usize>, now: SimInstant) {
         let config = self.config;
         let shards: Vec<usize> = match scope {
@@ -559,6 +567,7 @@ impl PoolCache {
     /// a shard-rescale cache handoff. Results are sorted by key so a
     /// handoff is deterministic across processes. Touches neither LRU
     /// state nor the lookup counters.
+    // sdoh-lint: allow(hot-path-purity, "rescale handoff runs on the control plane, not per query")
     pub fn extract_matching(
         &mut self,
         mut predicate: impl FnMut(&PoolKey) -> bool,
@@ -595,6 +604,7 @@ impl PoolCache {
     /// existing entry for the key is at least as fresh — so a key is
     /// never owned by two entries and a handoff never clobbers a newer
     /// generation. Capacity bounds are enforced exactly as on insert.
+    // sdoh-lint: allow(no-panic, "shard_index is a modulo over shards.len(), always in range")
     pub fn install(&mut self, key: PoolKey, cached: CachedPool, now: SimInstant) -> bool {
         self.tick += 1;
         let entry = Entry {
@@ -624,6 +634,7 @@ impl PoolCache {
     }
 
     /// Removes the entry for `key`, returning whether one existed.
+    // sdoh-lint: allow(no-panic, "shard_index is a modulo over shards.len(), always in range")
     pub fn invalidate(&mut self, key: &PoolKey) -> bool {
         let shard = self.shard_index(key);
         self.shards[shard].entries.remove(key).is_some()
@@ -639,7 +650,7 @@ impl PoolCache {
             shard.entries.retain(|_, e| now < e.keep_until(&config));
             dropped += before - shard.entries.len();
         }
-        self.metrics.expirations += dropped as u64;
+        self.metrics.expirations += u64::try_from(dropped).unwrap_or(u64::MAX);
         dropped
     }
 

@@ -44,7 +44,13 @@ pub use cache::{
 pub use epoch::{ConfigError, ServeConfig};
 pub use refresh::{RefreshScheduler, RefreshTask};
 pub use resolver::{CachingPoolResolver, ResolvedPool, ServeMetrics, ServeSnapshot};
-pub use samples::{snapshot_samples, SERVE_COUNTER_HELP, SERVE_GAUGE_HELP};
+pub use samples::{
+    snapshot_samples, APP_METRIC_HELP, METRIC_CONFIG_EPOCH, METRIC_DROPPED_QUERIES,
+    METRIC_INVARIANT_VIOLATIONS, METRIC_SERVE_LATENCY, METRIC_SHARDS, METRIC_SHARD_ACKED_EPOCH,
+    METRIC_TCP_QUERIES, METRIC_TIMESYNC_FAILURES, METRIC_TIMESYNC_POOL_REFRESHES,
+    METRIC_TIMESYNC_SYNCS, METRIC_TRUNCATED_RESPONSES, METRIC_UDP_QUERIES,
+    METRIC_UNRESPONSIVE_SHARDS, RUNTIME_METRIC_HELP, SERVE_COUNTER_HELP, SERVE_GAUGE_HELP,
+};
 pub use session::{
     drive_serve, FlightOutcome, ServeAction, ServeEvent, ServeSession, ServeTransactionId,
     ServeTransmit,

@@ -86,6 +86,106 @@ pub const SERVE_COUNTER_HELP: &[(&str, &str)] = &[
     ),
 ];
 
+// ---------------------------------------------------------------------
+// Metrics exported outside the serve layer. They live here — in the same
+// vocabulary module as the serve tables — because this file is the single
+// source of truth the `metrics-vocabulary` lint holds every exporter to: a
+// metric-name literal anywhere else in the workspace must appear in this
+// file with a help string, or `sdoh-lint` rejects it as drift.
+// ---------------------------------------------------------------------
+
+/// Front door: datagrams accepted by the UDP dispatcher.
+pub const METRIC_UDP_QUERIES: (&str, &str) = (
+    "sdoh_udp_queries_total",
+    "Datagrams accepted by the UDP dispatcher.",
+);
+/// Front door: queries accepted over the TCP fallback listener.
+pub const METRIC_TCP_QUERIES: (&str, &str) = (
+    "sdoh_tcp_queries_total",
+    "Queries accepted over the TCP fallback listener.",
+);
+/// Front door: UDP responses truncated to TC=1.
+pub const METRIC_TRUNCATED_RESPONSES: (&str, &str) = (
+    "sdoh_truncated_responses_total",
+    "UDP responses truncated to TC=1 because they exceeded the payload limit.",
+);
+/// Front door: accepted queries that could not reach a shard worker.
+pub const METRIC_DROPPED_QUERIES: (&str, &str) = (
+    "sdoh_dropped_queries_total",
+    "Accepted queries that could not be handed to a shard worker \
+     (zero during normal operation, including rescales).",
+);
+/// Hot path: per-query serving latency histogram, labelled by shard.
+pub const METRIC_SERVE_LATENCY: (&str, &str) = (
+    "sdoh_serve_latency_seconds",
+    "Wall-clock latency of serving one query on the shard worker, \
+     from dequeue to response bytes ready.",
+);
+/// Control plane: serving shards of this instance.
+pub const METRIC_SHARDS: (&str, &str) = (
+    "sdoh_shards",
+    "Serving shards (worker threads) of this instance.",
+);
+/// Control plane: shards that missed the latest snapshot deadline.
+pub const METRIC_UNRESPONSIVE_SHARDS: (&str, &str) = (
+    "sdoh_unresponsive_shards",
+    "Shards that missed the latest snapshot deadline (wedged workers).",
+);
+/// Control plane: the most recently published config epoch.
+pub const METRIC_CONFIG_EPOCH: (&str, &str) = (
+    "sdoh_config_epoch",
+    "The config epoch most recently published by the control plane.",
+);
+/// Control plane: the config epoch each shard last acknowledged.
+pub const METRIC_SHARD_ACKED_EPOCH: (&str, &str) = (
+    "sdoh_shard_acked_epoch",
+    "The config epoch this shard last acknowledged.",
+);
+/// Chaos: invariant breaches recorded by the campaign monitor.
+pub const METRIC_INVARIANT_VIOLATIONS: (&str, &str) = (
+    "sdoh_invariant_violations_total",
+    "Invariant breaches recorded by the chaos campaign monitor \
+     (guarantee, clock, monotonicity, cache age, accounting).",
+);
+/// Time sync: successful Chronos updates.
+pub const METRIC_TIMESYNC_SYNCS: (&str, &str) = (
+    "sdoh_timesync_syncs_total",
+    "Successful time synchronizations (Chronos accepted an update).",
+);
+/// Time sync: failed synchronizations.
+pub const METRIC_TIMESYNC_FAILURES: (&str, &str) = (
+    "sdoh_timesync_failures_total",
+    "Failed time synchronizations (pool fetch, empty pool or Chronos rejection).",
+);
+/// Time sync: pool re-pulls after a TTL window elapsed.
+pub const METRIC_TIMESYNC_POOL_REFRESHES: (&str, &str) = (
+    "sdoh_timesync_pool_refreshes_total",
+    "NTP server pool re-pulls after a TTL window elapsed.",
+);
+
+/// `(name, help)` rows of the front-door and control-plane metrics
+/// exported by `sdoh-runtime` (in addition to the serve tables above).
+pub const RUNTIME_METRIC_HELP: &[(&str, &str)] = &[
+    METRIC_UDP_QUERIES,
+    METRIC_TCP_QUERIES,
+    METRIC_TRUNCATED_RESPONSES,
+    METRIC_DROPPED_QUERIES,
+    METRIC_SERVE_LATENCY,
+    METRIC_SHARDS,
+    METRIC_UNRESPONSIVE_SHARDS,
+    METRIC_CONFIG_EPOCH,
+    METRIC_SHARD_ACKED_EPOCH,
+];
+
+/// `(name, help)` rows of the application-layer metrics: the secure time
+/// client and the chaos invariant monitor.
+pub const APP_METRIC_HELP: &[(&str, &str)] = &[
+    METRIC_INVARIANT_VIOLATIONS,
+    METRIC_TIMESYNC_SYNCS,
+    METRIC_TIMESYNC_FAILURES,
+    METRIC_TIMESYNC_POOL_REFRESHES,
+];
+
 /// `(name, help)` rows of every gauge exported from a [`ServeSnapshot`].
 pub const SERVE_GAUGE_HELP: &[(&str, &str)] = &[
     (
@@ -142,6 +242,7 @@ pub fn snapshot_samples(snapshot: &ServeSnapshot, labels: &[(&str, &str)]) -> Ve
         snapshot.serve.last_generation_latency.as_secs_f64(),
         snapshot.serve.total_generation_latency.as_secs_f64(),
     ];
+    // sdoh-lint: allow(hot-path-purity, "sample rendering runs at scrape cadence, not per query")
     let owned_labels: Vec<(String, String)> = labels
         .iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -191,13 +292,9 @@ mod tests {
             assert!(!sample.help.trim().is_empty(), "{} lacks help", sample.name);
             assert_eq!(sample.labels, vec![("shard".to_string(), "2".to_string())]);
         }
-        let by_name = |name: &str| {
-            samples
-                .iter()
-                .find(|s| s.name == name)
-                .unwrap_or_else(|| panic!("{name} missing"))
-                .value
-                .clone()
+        let by_name = |name: &str| match sdoh_metrics::find_sample(&samples, name) {
+            Ok(sample) => sample.value.clone(),
+            Err(missing) => panic!("{missing}"),
         };
         assert_eq!(
             by_name("sdoh_serve_queries_total"),
@@ -218,6 +315,8 @@ mod tests {
         let mut names: Vec<&str> = SERVE_COUNTER_HELP
             .iter()
             .chain(SERVE_GAUGE_HELP)
+            .chain(RUNTIME_METRIC_HELP)
+            .chain(APP_METRIC_HELP)
             .map(|(name, _)| *name)
             .collect();
         let total = names.len();

@@ -102,7 +102,7 @@ impl<'a> ServeSession<'a> {
         }
         Ok(ServeSession {
             flights,
-            routes: Vec::new(),
+            routes: Vec::new(), // sdoh-lint: allow(hot-path-purity, "an empty Vec::new never allocates")
         })
     }
 
@@ -174,11 +174,17 @@ impl<'a> ServeSession<'a> {
         id: ServeTransactionId,
         outcome: NetResult<Vec<u8>>,
     ) -> PoolResult<()> {
+        // sdoh-lint: allow(hot-path-purity, "error formatting happens on the failure path only")
         let &(flight, inner) = self
             .routes
             .get(id.0)
             .ok_or_else(|| PoolError::Session(format!("unknown serve transaction {}", id.0)))?;
-        self.flights[flight].session.handle_response(inner, outcome)
+        // sdoh-lint: allow(hot-path-purity, "error formatting happens on the failure path only")
+        let entry = self
+            .flights
+            .get_mut(flight)
+            .ok_or_else(|| PoolError::Session(format!("serve route to unknown flight {flight}")))?;
+        entry.session.handle_response(inner, outcome)
     }
 
     /// Completes every flight, returning the per-key outcomes in batch
@@ -193,6 +199,7 @@ impl<'a> ServeSession<'a> {
         let mut outcomes = Vec::with_capacity(self.flights.len());
         for flight in self.flights {
             if !flight.session.is_done() {
+                // sdoh-lint: allow(hot-path-purity, "error formatting happens on the failure path only")
                 return Err(PoolError::Session(format!(
                     "finish() called with exchanges of {} outstanding",
                     flight.key
@@ -228,8 +235,11 @@ pub fn drive_serve(
     session: &mut ServeSession<'_>,
     exchanger: &mut dyn Exchanger,
 ) -> PoolResult<Vec<ServeEvent>> {
+    // sdoh-lint: allow(hot-path-purity, "an empty Vec::new never allocates")
     let mut events: Vec<ServeEvent> = Vec::new();
+    // sdoh-lint: allow(hot-path-purity, "an empty Vec::new never allocates")
     let mut ids: Vec<ServeTransactionId> = Vec::new();
+    // sdoh-lint: allow(hot-path-purity, "an empty Vec::new never allocates")
     let mut requests: Vec<ExchangeRequest> = Vec::new();
     loop {
         match session.poll(exchanger.now()) {
@@ -247,7 +257,10 @@ pub fn drive_serve(
                 let outcomes = exchanger.exchange_all(mem::take(&mut requests));
                 let batch_ids = mem::take(&mut ids);
                 for outcome in outcomes {
-                    session.handle_response(batch_ids[outcome.index], outcome.result)?;
+                    let id = batch_ids.get(outcome.index).copied().ok_or_else(|| {
+                        PoolError::Session("exchange outcome for an unsent request".into())
+                    })?;
+                    session.handle_response(id, outcome.result)?;
                 }
             }
             ServeAction::Done => return Ok(events),

@@ -247,13 +247,13 @@ impl<'a> PoolSession<'a> {
             if matches!(tx.state, TxState::Queued { .. }) {
                 let state = mem::replace(&mut tx.state, TxState::Poisoned);
                 let TxState::Queued { request, pending } = state else {
-                    unreachable!("state checked above");
+                    unreachable!("state checked above"); // sdoh-lint: allow(no-panic, "the matches! guard two lines up makes this arm impossible")
                 };
                 let deadline = now.saturating_add(request.timeout);
                 tx.state = TxState::InFlight { pending, deadline };
                 return Action::Transmit(Transmit {
                     transaction: TransactionId(index),
-                    source: self.sources[tx.source].source_name(),
+                    source: self.sources[tx.source].source_name(), // sdoh-lint: allow(no-panic, "tx.source is an index into self.sources by construction")
                     request,
                 });
             }
@@ -297,9 +297,9 @@ impl<'a> PoolSession<'a> {
         }
         let state = mem::replace(&mut tx.state, TxState::Poisoned);
         let TxState::InFlight { pending, .. } = state else {
-            unreachable!("state checked above");
+            unreachable!("state checked above"); // sdoh-lint: allow(no-panic, "the matches! guard above makes this arm impossible")
         };
-        let result = self.sources[tx.source].handle_response(pending, outcome);
+        let result = self.sources[tx.source].handle_response(pending, outcome); // sdoh-lint: allow(no-panic, "tx.source is an index into self.sources by construction")
         let failed = result.is_err();
         tx.state = TxState::Completed { result };
         let (pass, source) = (tx.pass, tx.source);
@@ -332,17 +332,25 @@ impl<'a> PoolSession<'a> {
     /// Queues the per-source completion event once every slot of
     /// `(pass, source)` holds a result.
     fn emit_if_complete(&mut self, pass: usize, source: usize) {
-        let mut slots: Vec<Option<&Result<Vec<IpAddr>, FetchError>>> =
-            vec![None; self.passes[pass].len()];
+        let (Some(pass_slots), Some(source_ref)) =
+            (self.passes.get(pass), self.sources.get(source))
+        else {
+            return;
+        };
+        let mut slots: Vec<Option<&Result<Vec<IpAddr>, FetchError>>> = vec![None; pass_slots.len()];
         for tx in &self.transactions {
             if tx.pass == pass && tx.source == source {
                 match &tx.state {
-                    TxState::Completed { result } => slots[tx.slot] = Some(result),
+                    TxState::Completed { result } => {
+                        if let Some(slot) = slots.get_mut(tx.slot) {
+                            *slot = Some(result);
+                        }
+                    }
                     _ => return,
                 }
             }
         }
-        let name = self.sources[source].source_name();
+        let name = source_ref.source_name();
         // The lowest failing slot decides, mirroring the sequential
         // fetch-A-then-AAAA behaviour where the first failure aborted.
         let mut addresses = 0usize;
@@ -393,16 +401,17 @@ impl<'a> PoolSession<'a> {
             pass_reports.push(self.combine_pass(pass, rtypes)?);
         }
 
-        if pass_reports.len() == 1 {
-            return Ok(pass_reports.pop().expect("one pass"));
-        }
         // PerFamily: each family truncated and combined on its own, pools
         // concatenated. Per-source outcomes are merged across the passes —
         // a resolver counts as failed if any family lookup failed, and as
         // answering the total address count otherwise — so front-end
-        // metrics see real outcomes, not just the A pass's.
-        let mut merged = pass_reports.remove(0);
-        for other in pass_reports {
+        // metrics see real outcomes, not just the A pass's. (A single-pass
+        // session simply skips the merge loop.)
+        let mut reports = pass_reports.into_iter();
+        let Some(mut merged) = reports.next() else {
+            return Err(PoolError::Session("session has no passes".into()));
+        };
+        for other in reports {
             merged.pool.extend_from(&other.pool);
             merged.truncate_lengths.extend(other.truncate_lengths);
             for ((_, outcome), (_, other_outcome)) in merged.sources.iter_mut().zip(other.sources) {
@@ -432,9 +441,10 @@ impl<'a> PoolSession<'a> {
                 .transactions
                 .iter()
                 .filter(|t| t.pass == pass && t.source == source_index)
-                .map(|t| match &t.state {
-                    TxState::Completed { result } => (t.slot, result),
-                    _ => unreachable!("finish() checked completion"),
+                .filter_map(|t| match &t.state {
+                    TxState::Completed { result } => Some((t.slot, result)),
+                    // finish() verified completion before combine_pass runs.
+                    _ => None,
                 })
                 .collect();
             slots.sort_by_key(|(slot, _)| *slot);
@@ -589,7 +599,10 @@ pub fn drive(
                 // Outcomes arrive in completion order; feed them back in
                 // exactly that interleaving.
                 for outcome in outcomes {
-                    session.handle_response(batch_ids[outcome.index], outcome.result)?;
+                    let id = batch_ids.get(outcome.index).copied().ok_or_else(|| {
+                        PoolError::Session("exchange outcome for an unsent request".into())
+                    })?;
+                    session.handle_response(id, outcome.result)?;
                 }
             }
             Action::Done => return Ok(events),

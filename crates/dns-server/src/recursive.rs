@@ -143,7 +143,7 @@ impl HardeningConfig {
         if self.encode_0x20 {
             bits += u16::from(qname_case_bits);
         }
-        bits.min(255) as u8
+        u8::try_from(bits.min(255)).unwrap_or(u8::MAX)
     }
 }
 
@@ -400,7 +400,7 @@ impl RecursiveResolver {
                     .iter()
                     .map(|r| r.name.clone())
                     .max_by_key(Name::num_labels)
-                    .expect("ns_records is non-empty");
+                    .expect("ns_records is non-empty"); // sdoh-lint: allow(no-panic, "the surrounding branch runs only when ns_records is non-empty")
                 let ns_records: Vec<&Record> =
                     ns_records.into_iter().filter(|r| r.name == zone).collect();
                 let glue = if enforce {

@@ -34,17 +34,17 @@ pub fn parse_zone(origin: &Name, text: &str) -> Result<Zone, ZoneFileError> {
 
         let starts_with_space = line.starts_with(' ') || line.starts_with('\t');
         let tokens: Vec<&str> = line.split_whitespace().collect();
-        if tokens.is_empty() {
+        let Some(&first_token) = tokens.first() else {
             continue;
-        }
+        };
 
         // Directives.
-        if tokens[0] == "$ORIGIN" {
+        if first_token == "$ORIGIN" {
             let name = require(tokens.get(1), line_no, "missing $ORIGIN argument")?;
             current_origin = parse_name(name, &current_origin, line_no)?;
             continue;
         }
-        if tokens[0] == "$TTL" {
+        if first_token == "$TTL" {
             let ttl = require(tokens.get(1), line_no, "missing $TTL argument")?;
             default_ttl = parse_u32(ttl, line_no)?;
             continue;
@@ -56,10 +56,10 @@ pub fn parse_zone(origin: &Name, text: &str) -> Result<Zone, ZoneFileError> {
                 line: line_no,
                 message: "record with implicit owner but no previous owner".into(),
             })?;
-            (owner, &tokens[..])
+            (owner, tokens.as_slice())
         } else {
-            let owner = parse_owner(tokens[0], &current_origin, line_no)?;
-            (owner, &tokens[1..])
+            let owner = parse_owner(first_token, &current_origin, line_no)?;
+            (owner, tokens.get(1..).unwrap_or(&[]))
         };
         last_owner = Some(owner.clone());
 
@@ -68,18 +68,18 @@ pub fn parse_zone(origin: &Name, text: &str) -> Result<Zone, ZoneFileError> {
         loop {
             match rest.first() {
                 Some(tok) if tok.eq_ignore_ascii_case("IN") => {
-                    rest = &rest[1..];
+                    rest = rest.get(1..).unwrap_or(&[]);
                 }
                 Some(tok) if tok.chars().all(|c| c.is_ascii_digit()) && rest.len() > 1 => {
                     ttl = parse_u32(tok, line_no)?;
-                    rest = &rest[1..];
+                    rest = rest.get(1..).unwrap_or(&[]);
                 }
                 _ => break,
             }
         }
 
         let rtype = require(rest.first(), line_no, "missing record type")?;
-        let rdata_tokens = &rest[1..];
+        let rdata_tokens = rest.get(1..).unwrap_or(&[]);
         let rdata = parse_rdata(rtype, rdata_tokens, &current_origin, line_no)?;
 
         let record = Record::new(owner.clone(), ttl, rdata);
@@ -98,8 +98,8 @@ pub fn parse_zone(origin: &Name, text: &str) -> Result<Zone, ZoneFileError> {
 }
 
 fn strip_comment(line: &str) -> &str {
-    match line.find(';') {
-        Some(pos) => &line[..pos],
+    match line.split_once(';') {
+        Some((head, _)) => head,
         None => line,
     }
 }
@@ -208,30 +208,30 @@ fn parse_rdata(
             Ok(RData::Txt(strings))
         }
         "SRV" => {
-            if tokens.len() < 4 {
+            let &[priority, weight, port, target, ..] = tokens else {
                 return Err(syntax("SRV needs priority weight port target".into()));
-            }
+            };
             Ok(RData::Srv(Srv::new(
-                parse_u16(tokens[0], line)?,
-                parse_u16(tokens[1], line)?,
-                parse_u16(tokens[2], line)?,
-                parse_name(tokens[3], origin, line)?,
+                parse_u16(priority, line)?,
+                parse_u16(weight, line)?,
+                parse_u16(port, line)?,
+                parse_name(target, origin, line)?,
             )))
         }
         "SOA" => {
-            if tokens.len() < 7 {
+            let &[mname, rname, serial, refresh, retry, expire, minimum, ..] = tokens else {
                 return Err(syntax(
                     "SOA needs mname rname serial refresh retry expire minimum".into(),
                 ));
-            }
+            };
             Ok(RData::Soa(Soa {
-                mname: parse_name(tokens[0], origin, line)?,
-                rname: parse_name(tokens[1], origin, line)?,
-                serial: parse_u32(tokens[2], line)?,
-                refresh: parse_u32(tokens[3], line)?,
-                retry: parse_u32(tokens[4], line)?,
-                expire: parse_u32(tokens[5], line)?,
-                minimum: parse_u32(tokens[6], line)?,
+                mname: parse_name(mname, origin, line)?,
+                rname: parse_name(rname, origin, line)?,
+                serial: parse_u32(serial, line)?,
+                refresh: parse_u32(refresh, line)?,
+                retry: parse_u32(retry, line)?,
+                expire: parse_u32(expire, line)?,
+                minimum: parse_u32(minimum, line)?,
             }))
         }
         other => Err(syntax(format!("unsupported record type: {other}"))),

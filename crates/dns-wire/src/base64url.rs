@@ -16,12 +16,14 @@ const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwx
 /// assert_eq!(base64url::encode(b"fo"), "Zm8");
 /// assert_eq!(base64url::encode(b"foo"), "Zm9v");
 /// ```
+// sdoh-lint: allow(no-panic, "every alphabet index is masked to 6 bits and ALPHABET has 64 entries")
+// sdoh-lint: allow(no-narrowing-cast, "every cast value is masked to 6 bits first")
 pub fn encode(input: &[u8]) -> String {
     let mut out = String::with_capacity(input.len().div_ceil(3) * 4);
     for chunk in input.chunks(3) {
-        let b0 = chunk[0] as u32;
-        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
-        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let b0 = u32::from(chunk.first().copied().unwrap_or(0));
+        let b1 = u32::from(chunk.get(1).copied().unwrap_or(0));
+        let b2 = u32::from(chunk.get(2).copied().unwrap_or(0));
         let triple = (b0 << 16) | (b1 << 8) | b2;
         out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
         out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
@@ -37,9 +39,9 @@ pub fn encode(input: &[u8]) -> String {
 
 fn decode_char(c: u8) -> Option<u32> {
     match c {
-        b'A'..=b'Z' => Some((c - b'A') as u32),
-        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
-        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'A'..=b'Z' => Some(u32::from(c - b'A')),
+        b'a'..=b'z' => Some(u32::from(c - b'a' + 26)),
+        b'0'..=b'9' => Some(u32::from(c - b'0' + 52)),
         b'-' => Some(62),
         b'_' => Some(63),
         _ => None,
@@ -59,9 +61,8 @@ pub fn decode(input: &str) -> WireResult<Vec<u8>> {
     let trimmed = input.trim_end_matches('=');
     let bytes = trimmed.as_bytes();
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3 + 3);
-    let mut i = 0;
-    while i < bytes.len() {
-        let chunk = &bytes[i..bytes.len().min(i + 4)];
+    for (ci, chunk) in bytes.chunks(4).enumerate() {
+        let i = ci * 4;
         if chunk.len() == 1 {
             return Err(WireError::InvalidBase64(i));
         }
@@ -70,14 +71,15 @@ pub fn decode(input: &str) -> WireResult<Vec<u8>> {
             let v = decode_char(c).ok_or(WireError::InvalidBase64(i + j))?;
             acc |= v << (18 - 6 * j);
         }
-        out.push((acc >> 16) as u8);
+        // acc holds 24 bits; its big-endian octets are the decoded bytes.
+        let [_, o0, o1, o2] = acc.to_be_bytes();
+        out.push(o0);
         if chunk.len() > 2 {
-            out.push((acc >> 8) as u8);
+            out.push(o1);
         }
         if chunk.len() > 3 {
-            out.push(acc as u8);
+            out.push(o2);
         }
-        i += 4;
     }
     Ok(out)
 }

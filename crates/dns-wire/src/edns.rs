@@ -60,8 +60,8 @@ impl Edns {
     /// Converts this EDNS structure into an OPT [`Record`] suitable for the
     /// additional section.
     pub fn to_record(&self) -> Record {
-        let ttl = ((self.extended_rcode as u32) << 24)
-            | ((self.version as u32) << 16)
+        let ttl = (u32::from(self.extended_rcode) << 24)
+            | (u32::from(self.version) << 16)
             | if self.dnssec_ok { 1 << 15 } else { 0 };
         Record {
             name: Name::root(),
@@ -85,8 +85,8 @@ impl Edns {
         };
         Some(Edns {
             payload_size: record.rclass.code(),
-            extended_rcode: (record.ttl >> 24) as u8,
-            version: ((record.ttl >> 16) & 0xFF) as u8,
+            extended_rcode: (record.ttl >> 24) as u8, // sdoh-lint: allow(no-narrowing-cast, "the 24-bit shift leaves exactly the top byte")
+            version: ((record.ttl >> 16) & 0xFF) as u8, // sdoh-lint: allow(no-narrowing-cast, "masked to 8 bits before the cast")
             dnssec_ok: record.ttl & (1 << 15) != 0,
             options,
         })

@@ -101,7 +101,7 @@ impl Rcode {
 
     /// The low four bits carried in the message header.
     pub fn low_bits(self) -> u8 {
-        (self.code() & 0x0F) as u8
+        (self.code() & 0x0F) as u8 // sdoh-lint: allow(no-narrowing-cast, "masked to the low four bits before the cast")
     }
 
     /// Returns `true` when this rcode indicates success.
@@ -202,7 +202,7 @@ impl Header {
         if self.response {
             flags |= 1 << 15;
         }
-        flags |= (self.opcode.code() as u16 & 0x0F) << 11;
+        flags |= (u16::from(self.opcode.code()) & 0x0F) << 11;
         if self.authoritative {
             flags |= 1 << 10;
         }
@@ -221,7 +221,7 @@ impl Header {
         if self.checking_disabled {
             flags |= 1 << 4;
         }
-        flags |= self.rcode.low_bits() as u16;
+        flags |= u16::from(self.rcode.low_bits());
         w.put_u16(flags);
         w.put_u16(self.question_count);
         w.put_u16(self.answer_count);
@@ -241,7 +241,7 @@ impl Header {
         let header = Header {
             id,
             response: flags & (1 << 15) != 0,
-            opcode: Opcode::from(((flags >> 11) & 0x0F) as u8),
+            opcode: Opcode::from(((flags >> 11) & 0x0F) as u8), // sdoh-lint: allow(no-narrowing-cast, "masked to four bits before the cast")
             authoritative: flags & (1 << 10) != 0,
             truncated: flags & (1 << 9) != 0,
             recursion_desired: flags & (1 << 8) != 0,

@@ -67,7 +67,7 @@ impl Message {
     pub fn response_to(query: &Message) -> Self {
         Message {
             header: Header {
-                question_count: query.questions.len() as u16,
+                question_count: u16::try_from(query.questions.len()).unwrap_or(u16::MAX),
                 ..Header::response_to(&query.header)
             },
             questions: query.questions.clone(),
@@ -86,7 +86,7 @@ impl Message {
         if let Some(edns) = self.edns() {
             if edns.extended_rcode != 0 {
                 let code =
-                    ((edns.extended_rcode as u16) << 4) | self.header.rcode.low_bits() as u16;
+                    (u16::from(edns.extended_rcode) << 4) | u16::from(self.header.rcode.low_bits());
                 return Rcode::from(code);
             }
         }
@@ -135,10 +135,12 @@ impl Message {
 
     /// Recomputes the header section counts from the actual section lengths.
     pub fn normalize_counts(&mut self) {
-        self.header.question_count = self.questions.len() as u16;
-        self.header.answer_count = self.answers.len() as u16;
-        self.header.authority_count = self.authorities.len() as u16;
-        self.header.additional_count = self.additionals.len() as u16;
+        // Saturating: a section this large cannot encode anyway — encode()
+        // rejects messages over 65535 octets.
+        self.header.question_count = u16::try_from(self.questions.len()).unwrap_or(u16::MAX);
+        self.header.answer_count = u16::try_from(self.answers.len()).unwrap_or(u16::MAX);
+        self.header.authority_count = u16::try_from(self.authorities.len()).unwrap_or(u16::MAX);
+        self.header.additional_count = u16::try_from(self.additionals.len()).unwrap_or(u16::MAX);
     }
 
     /// Encodes the message to wire format with name compression.
@@ -178,19 +180,19 @@ impl Message {
     pub fn decode(data: &[u8]) -> WireResult<Self> {
         let mut r = WireReader::new(data);
         let header = Header::decode(&mut r)?;
-        let mut questions = Vec::with_capacity(header.question_count as usize);
+        let mut questions = Vec::with_capacity(usize::from(header.question_count));
         for _ in 0..header.question_count {
             questions.push(Question::decode(&mut r)?);
         }
-        let mut answers = Vec::with_capacity(header.answer_count as usize);
+        let mut answers = Vec::with_capacity(usize::from(header.answer_count));
         for _ in 0..header.answer_count {
             answers.push(Record::decode(&mut r)?);
         }
-        let mut authorities = Vec::with_capacity(header.authority_count as usize);
+        let mut authorities = Vec::with_capacity(usize::from(header.authority_count));
         for _ in 0..header.authority_count {
             authorities.push(Record::decode(&mut r)?);
         }
-        let mut additionals = Vec::with_capacity(header.additional_count as usize);
+        let mut additionals = Vec::with_capacity(usize::from(header.additional_count));
         for _ in 0..header.additional_count {
             additionals.push(Record::decode(&mut r)?);
         }

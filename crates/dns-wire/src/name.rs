@@ -143,7 +143,7 @@ impl Name {
             None
         } else {
             Some(Name {
-                labels: self.labels[1..].to_vec(),
+                labels: self.labels.get(1..).unwrap_or(&[]).to_vec(),
             })
         }
     }
@@ -180,7 +180,9 @@ impl Name {
             return false;
         }
         let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..]
+        self.labels
+            .get(offset..)
+            .unwrap_or(&[])
             .iter()
             .zip(other.labels.iter())
             .all(|(a, b)| eq_ignore_case(a, b))
@@ -194,7 +196,11 @@ impl Name {
             return self.clone();
         }
         Name {
-            labels: self.labels[self.labels.len() - suffix_len..].to_vec(),
+            labels: self
+                .labels
+                .get(self.labels.len() - suffix_len..)
+                .unwrap_or(&[])
+                .to_vec(),
         }
     }
 
@@ -267,7 +273,7 @@ impl Name {
             .flat_map(|l| l.iter())
             .filter(|b| b.is_ascii_alphabetic())
             .count();
-        letters.min(255) as u8
+        u8::try_from(letters.min(255)).unwrap_or(u8::MAX)
     }
 
     /// Returns `true` when no label contains an uppercase ASCII letter —

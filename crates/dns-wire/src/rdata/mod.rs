@@ -138,7 +138,7 @@ impl RData {
             RData::Srv(srv) => srv.encode(w),
             RData::Opt(opt) => opt.encode(w),
             RData::Unknown { data, .. } => {
-                if data.len() > u16::MAX as usize {
+                if data.len() > usize::from(u16::MAX) {
                     return Err(WireError::RdataTooLong(data.len()));
                 }
                 w.put_slice(data);
@@ -157,8 +157,12 @@ impl RData {
         let start = r.position();
         let rdata = match rtype {
             RrType::A => {
-                let bytes = r.read_bytes(4)?;
-                RData::A(Ipv4Addr::new(bytes[0], bytes[1], bytes[2], bytes[3]))
+                let &[a, b, c, d] = r.read_bytes(4)? else {
+                    return Err(WireError::UnexpectedEof {
+                        expected: "A rdata",
+                    });
+                };
+                RData::A(Ipv4Addr::new(a, b, c, d))
             }
             RrType::Aaaa => {
                 let bytes = r.read_bytes(16)?;

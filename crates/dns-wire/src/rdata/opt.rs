@@ -56,11 +56,10 @@ impl OptRdata {
     /// 65535 octets.
     pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
         for opt in &self.options {
-            if opt.value.len() > u16::MAX as usize {
-                return Err(WireError::RdataTooLong(opt.value.len()));
-            }
+            let olen = u16::try_from(opt.value.len())
+                .map_err(|_| WireError::RdataTooLong(opt.value.len()))?;
             w.put_u16(opt.code);
-            w.put_u16(opt.value.len() as u16);
+            w.put_u16(olen);
             w.put_slice(&opt.value);
         }
         Ok(())
@@ -79,7 +78,7 @@ impl OptRdata {
                 return Err(WireError::InvalidOpt("truncated option header"));
             }
             let code = r.read_u16()?;
-            let olen = r.read_u16()? as usize;
+            let olen = usize::from(r.read_u16()?);
             if r.position() + olen > end {
                 return Err(WireError::InvalidOpt("option value overruns rdata"));
             }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::error::WireResult;
+use crate::error::{WireError, WireResult};
 use crate::name::Name;
 use crate::wire::{WireReader, WireWriter};
 
@@ -37,7 +37,9 @@ impl Srv {
         w.put_u16(self.port);
         // Emit the target without compression by writing labels manually.
         for label in self.target.labels() {
-            w.put_u8(label.len() as u8);
+            let len =
+                u8::try_from(label.len()).map_err(|_| WireError::LabelTooLong(label.len()))?;
+            w.put_u8(len);
             w.put_slice(label);
         }
         w.put_u8(0);

@@ -69,10 +69,9 @@ impl Record {
         let rdata_start = w.len();
         self.rdata.encode(w)?;
         let rdata_len = w.len() - rdata_start;
-        if rdata_len > u16::MAX as usize {
-            return Err(WireError::RdataTooLong(rdata_len));
-        }
-        w.patch_u16(len_offset, rdata_len as u16);
+        let encoded_len =
+            u16::try_from(rdata_len).map_err(|_| WireError::RdataTooLong(rdata_len))?;
+        w.patch_u16(len_offset, encoded_len);
         Ok(())
     }
 
@@ -87,7 +86,7 @@ impl Record {
         let rtype = RrType::from(r.read_u16()?);
         let rclass = RrClass::from(r.read_u16()?);
         let ttl = r.read_u32()?;
-        let rdlength = r.read_u16()? as usize;
+        let rdlength = usize::from(r.read_u16()?);
         if r.remaining() < rdlength {
             return Err(WireError::UnexpectedEof { expected: "rdata" });
         }

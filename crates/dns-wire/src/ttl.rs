@@ -43,7 +43,7 @@ impl Ttl {
 
     /// The TTL as a duration of (virtual) time.
     pub const fn as_duration(self) -> Duration {
-        Duration::from_secs(self.0 as u64)
+        Duration::from_secs(self.0 as u64) // sdoh-lint: allow(no-narrowing-cast, "u32 to u64 widening in a const fn, which cannot call From")
     }
 
     /// Returns `true` for the zero TTL.

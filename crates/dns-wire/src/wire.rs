@@ -80,10 +80,12 @@ impl WireWriter {
     ///
     /// Panics if `offset + 2` is beyond the current length; this is a
     /// programming error in the encoder, not an input error.
+    // sdoh-lint: allow(no-panic, "asserted bounds; the documented # Panics contract of this encoder-internal patch")
     pub fn patch_u16(&mut self, offset: usize, v: u16) {
         assert!(offset + 2 <= self.buf.len(), "patch_u16 out of range");
-        self.buf[offset] = (v >> 8) as u8;
-        self.buf[offset + 1] = (v & 0xff) as u8;
+        let [hi, lo] = v.to_be_bytes();
+        self.buf[offset] = hi;
+        self.buf[offset + 1] = lo;
     }
 
     /// Appends a character-string: one length octet followed by up to 255
@@ -94,10 +96,8 @@ impl WireWriter {
     /// Returns [`WireError::CharacterStringTooLong`] when `s` exceeds 255
     /// octets.
     pub fn put_character_string(&mut self, s: &[u8]) -> WireResult<()> {
-        if s.len() > 255 {
-            return Err(WireError::CharacterStringTooLong(s.len()));
-        }
-        self.buf.put_u8(s.len() as u8);
+        let len = u8::try_from(s.len()).map_err(|_| WireError::CharacterStringTooLong(s.len()))?;
+        self.buf.put_u8(len);
         self.buf.put_slice(s);
         Ok(())
     }
@@ -108,6 +108,7 @@ impl WireWriter {
     /// # Errors
     ///
     /// Returns [`WireError::NameTooLong`] if the name exceeds wire limits.
+    // sdoh-lint: allow(no-panic, "i ranges over 0..labels.len(), so both the slice and the index are in bounds")
     pub fn put_name(&mut self, name: &Name) -> WireResult<()> {
         if name.wire_len() > crate::name::MAX_NAME_LEN {
             return Err(WireError::NameTooLong(name.wire_len()));
@@ -123,11 +124,18 @@ impl WireWriter {
                 }
             }
             let here = self.buf.len();
-            if self.compress && here <= 0x3FFF {
-                self.compression.insert(suffix_key, here as u16);
+            if self.compress {
+                if let Ok(offset) = u16::try_from(here) {
+                    if offset <= 0x3FFF {
+                        self.compression.insert(suffix_key, offset);
+                    }
+                }
             }
             let label = labels[i];
-            self.buf.put_u8(label.len() as u8);
+            // Name labels are 63 octets at most by construction; a longer
+            // label cannot round-trip, so refuse it rather than truncate.
+            let len = u8::try_from(label.len()).map_err(|_| WireError::NameTooLong(label.len()))?;
+            self.buf.put_u8(len);
             self.buf.put_slice(label);
         }
         self.buf.put_u8(0);
@@ -208,10 +216,10 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::UnexpectedEof`] when the input is exhausted.
     pub fn read_u8(&mut self) -> WireResult<u8> {
-        if self.remaining() < 1 {
-            return Err(WireError::UnexpectedEof { expected: "u8" });
-        }
-        let v = self.data[self.pos];
+        let v = *self
+            .data
+            .get(self.pos)
+            .ok_or(WireError::UnexpectedEof { expected: "u8" })?;
         self.pos += 1;
         Ok(v)
     }
@@ -222,12 +230,13 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::UnexpectedEof`] when fewer than two octets remain.
     pub fn read_u16(&mut self) -> WireResult<u16> {
-        if self.remaining() < 2 {
-            return Err(WireError::UnexpectedEof { expected: "u16" });
-        }
-        let v = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]);
+        let bytes = self
+            .data
+            .get(self.pos..self.pos + 2)
+            .and_then(|s| <[u8; 2]>::try_from(s).ok())
+            .ok_or(WireError::UnexpectedEof { expected: "u16" })?;
         self.pos += 2;
-        Ok(v)
+        Ok(u16::from_be_bytes(bytes))
     }
 
     /// Reads a 32-bit value in network byte order.
@@ -236,17 +245,13 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::UnexpectedEof`] when fewer than four octets remain.
     pub fn read_u32(&mut self) -> WireResult<u32> {
-        if self.remaining() < 4 {
-            return Err(WireError::UnexpectedEof { expected: "u32" });
-        }
-        let v = u32::from_be_bytes([
-            self.data[self.pos],
-            self.data[self.pos + 1],
-            self.data[self.pos + 2],
-            self.data[self.pos + 3],
-        ]);
+        let bytes = self
+            .data
+            .get(self.pos..self.pos + 4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .ok_or(WireError::UnexpectedEof { expected: "u32" })?;
         self.pos += 4;
-        Ok(v)
+        Ok(u32::from_be_bytes(bytes))
     }
 
     /// Reads exactly `len` octets.
@@ -255,11 +260,15 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::UnexpectedEof`] when fewer than `len` octets remain.
     pub fn read_bytes(&mut self, len: usize) -> WireResult<&'a [u8]> {
-        if self.remaining() < len {
-            return Err(WireError::UnexpectedEof { expected: "bytes" });
-        }
-        let out = &self.data[self.pos..self.pos + len];
-        self.pos += len;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(WireError::UnexpectedEof { expected: "bytes" })?;
+        let out = self
+            .data
+            .get(self.pos..end)
+            .ok_or(WireError::UnexpectedEof { expected: "bytes" })?;
+        self.pos = end;
         Ok(out)
     }
 
@@ -270,7 +279,7 @@ impl<'a> WireReader<'a> {
     /// Returns [`WireError::UnexpectedEof`] if the declared length overruns
     /// the input.
     pub fn read_character_string(&mut self) -> WireResult<Vec<u8>> {
-        let len = self.read_u8()? as usize;
+        let len = usize::from(self.read_u8()?);
         Ok(self.read_bytes(len)?.to_vec())
     }
 
@@ -287,10 +296,9 @@ impl<'a> WireReader<'a> {
         let mut end_pos = self.pos;
 
         loop {
-            if pos >= self.data.len() {
+            let Some(&len) = self.data.get(pos) else {
                 return Err(WireError::UnexpectedEof { expected: "name" });
-            }
-            let len = self.data[pos];
+            };
             match len {
                 0 => {
                     pos += 1;
@@ -300,12 +308,12 @@ impl<'a> WireReader<'a> {
                     break;
                 }
                 l if l & 0xC0 == 0xC0 => {
-                    if pos + 1 >= self.data.len() {
+                    let Some(&low) = self.data.get(pos + 1) else {
                         return Err(WireError::UnexpectedEof {
                             expected: "compression pointer",
                         });
-                    }
-                    let target = (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
+                    };
+                    let target = (usize::from(l & 0x3F) << 8) | usize::from(low);
                     if !followed_pointer {
                         end_pos = pos + 2;
                         followed_pointer = true;
@@ -324,11 +332,11 @@ impl<'a> WireReader<'a> {
                     return Err(WireError::InvalidOpt("unsupported label type"));
                 }
                 l => {
-                    let l = l as usize;
-                    if pos + 1 + l > self.data.len() {
+                    let l = usize::from(l);
+                    let Some(label) = self.data.get(pos + 1..pos + 1 + l) else {
                         return Err(WireError::UnexpectedEof { expected: "label" });
-                    }
-                    labels.push(self.data[pos + 1..pos + 1 + l].to_vec());
+                    };
+                    labels.push(label.to_vec());
                     pos += 1 + l;
                     if !followed_pointer {
                         end_pos = pos;

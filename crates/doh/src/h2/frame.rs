@@ -230,11 +230,13 @@ impl Frame {
     ///
     /// Returns [`H2Error::FrameTooLarge`] for oversized frames and
     /// [`H2Error::Truncated`]/[`H2Error::Protocol`] for malformed ones.
+    // sdoh-lint: allow(no-panic, "every index is guarded by the length checks at the top of its arm")
     pub fn decode(input: &[u8]) -> Result<Option<(Frame, usize)>, H2Error> {
         if input.len() < 9 {
             return Ok(None);
         }
-        let length = ((input[0] as usize) << 16) | ((input[1] as usize) << 8) | input[2] as usize;
+        let length =
+            (usize::from(input[0]) << 16) | (usize::from(input[1]) << 8) | usize::from(input[2]);
         if length > MAX_FRAME_SIZE {
             return Err(H2Error::FrameTooLarge(length));
         }
@@ -338,6 +340,7 @@ impl Frame {
     }
 }
 
+// sdoh-lint: allow(no-narrowing-cast, "each byte is masked to 8 bits before the cast")
 fn encode_header(
     out: &mut BytesMut,
     length: usize,

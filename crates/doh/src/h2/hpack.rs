@@ -87,7 +87,7 @@ pub fn encode(headers: &[(String, String)]) -> Vec<u8> {
     for (name, value) in headers {
         if let Some(index) = static_index_exact(name, value) {
             // Indexed header field: 1xxxxxxx
-            encode_integer(&mut out, index as u64, 7, 0x80);
+            encode_integer(&mut out, index as u64, 7, 0x80); // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets")
             continue;
         }
         // Literal header field without indexing — new name: 0000 0000
@@ -106,8 +106,7 @@ pub fn encode(headers: &[(String, String)]) -> Vec<u8> {
 /// references, size updates that are not zero, or truncated input.
 pub fn decode(mut block: &[u8]) -> Result<Vec<(String, String)>, H2Error> {
     let mut headers = Vec::new();
-    while !block.is_empty() {
-        let first = block[0];
+    while let Some(&first) = block.first() {
         if first & 0x80 != 0 {
             // Indexed header field.
             let (index, rest) = decode_integer(block, 7)?;
@@ -152,14 +151,15 @@ fn static_index_exact(name: &str, value: &str) -> Option<usize> {
 }
 
 fn static_entry(index: u64) -> Result<(&'static str, &'static str), H2Error> {
-    if index == 0 || index as usize > STATIC_TABLE.len() {
-        return Err(H2Error::Hpack(format!(
-            "index {index} outside the static table"
-        )));
-    }
-    Ok(STATIC_TABLE[index as usize - 1])
+    usize::try_from(index)
+        .ok()
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| STATIC_TABLE.get(i))
+        .copied()
+        .ok_or_else(|| H2Error::Hpack(format!("index {index} outside the static table")))
 }
 
+// sdoh-lint: allow(no-narrowing-cast, "each cast operand is reduced below 256 by the prefix mask or the modulo")
 fn encode_integer(out: &mut Vec<u8>, mut value: u64, prefix_bits: u8, pattern: u8) {
     let max_prefix = (1u64 << prefix_bits) - 1;
     if value < max_prefix {
@@ -176,22 +176,21 @@ fn encode_integer(out: &mut Vec<u8>, mut value: u64, prefix_bits: u8, pattern: u
 }
 
 fn decode_integer(input: &[u8], prefix_bits: u8) -> Result<(u64, &[u8]), H2Error> {
-    if input.is_empty() {
-        return Err(H2Error::Hpack("truncated integer".into()));
-    }
+    let (&first, mut rest) = input
+        .split_first()
+        .ok_or_else(|| H2Error::Hpack("truncated integer".into()))?;
     let max_prefix = (1u64 << prefix_bits) - 1;
-    let mut value = (input[0] as u64) & max_prefix;
-    let mut rest = &input[1..];
+    let mut value = u64::from(first) & max_prefix;
     if value < max_prefix {
         return Ok((value, rest));
     }
     let mut shift = 0u32;
     loop {
-        let byte = *rest
-            .first()
+        let (&byte, tail) = rest
+            .split_first()
             .ok_or_else(|| H2Error::Hpack("truncated integer continuation".into()))?;
-        rest = &rest[1..];
-        value += ((byte & 0x7F) as u64) << shift;
+        rest = tail;
+        value += u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
             return Ok((value, rest));
         }
@@ -203,25 +202,26 @@ fn decode_integer(input: &[u8], prefix_bits: u8) -> Result<(u64, &[u8]), H2Error
 }
 
 fn encode_string(out: &mut Vec<u8>, data: &[u8]) {
-    encode_integer(out, data.len() as u64, 7, 0x00);
+    encode_integer(out, data.len() as u64, 7, 0x00); // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets")
     out.extend_from_slice(data);
 }
 
 fn decode_string(input: &[u8]) -> Result<(String, &[u8]), H2Error> {
-    if input.is_empty() {
-        return Err(H2Error::Hpack("truncated string".into()));
-    }
-    if input[0] & 0x80 != 0 {
+    let first = input
+        .first()
+        .ok_or_else(|| H2Error::Hpack("truncated string".into()))?;
+    if first & 0x80 != 0 {
         return Err(H2Error::Hpack("huffman coding not supported".into()));
     }
     let (len, rest) = decode_integer(input, 7)?;
-    let len = len as usize;
-    if rest.len() < len {
-        return Err(H2Error::Hpack("truncated string payload".into()));
-    }
-    let text = String::from_utf8(rest[..len].to_vec())
+    let len =
+        usize::try_from(len).map_err(|_| H2Error::Hpack("string length overflows usize".into()))?;
+    let payload = rest
+        .get(..len)
+        .ok_or_else(|| H2Error::Hpack("truncated string payload".into()))?;
+    let text = String::from_utf8(payload.to_vec())
         .map_err(|_| H2Error::Hpack("header string is not valid utf-8".into()))?;
-    Ok((text, &rest[len..]))
+    Ok((text, rest.get(len..).unwrap_or(&[])))
 }
 
 #[cfg(test)]

@@ -1,0 +1,399 @@
+//! The rule engine: turns one lexed source file into diagnostics.
+//!
+//! The engine owns the three pieces of context every rule needs:
+//!
+//! 1. **Significant tokens** — the token stream with comments removed, so
+//!    rules can match patterns like `.` `unwrap` `(` without tripping over
+//!    interleaved comments.
+//! 2. **Test regions** — items annotated `#[cfg(test)]`, `#[test]`,
+//!    `#[bench]` or `#[should_panic]` are marked so rules that only apply
+//!    to production library code skip them. `#[cfg(not(test))]` is
+//!    production code and stays in scope.
+//! 3. **Allow directives** — `// sdoh-lint: allow(<rule>, "<reason>")`
+//!    comments. A directive trailing code applies to its own line; a
+//!    directive on a line of its own applies to the next item (through the
+//!    end of its braced body or terminating `;`/`,`). Directives that
+//!    suppress nothing are themselves reported (`unused-allow`), and
+//!    malformed or unknown directives are reported (`bad-directive`), so
+//!    the escape hatch cannot silently rot.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::Diagnostic;
+use crate::rules::{self, RuleId};
+
+/// A lexed file plus the derived context rules match against.
+pub struct FileView<'a> {
+    source: &'a str,
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    sig: Vec<usize>,
+    /// Parallel to `sig`: true when the token sits inside a test item.
+    in_test: Vec<bool>,
+}
+
+impl<'a> FileView<'a> {
+    pub fn new(source: &'a str) -> Self {
+        let tokens = lex(source);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut view = FileView {
+            source,
+            tokens,
+            in_test: vec![false; sig.len()],
+            sig,
+        };
+        view.mark_test_regions();
+        view
+    }
+
+    /// Number of significant tokens.
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+
+    fn sig_tok(&self, si: usize) -> Option<&Token> {
+        self.sig.get(si).and_then(|&ti| self.tokens.get(ti))
+    }
+
+    /// Text of the `si`-th significant token ("" past the end).
+    pub fn sig_text(&self, si: usize) -> &str {
+        self.sig_tok(si)
+            .and_then(|t| self.source.get(t.start..t.end))
+            .unwrap_or("")
+    }
+
+    pub fn sig_kind(&self, si: usize) -> Option<TokenKind> {
+        self.sig_tok(si).map(|t| t.kind)
+    }
+
+    /// `(line, col)` of the `si`-th significant token.
+    pub fn sig_pos(&self, si: usize) -> (usize, usize) {
+        self.sig_tok(si).map(|t| (t.line, t.col)).unwrap_or((0, 0))
+    }
+
+    pub fn is_punct(&self, si: usize, c: char) -> bool {
+        self.sig_kind(si) == Some(TokenKind::Punct)
+            && self.sig_text(si).chars().eq(std::iter::once(c))
+    }
+
+    pub fn in_test(&self, si: usize) -> bool {
+        self.in_test.get(si).copied().unwrap_or(false)
+    }
+
+    /// Find the significant-token index of the end of the item starting at
+    /// `start`: the `}` closing the first brace block opened at bracket
+    /// depth zero, or the first `;` (or, for field/variant/arm scopes, `,`)
+    /// at depth zero. Returns the last token index when the file ends
+    /// first, and `start` itself when the enclosing block closes
+    /// immediately.
+    fn item_end(&self, start: usize) -> usize {
+        // Declaration items can carry commas at bracket depth zero inside
+        // generic parameter lists and return types (`-> Result<A, B>`),
+        // so a comma only terminates non-item scopes such as struct
+        // fields, enum variants and match arms.
+        let item_like = self.starts_declaration(start);
+        let mut depth = 0usize;
+        let mut si = start;
+        while si < self.sig.len() {
+            let text = self.sig_text(si);
+            match text {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    if depth == 0 {
+                        // Closing the enclosing block: the item ended on the
+                        // previous token.
+                        return si.saturating_sub(1).max(start);
+                    }
+                    depth -= 1;
+                    if depth == 0 && text == "}" {
+                        return si;
+                    }
+                }
+                ";" if depth == 0 => return si,
+                "," if depth == 0 && !item_like => return si,
+                _ => {}
+            }
+            si += 1;
+        }
+        self.sig.len().saturating_sub(1).max(start)
+    }
+
+    /// Whether the tokens at `start` open a declaration item (`fn`,
+    /// `struct`, `impl`, ...) rather than a field, variant, match arm or
+    /// statement. Leading attributes, visibility and modifiers are skipped.
+    fn starts_declaration(&self, start: usize) -> bool {
+        let mut depth = 0usize;
+        // Bounded scan: prefixes (attributes, `pub(crate)`, modifier
+        // chains) are short; anything longer is not a declaration header.
+        for si in start..self.sig.len().min(start + 256) {
+            let text = self.sig_text(si);
+            match text {
+                "[" | "(" => depth += 1,
+                "]" | ")" => depth = depth.saturating_sub(1),
+                _ if depth > 0 => {}
+                // extern "C" carries a string literal before `fn`.
+                _ if self.sig_kind(si) == Some(TokenKind::Str) => {}
+                "#" | "pub" | "const" | "unsafe" | "async" | "extern" | "default" => {}
+                "fn" | "struct" | "enum" | "trait" | "impl" | "mod" | "union" | "type"
+                | "macro" | "static" => return true,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Mark every token belonging to a test-only item.
+    fn mark_test_regions(&mut self) {
+        let mut si = 0usize;
+        while si < self.sig.len() {
+            if self.sig_text(si) == "#" && self.sig_text(si + 1) == "[" {
+                let (close, is_test) = self.classify_attribute(si + 1);
+                if is_test {
+                    let end = self.item_end(si);
+                    for flag in self
+                        .in_test
+                        .iter_mut()
+                        .skip(si)
+                        .take(end.saturating_sub(si) + 1)
+                    {
+                        *flag = true;
+                    }
+                    si = end + 1;
+                    continue;
+                }
+                si = close + 1;
+                continue;
+            }
+            si += 1;
+        }
+    }
+
+    /// Given the index of an attribute's `[`, return the index of its
+    /// matching `]` and whether the attribute marks test-only code.
+    fn classify_attribute(&self, open: usize) -> (usize, bool) {
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        let mut si = open;
+        while si < self.sig.len() {
+            let text = self.sig_text(si);
+            match text {
+                "[" => depth += 1,
+                "]" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if self.sig_kind(si) == Some(TokenKind::Ident) {
+                        idents.push(text);
+                    }
+                }
+            }
+            si += 1;
+        }
+        let first = idents.first().copied().unwrap_or("");
+        let is_test = !idents.contains(&"not")
+            && (first == "test"
+                || first == "should_panic"
+                || first == "bench"
+                || (first == "cfg" && idents.contains(&"test")));
+        (si, is_test)
+    }
+}
+
+/// A parsed allow directive awaiting use.
+struct Allow {
+    rule: RuleId,
+    reason: String,
+    /// First and last source line the directive suppresses.
+    from_line: usize,
+    to_line: usize,
+    /// Position of the directive comment itself.
+    line: usize,
+    col: usize,
+    used: bool,
+}
+
+/// Outcome of trying to read one comment as a directive.
+enum DirectiveParse {
+    NotADirective,
+    Malformed(String),
+    Allow { rule: RuleId, reason: String },
+}
+
+/// Parse `// sdoh-lint: allow(rule, "reason")`. Doc comments (`///`,
+/// `//!`) are never directives, so documentation can quote the syntax.
+fn parse_directive(comment: &str) -> DirectiveParse {
+    let Some(rest) = comment.strip_prefix("//") else {
+        return DirectiveParse::NotADirective;
+    };
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return DirectiveParse::NotADirective;
+    }
+    let trimmed = rest.trim();
+    let Some(body) = trimmed.strip_prefix("sdoh-lint:") else {
+        return DirectiveParse::NotADirective;
+    };
+    let body = body.trim();
+    let Some(args) = body
+        .strip_prefix("allow(")
+        .and_then(|b| b.strip_suffix(')'))
+    else {
+        return DirectiveParse::Malformed(format!(
+            "expected `allow(<rule>, \"<reason>\")`, found `{body}`"
+        ));
+    };
+    let Some((rule_name, reason_part)) = args.split_once(',') else {
+        return DirectiveParse::Malformed(
+            "allow directive needs a reason: `allow(<rule>, \"<reason>\")`".to_string(),
+        );
+    };
+    let rule_name = rule_name.trim();
+    let Some(rule) = RuleId::from_name(rule_name) else {
+        return DirectiveParse::Malformed(format!(
+            "unknown rule `{rule_name}` (known rules: {})",
+            rules::known_rule_names().join(", ")
+        ));
+    };
+    let reason = reason_part.trim();
+    let inner = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .unwrap_or("");
+    if inner.trim().is_empty() {
+        return DirectiveParse::Malformed(
+            "allow directive needs a non-empty quoted reason".to_string(),
+        );
+    }
+    DirectiveParse::Allow {
+        rule,
+        reason: inner.to_string(),
+    }
+}
+
+/// Check one source file against `enabled` rules, applying and validating
+/// allow directives. `vocab` is the shared metric-name vocabulary for the
+/// `metrics-vocabulary` rule.
+pub fn check_source(
+    file: &str,
+    source: &str,
+    enabled: &[RuleId],
+    vocab: &BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    let view = FileView::new(source);
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut allows = collect_allows(file, source, &view, &mut diagnostics);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for rule in enabled {
+        rules::run_rule(*rule, file, &view, vocab, &mut raw);
+    }
+
+    for diag in raw {
+        let suppressed = allows.iter_mut().find(|a| {
+            a.rule.name() == diag.rule && a.from_line <= diag.line && diag.line <= a.to_line
+        });
+        match suppressed {
+            Some(allow) => allow.used = true,
+            None => diagnostics.push(diag),
+        }
+    }
+
+    for allow in &allows {
+        if !allow.used {
+            diagnostics.push(Diagnostic {
+                file: file.to_string(),
+                line: allow.line,
+                col: allow.col,
+                rule: "unused-allow",
+                message: format!(
+                    "allow({}, \"{}\") suppressed nothing on lines {}-{} — remove it or fix its scope",
+                    allow.rule.name(),
+                    allow.reason,
+                    allow.from_line,
+                    allow.to_line
+                ),
+            });
+        }
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+            b.line,
+            b.col,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    diagnostics
+}
+
+/// Extract allow directives from comment tokens, computing each one's
+/// suppression scope. Malformed directives become `bad-directive`
+/// diagnostics immediately.
+fn collect_allows(
+    file: &str,
+    source: &str,
+    view: &FileView<'_>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for token in &view.tokens {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = source.get(token.start..token.end).unwrap_or("");
+        match parse_directive(text) {
+            DirectiveParse::NotADirective => {}
+            DirectiveParse::Malformed(message) => diagnostics.push(Diagnostic {
+                file: file.to_string(),
+                line: token.line,
+                col: token.col,
+                rule: "bad-directive",
+                message,
+            }),
+            DirectiveParse::Allow { rule, reason } => {
+                let trailing = (0..view.sig_len()).any(|si| {
+                    let (line, col) = view.sig_pos(si);
+                    line == token.line && col < token.col
+                });
+                let (from_line, to_line) = if trailing {
+                    (token.line, token.line)
+                } else {
+                    standalone_scope(view, token.line)
+                };
+                allows.push(Allow {
+                    rule,
+                    reason,
+                    from_line,
+                    to_line,
+                    line: token.line,
+                    col: token.col,
+                    used: false,
+                });
+            }
+        }
+    }
+    allows
+}
+
+/// Scope of a directive on its own line: from the first significant token
+/// after the directive through the end of that item.
+fn standalone_scope(view: &FileView<'_>, directive_line: usize) -> (usize, usize) {
+    let start = (0..view.sig_len()).find(|&si| view.sig_pos(si).0 > directive_line);
+    let Some(start) = start else {
+        // Nothing follows: empty scope, the allow will report as unused.
+        return (directive_line + 1, directive_line);
+    };
+    let end = view.item_end(start);
+    let (from_line, _) = view.sig_pos(start);
+    let (to_line, _) = view.sig_pos(end);
+    (from_line, to_line.max(from_line))
+}

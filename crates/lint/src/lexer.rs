@@ -1,0 +1,432 @@
+//! A small hand-written Rust lexer: just enough token structure for the
+//! lint rules to match against real code without being fooled by comments,
+//! string literals, raw strings, or the `'a`-lifetime-versus-`'a'`-char
+//! ambiguity.
+//!
+//! The lexer is deliberately lossy about things the rules never look at
+//! (keywords are plain [`TokenKind::Ident`]s, every operator byte is its own
+//! [`TokenKind::Punct`], numeric suffixes stay glued to their number), and
+//! deliberately careful about the things that would cause false positives:
+//! nothing inside a comment or a string literal ever becomes a code token.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `as`, `u32`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A string literal in any form: `"..."`, `r"..."`, `r#"..."#`,
+    /// `b"..."`, `br#"..."#`.
+    Str,
+    /// A numeric literal, including suffix (`42`, `0xFF`, `1.5e3`, `7u32`).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `[`, `!`, ...).
+    Punct,
+    /// A `// ...` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment (nesting handled).
+    BlockComment,
+}
+
+/// One lexeme with its byte span and 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the first character.
+    pub col: usize,
+}
+
+/// Character cursor with incremental line/column tracking.
+struct Cursor<'a> {
+    source: &'a str,
+    /// `(byte_offset, char)` pairs for the whole file.
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(source: &'a str) -> Self {
+        Cursor {
+            source,
+            chars: source.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// The character `ahead` positions past the cursor, if any.
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the character under the cursor (or end of input).
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(off, _)| off)
+            .unwrap_or(self.source.len())
+    }
+
+    /// Consume one character, updating line/column.
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume `n` characters.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex a whole source file into tokens. Never fails: malformed input
+/// (unterminated strings or comments) is tolerated by running the current
+/// token to end of file, which is the forgiving behaviour a lint wants.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (line, col, start) = (cur.line, cur.col, cur.offset());
+        let kind = lex_one(&mut cur, c);
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.offset(),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    if c == '/' && cur.peek(1) == Some('/') {
+        lex_line_comment(cur)
+    } else if c == '/' && cur.peek(1) == Some('*') {
+        lex_block_comment(cur)
+    } else if let Some(prefix) = string_prefix(cur) {
+        lex_string(cur, prefix)
+    } else if c == 'b' && cur.peek(1) == Some('\'') {
+        cur.bump();
+        lex_char_literal(cur)
+    } else if c == '\'' {
+        lex_quote(cur)
+    } else if is_ident_start(c) {
+        while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+            cur.bump();
+        }
+        TokenKind::Ident
+    } else if c.is_ascii_digit() {
+        lex_number(cur)
+    } else {
+        cur.bump();
+        TokenKind::Punct
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::LineComment
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump_n(2); // consume `/*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump_n(2);
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump_n(2);
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// Description of a string literal opener at the cursor.
+struct StringPrefix {
+    /// Characters before the opening quote (`r`/`b`/`br` plus hashes).
+    lead: usize,
+    /// Number of `#` guards (0 for non-raw strings).
+    hashes: usize,
+    /// Whether this is a raw string (no escape processing).
+    raw: bool,
+}
+
+/// Detect `"`, `b"`, `r"`, `br"`, `r#...#"`, `br#...#"` at the cursor.
+fn string_prefix(cur: &Cursor<'_>) -> Option<StringPrefix> {
+    let c = cur.peek(0)?;
+    if c == '"' {
+        return Some(StringPrefix {
+            lead: 0,
+            hashes: 0,
+            raw: false,
+        });
+    }
+    let after_b = if c == 'b' { 1 } else { 0 };
+    if c == 'b' && cur.peek(1) == Some('"') {
+        return Some(StringPrefix {
+            lead: 1,
+            hashes: 0,
+            raw: false,
+        });
+    }
+    if cur.peek(after_b) == Some('r') {
+        let mut hashes = 0;
+        while cur.peek(after_b + 1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek(after_b + 1 + hashes) == Some('"') {
+            return Some(StringPrefix {
+                lead: after_b + 1 + hashes,
+                hashes,
+                raw: true,
+            });
+        }
+    }
+    None
+}
+
+fn lex_string(cur: &mut Cursor<'_>, prefix: StringPrefix) -> TokenKind {
+    cur.bump_n(prefix.lead + 1); // prefix chars plus the opening quote
+    if prefix.raw {
+        // Scan for `"` followed by `prefix.hashes` hash marks.
+        while let Some(c) = cur.bump() {
+            if c != '"' {
+                continue;
+            }
+            let mut matched = true;
+            for ahead in 0..prefix.hashes {
+                if cur.peek(ahead) != Some('#') {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                cur.bump_n(prefix.hashes);
+                break;
+            }
+        }
+    } else {
+        while let Some(c) = cur.bump() {
+            if c == '\\' {
+                cur.bump(); // skip the escaped character
+            } else if c == '"' {
+                break;
+            }
+        }
+    }
+    TokenKind::Str
+}
+
+/// Lex a `'`-introduced token: lifetime or char literal.
+///
+/// `'a'` (quote, one char, quote) and `'\n'` (escape) are char literals;
+/// `'a`, `'static`, `'_` followed by anything but a closing quote are
+/// lifetimes.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.peek(1) == Some('\\') || cur.peek(2) == Some('\'') {
+        lex_char_literal(cur)
+    } else {
+        cur.bump(); // the quote
+        while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+            cur.bump();
+        }
+        TokenKind::Lifetime
+    }
+}
+
+/// Lex a char/byte literal starting at the opening quote. Handles multi-
+/// character escapes (`'\u{1F600}'`) by scanning to the closing quote.
+fn lex_char_literal(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == '\'' || c == '\n' {
+            break;
+        }
+    }
+    TokenKind::Char
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // first digit
+    while let Some(c) = cur.peek(0) {
+        let fraction_dot = c == '.' && cur.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false);
+        if is_ident_continue(c) || fraction_dot {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    TokenKind::Number
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source)
+            .iter()
+            .map(|t| {
+                (
+                    t.kind,
+                    source.get(t.start..t.end).unwrap_or_default().to_string(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = a.unwrap() + 0xFF;");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", "+", "0xFF", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_swallow_code_like_text() {
+        let toks = kinds("a // .unwrap() is fine here\nb /* panic! */ c");
+        let code: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| !matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(code, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ x");
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokenKind::BlockComment));
+        assert_eq!(toks.last().map(|(_, t)| t.clone()), Some("x".to_string()));
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "panic!(\"no\")"; t"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs.len(), 1);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"r#"contains "quotes" and \ backslash"# x"###);
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokenKind::Str));
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw"# ident"##);
+        let counts = toks.iter().filter(|(k, _)| *k == TokenKind::Str).count();
+        assert_eq!(counts, 2);
+        assert_eq!(
+            toks.last().map(|(_, t)| t.clone()),
+            Some("ident".to_string())
+        );
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let toks = kinds(r"<'a> 'x' '\n' b'\0' 'static");
+        let by_kind: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            by_kind,
+            vec![
+                TokenKind::Punct,    // <
+                TokenKind::Lifetime, // 'a
+                TokenKind::Punct,    // >
+                TokenKind::Char,     // 'x'
+                TokenKind::Char,     // '\n'
+                TokenKind::Char,     // b'\0'
+                TokenKind::Lifetime, // 'static
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let toks = lex("ab\n  cd");
+        let positions: Vec<(usize, usize)> = toks.iter().map(|t| (t.line, t.col)).collect();
+        assert_eq!(positions, vec![(1, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let toks = kinds(r"'\u{1F600}' x");
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokenKind::Char));
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let toks = kinds("\"never closed");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokenKind::Str));
+    }
+}

@@ -1,0 +1,70 @@
+//! `sdoh-lint` — in-tree static analysis for the secure-DoH workspace.
+//!
+//! The stack's headline claims are *invariants*, not features: the serving
+//! path is lock-free and allocation-free, chaos campaigns are
+//! byte-identical per seed, and the security math must never silently
+//! truncate. Nothing in rustc or clippy enforces any of that — a stray
+//! `.lock()` or `Instant::now()` in the wrong crate would sail through CI.
+//! This crate is the mechanical enforcement: a zero-dependency binary with
+//! a small hand-written Rust lexer (comments, strings, raw strings,
+//! lifetime-versus-char-literal disambiguation) and five token-pattern
+//! rules, run over every workspace `src/` tree in the CI `lint` job.
+//!
+//! # Rules
+//!
+//! | rule | scope | what it bans |
+//! |------|-------|--------------|
+//! | `hot-path-purity` | `crates/runtime/src/runtime.rs`, `crates/core/src/serve/**` | `.lock()`, `Box::new`, `Vec::new`, `vec!`, `.to_vec()`, `format!`, `.collect()` — the serving path must stay lock-free and allocation-free (PR 3/PR 8) |
+//! | `determinism` | `netsim`, `chaos`, `core`, `dns-server`, `doh`, `ntp` | `Instant::now()`, `SystemTime::now()`, `OsRng`, `thread_rng`, `from_entropy`, `getrandom` — sim-facing crates take time and entropy from seeded handles only, so campaigns stay byte-identical per seed; the wall clock is a `runtime`-only privilege |
+//! | `no-panic` | all library code | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `[i]` indexing — library code returns errors; a panic in a shard worker wedges the shard |
+//! | `no-narrowing-cast` | all library code | bare `as` to `u8`/`u16`/`u32`/`u64`/`usize`/`i8`/`i16`/`i32`/`i64`/`isize`/`f32` — the family behind two real bugs: the `as u32` divisor truncation in `ResolverMetrics::average_generation_latency` (fixed in PR 2) and the `attempts as i32` wrap in `SpoofStrategy::success_probability` (fixed in PR 4). `f64`/`u128`/`i128` targets are exempt: nothing in the workspace is wider |
+//! | `metrics-vocabulary` | everywhere except the vocabulary itself | `sdoh_*` metric-name string literals that are not in the shared vocabulary tables in `crates/core/src/serve/samples.rs` — so exporters, the registry, experiments and docs cannot drift apart on names |
+//!
+//! Test code (`#[cfg(test)]` items, `#[test]`/`#[bench]`/`#[should_panic]`
+//! functions) is exempt from every rule except the directive checks:
+//! panicking asserts, wall-clock timeouts and scratch metric names are all
+//! legitimate in tests. `crates/compat/**` (vendored dependency stand-ins)
+//! and `crates/bench` (the attended experiment harness; vocabulary rule
+//! still applies) are exempt by configuration — see
+//! [`workspace::rules_for`].
+//!
+//! # The escape hatch
+//!
+//! A violation that is *correct* — a lock on a cold path inside a hot-path
+//! module, an `expect` whose invariant genuinely cannot fail — is
+//! allowlisted in place, with a reason:
+//!
+//! ```text
+//! let shard = table.lookup(key); // sdoh-lint: allow(no-panic, "table is built covering every key")
+//!
+//! // sdoh-lint: allow(hot-path-purity, "cold path: snapshot aggregation runs on the stats thread")
+//! fn aggregate(&self) -> Snapshot { ... }
+//! ```
+//!
+//! A directive trailing code suppresses that line only; a directive on its
+//! own line suppresses the item that follows (through its braced body or
+//! terminating `;`). An allow that suppresses nothing is itself an error
+//! (`unused-allow`), and a malformed or unknown directive is an error
+//! (`bad-directive`) — the allowlist cannot silently rot.
+//!
+//! # Running it
+//!
+//! ```text
+//! cargo run -p sdoh-lint                      # human output, exit 1 on findings
+//! cargo run -p sdoh-lint -- --format json     # JSON report on stdout
+//! cargo run -p sdoh-lint -- --out lint.json   # human output + JSON report file
+//! ```
+//!
+//! The CI `lint` job runs the binary on every push and uploads the JSON
+//! report as a workflow artifact.
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use engine::check_source;
+pub use report::{render_human, render_json, Diagnostic, Report};
+pub use rules::RuleId;
+pub use workspace::{find_workspace_root, lint_workspace, rules_for, vocabulary_from_source};

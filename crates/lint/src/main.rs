@@ -1,0 +1,81 @@
+//! The `sdoh-lint` binary: lint the workspace, print a report, exit
+//! nonzero on findings. See the crate docs for the rule catalogue.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sdoh_lint::{find_workspace_root, lint_workspace, render_human, render_json};
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: sdoh-lint [--root <dir>] [--format human|json] [--out <file>]\n\
+  --root <dir>         workspace root (default: nearest ancestor with [workspace])\n\
+  --format human|json  report format on stdout (default: human)\n\
+  --out <file>         additionally write the JSON report to <file>";
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        root: None,
+        json: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = args.next().ok_or("--root needs a value")?;
+                options.root = Some(PathBuf::from(value));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("human") => options.json = false,
+                Some("json") => options.json = true,
+                other => return Err(format!("--format needs `human` or `json`, got {other:?}")),
+            },
+            "--out" => {
+                let value = args.next().ok_or("--out needs a value")?;
+                options.out = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn run() -> Result<bool, String> {
+    let options = parse_args()?;
+    let root = match options.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml found above the current directory")?
+        }
+    };
+    let report = lint_workspace(&root)?;
+    if options.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    if let Some(out_path) = options.out {
+        std::fs::write(&out_path, render_json(&report))
+            .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("sdoh-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The five lint rules, as token-pattern matchers over a [`FileView`].
+//!
+//! Every matcher works on the significant-token stream (comments and
+//! string contents are invisible), and every rule except the vocabulary
+//! check skips tokens inside test items — panicking, wall clocks and
+//! scratch metric names are all legitimate in tests.
+
+use std::collections::BTreeSet;
+
+use crate::engine::FileView;
+use crate::lexer::TokenKind;
+use crate::report::Diagnostic;
+
+/// Identifier of one lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No locks or allocations in the configured serving-path modules.
+    HotPathPurity,
+    /// No ambient wall clock or OS entropy in sim-facing crates.
+    Determinism,
+    /// No panicking constructs in non-test library code.
+    NoPanic,
+    /// No bare `as` casts to numeric types that can lose value.
+    NoNarrowingCast,
+    /// Every `sdoh_*` metric-name literal must be in the shared vocabulary.
+    MetricsVocabulary,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 5] = [
+        RuleId::HotPathPurity,
+        RuleId::Determinism,
+        RuleId::NoPanic,
+        RuleId::NoNarrowingCast,
+        RuleId::MetricsVocabulary,
+    ];
+
+    /// The kebab-case rule id used in diagnostics and allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::HotPathPurity => "hot-path-purity",
+            RuleId::Determinism => "determinism",
+            RuleId::NoPanic => "no-panic",
+            RuleId::NoNarrowingCast => "no-narrowing-cast",
+            RuleId::MetricsVocabulary => "metrics-vocabulary",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// All rule names, for error messages.
+pub fn known_rule_names() -> Vec<&'static str> {
+    RuleId::ALL.iter().map(|r| r.name()).collect()
+}
+
+/// Run one rule over a file view, appending diagnostics.
+pub fn run_rule(
+    rule: RuleId,
+    file: &str,
+    view: &FileView<'_>,
+    vocab: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    match rule {
+        RuleId::HotPathPurity => hot_path_purity(file, view, out),
+        RuleId::Determinism => determinism(file, view, out),
+        RuleId::NoPanic => no_panic(file, view, out),
+        RuleId::NoNarrowingCast => no_narrowing_cast(file, view, out),
+        RuleId::MetricsVocabulary => metrics_vocabulary(file, view, vocab, out),
+    }
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    file: &str,
+    rule: RuleId,
+    view: &FileView<'_>,
+    si: usize,
+    message: String,
+) {
+    let (line, col) = view.sig_pos(si);
+    out.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        col,
+        rule: rule.name(),
+        message,
+    });
+}
+
+/// `.name(` — a method call on some receiver.
+fn is_method_call(view: &FileView<'_>, si: usize, name: &str) -> bool {
+    view.is_punct(si, '.') && view.sig_text(si + 1) == name && view.is_punct(si + 2, '(')
+}
+
+/// `Head::tail` — a two-segment path suffix.
+fn is_path2(view: &FileView<'_>, si: usize, head: &str, tail: &str) -> bool {
+    view.sig_text(si) == head
+        && view.is_punct(si + 1, ':')
+        && view.is_punct(si + 2, ':')
+        && view.sig_text(si + 3) == tail
+}
+
+/// `name!` — a macro invocation.
+fn is_macro(view: &FileView<'_>, si: usize, name: &str) -> bool {
+    view.sig_text(si) == name
+        && view.sig_kind(si) == Some(TokenKind::Ident)
+        && view.is_punct(si + 1, '!')
+}
+
+fn hot_path_purity(file: &str, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    for si in 0..view.sig_len() {
+        if view.in_test(si) {
+            continue;
+        }
+        if is_method_call(view, si, "lock") {
+            push(out, file, RuleId::HotPathPurity, view, si + 1,
+                "`.lock()` on a serving-path module: the hot path must stay lock-free; move the locking off the query path or allowlist a cold-path use".to_string());
+        } else if is_method_call(view, si, "to_vec") {
+            push(out, file, RuleId::HotPathPurity, view, si + 1,
+                "`.to_vec()` allocates on a serving-path module: reuse a buffer or allowlist a cold-path use".to_string());
+        } else if is_method_call(view, si, "collect") {
+            push(out, file, RuleId::HotPathPurity, view, si + 1,
+                "`.collect()` allocates on a serving-path module: reuse a buffer or allowlist a cold-path use".to_string());
+        } else if is_path2(view, si, "Box", "new") {
+            push(out, file, RuleId::HotPathPurity, view, si,
+                "`Box::new` allocates on a serving-path module: preallocate or allowlist a cold-path use".to_string());
+        } else if is_path2(view, si, "Vec", "new") {
+            push(out, file, RuleId::HotPathPurity, view, si,
+                "`Vec::new` allocates on a serving-path module: preallocate or allowlist a cold-path use".to_string());
+        } else if is_macro(view, si, "format") {
+            push(out, file, RuleId::HotPathPurity, view, si,
+                "`format!` allocates on a serving-path module: preformat off the hot path or allowlist a cold-path use".to_string());
+        } else if is_macro(view, si, "vec") {
+            push(out, file, RuleId::HotPathPurity, view, si,
+                "`vec!` allocates on a serving-path module: preallocate or allowlist a cold-path use".to_string());
+        }
+    }
+}
+
+/// Identifiers that reach for ambient OS entropy.
+const ENTROPY_IDENTS: [&str; 4] = ["OsRng", "thread_rng", "from_entropy", "getrandom"];
+
+fn determinism(file: &str, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    for si in 0..view.sig_len() {
+        if view.in_test(si) {
+            continue;
+        }
+        if is_path2(view, si, "Instant", "now") || is_path2(view, si, "SystemTime", "now") {
+            push(out, file, RuleId::Determinism, view, si, format!(
+                "`{}::now()` reads the ambient wall clock in a sim-facing crate: inject time through the seeded simulator clock (wall clock is a `runtime`-only privilege)",
+                view.sig_text(si)));
+        } else if view.sig_kind(si) == Some(TokenKind::Ident)
+            && ENTROPY_IDENTS.contains(&view.sig_text(si))
+        {
+            push(out, file, RuleId::Determinism, view, si, format!(
+                "`{}` draws ambient OS entropy in a sim-facing crate: all randomness must flow from the campaign seed",
+                view.sig_text(si)));
+        }
+    }
+}
+
+/// Keyword-ish identifiers that can legitimately precede a `[` that is not
+/// an indexing expression (array types, slice patterns, array literals).
+const NON_INDEX_PRECEDERS: [&str; 22] = [
+    "mut", "ref", "dyn", "in", "as", "return", "break", "continue", "else", "move", "where",
+    "impl", "for", "if", "while", "match", "let", "pub", "const", "static", "fn", "unsafe",
+];
+
+fn no_panic(file: &str, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    for si in 0..view.sig_len() {
+        if view.in_test(si) {
+            continue;
+        }
+        if is_method_call(view, si, "unwrap") {
+            push(out, file, RuleId::NoPanic, view, si + 1,
+                "`.unwrap()` in library code: return a `Result`, or allowlist with the invariant that makes failure impossible".to_string());
+        } else if is_method_call(view, si, "expect") {
+            push(out, file, RuleId::NoPanic, view, si + 1,
+                "`.expect()` in library code: return a `Result`, or allowlist with the invariant that makes failure impossible".to_string());
+        } else if is_macro(view, si, "panic")
+            || is_macro(view, si, "unreachable")
+            || is_macro(view, si, "todo")
+            || is_macro(view, si, "unimplemented")
+        {
+            push(out, file, RuleId::NoPanic, view, si, format!(
+                "`{}!` in library code: return an error, or allowlist with the invariant that makes this unreachable",
+                view.sig_text(si)));
+        } else if view.is_punct(si, '[') && is_indexing_bracket(view, si) {
+            push(out, file, RuleId::NoPanic, view, si,
+                "indexing (`[...]`) can panic in library code: use `.get()`, or allowlist with the bounds invariant".to_string());
+        }
+    }
+}
+
+/// Heuristic: a `[` is an indexing/slicing expression when the previous
+/// significant token could end an expression — an identifier (other than a
+/// keyword), a closing `)`/`]`, or the `?` operator. Attributes (`#[...]`),
+/// macro brackets (`vec![...]`), array types (`: [u8; 4]`) and array
+/// literals (`= [1, 2]`) are all preceded by other tokens and are skipped.
+fn is_indexing_bracket(view: &FileView<'_>, si: usize) -> bool {
+    let Some(prev) = si.checked_sub(1) else {
+        return false;
+    };
+    if view.is_punct(prev, ')') || view.is_punct(prev, ']') || view.is_punct(prev, '?') {
+        return true;
+    }
+    view.sig_kind(prev) == Some(TokenKind::Ident)
+        && !NON_INDEX_PRECEDERS.contains(&view.sig_text(prev))
+}
+
+/// Cast targets that can lose value from some wider or differently-signed
+/// source. `f64`, `u128` and `i128` are exempt: nothing in this workspace
+/// is wider, and counters-to-`f64` conversions are the metrics plane's
+/// documented representation.
+const NARROW_TARGETS: [&str; 11] = [
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32",
+];
+
+fn no_narrowing_cast(file: &str, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    for si in 0..view.sig_len() {
+        if view.in_test(si) {
+            continue;
+        }
+        if view.sig_text(si) == "as"
+            && view.sig_kind(si) == Some(TokenKind::Ident)
+            && NARROW_TARGETS.contains(&view.sig_text(si + 1))
+        {
+            push(out, file, RuleId::NoNarrowingCast, view, si, format!(
+                "bare `as {}` can truncate or re-interpret: use `From`/`TryFrom` or a checked/saturating conversion, or allowlist with why value loss is impossible",
+                view.sig_text(si + 1)));
+        }
+    }
+}
+
+/// The prefix every exported metric name carries. Assembled so this file's
+/// own literal does not itself look like a metric name.
+const METRIC_PREFIX: &str = "sdoh_";
+
+/// Does a string literal's inner text look like one of our metric names?
+fn is_metric_name(inner: &str) -> bool {
+    inner.len() > METRIC_PREFIX.len()
+        && inner.starts_with(METRIC_PREFIX)
+        && inner
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Extract the inner text of a string literal token (between the outermost
+/// quotes). Returns `None` for literals with escapes, which metric names
+/// never contain.
+pub fn string_literal_inner(text: &str) -> Option<&str> {
+    let first = text.find('"')?;
+    let last = text.rfind('"')?;
+    if last <= first {
+        return None;
+    }
+    let inner = text.get(first + 1..last)?;
+    if inner.contains('\\') {
+        return None;
+    }
+    Some(inner)
+}
+
+fn metrics_vocabulary(
+    file: &str,
+    view: &FileView<'_>,
+    vocab: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for si in 0..view.sig_len() {
+        if view.in_test(si) || view.sig_kind(si) != Some(TokenKind::Str) {
+            continue;
+        }
+        let Some(inner) = string_literal_inner(view.sig_text(si)) else {
+            continue;
+        };
+        if is_metric_name(inner) && !vocab.contains(inner) {
+            push(out, file, RuleId::MetricsVocabulary, view, si, format!(
+                "metric name `{inner}` is not in the shared vocabulary: add it, with a help string, to the tables in crates/core/src/serve/samples.rs"));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Workspace walking and rule scoping: which files are scanned, which
+//! rules apply to each, and where the shared metric vocabulary lives.
+//!
+//! The scan covers every workspace member's `src/` tree plus the umbrella
+//! crate's `src/`. Exemptions, by design rather than omission:
+//!
+//! - `crates/compat/**` — vendored stand-ins for unavailable registry
+//!   dependencies; not our code to annotate.
+//! - `tests/`, `benches/`, `examples/` — panics, wall clocks and scratch
+//!   metric names are all legitimate outside the library.
+//! - `crates/bench/src/**` — the experiment harness: binaries that drive
+//!   the stack and panic on broken environments by design. The vocabulary
+//!   rule still applies there, because experiments asserting on metric
+//!   names is exactly the drift the rule exists to catch.
+//! - `src/**` (the umbrella crate's scenario layer) — like bench, it is
+//!   attended scaffolding: it wires fixed, self-consistent topologies for
+//!   examples, integration tests and experiments, where a panic on a
+//!   mis-built fixture is the desired failure mode. Determinism and the
+//!   vocabulary rule still apply.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::engine::check_source;
+use crate::lexer::{lex, TokenKind};
+use crate::report::{Diagnostic, Report};
+use crate::rules::{string_literal_inner, RuleId};
+
+/// Path of the vocabulary module, relative to the workspace root.
+pub const VOCABULARY_PATH: &str = "crates/core/src/serve/samples.rs";
+
+/// Sim-facing crates where ambient wall clock and OS entropy are banned.
+const DETERMINISM_CRATES: [&str; 6] = ["netsim", "chaos", "core", "dns-server", "doh", "ntp"];
+
+/// Serving-path modules that must stay lock- and allocation-free.
+const HOT_PATH_FILES: [&str; 1] = ["crates/runtime/src/runtime.rs"];
+const HOT_PATH_PREFIXES: [&str; 1] = ["crates/core/src/serve/"];
+
+/// Which rules apply to a workspace-relative path (with `/` separators).
+pub fn rules_for(rel: &str) -> Vec<RuleId> {
+    let mut rules = Vec::new();
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+
+    if HOT_PATH_FILES.contains(&rel) || HOT_PATH_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        rules.push(RuleId::HotPathPurity);
+    }
+    if DETERMINISM_CRATES.contains(&crate_name) {
+        rules.push(RuleId::Determinism);
+    }
+    // The experiment harness and the umbrella scenario layer may panic
+    // and cast freely: both run attended (experiments, examples, fixture
+    // builders), and their arithmetic is reporting, not security math.
+    let attended = crate_name == "bench" || !rel.starts_with("crates/");
+    if !attended {
+        rules.push(RuleId::NoPanic);
+        rules.push(RuleId::NoNarrowingCast);
+    }
+    if rel != VOCABULARY_PATH {
+        rules.push(RuleId::MetricsVocabulary);
+    }
+    rules
+}
+
+/// Build the metric-name vocabulary from the tables in
+/// [`VOCABULARY_PATH`]: every string literal in that file that looks like
+/// a metric name is vocabulary (the file's own tests pin that each row
+/// also carries a non-empty help string).
+pub fn vocabulary_from_source(source: &str) -> BTreeSet<String> {
+    let mut vocab = BTreeSet::new();
+    for token in lex(source) {
+        if token.kind != TokenKind::Str {
+            continue;
+        }
+        let Some(text) = source.get(token.start..token.end) else {
+            continue;
+        };
+        if let Some(inner) = string_literal_inner(text) {
+            if inner.starts_with("sdoh") {
+                vocab.insert(inner.to_string());
+            }
+        }
+    }
+    vocab
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The `src/` trees the workspace scan covers.
+fn scan_roots(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut members: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() && name != "compat" {
+            members.push(path.join("src"));
+        }
+    }
+    members.sort();
+    roots.extend(members);
+    Ok(roots)
+}
+
+/// Workspace-relative path with forward slashes.
+fn relative_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut label = String::new();
+    for comp in rel.components() {
+        if !label.is_empty() {
+            label.push('/');
+        }
+        label.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    label
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let vocab_path = root.join(VOCABULARY_PATH);
+    let vocab_source = fs::read_to_string(&vocab_path)
+        .map_err(|e| format!("cannot read vocabulary {}: {e}", vocab_path.display()))?;
+    let vocab = vocabulary_from_source(&vocab_source);
+    if vocab.is_empty() {
+        return Err(format!(
+            "vocabulary {} contains no metric names — refusing to lint against an empty vocabulary",
+            vocab_path.display()
+        ));
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for scan_root in scan_roots(root)? {
+        if scan_root.is_dir() {
+            collect_rs_files(&scan_root, &mut files)?;
+        }
+    }
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = relative_label(root, path);
+        match fs::read_to_string(path) {
+            Ok(source) => {
+                let rules = rules_for(&rel);
+                report
+                    .diagnostics
+                    .extend(check_source(&rel, &source, &rules, &vocab));
+                report.files_scanned += 1;
+            }
+            Err(e) => report.diagnostics.push(Diagnostic {
+                file: rel,
+                line: 0,
+                col: 0,
+                rule: "io-error",
+                message: format!("cannot read file: {e}"),
+            }),
+        }
+    }
+    report.diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(report)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

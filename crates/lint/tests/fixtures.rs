@@ -1,0 +1,144 @@
+//! Fixture corpus for the lint engine: every rule has a bad snippet and an
+//! allowlisted twin, and the expected diagnostics are pinned down to the
+//! exact `(rule, line, col)`. A drifting lexer or scope computation shows
+//! up here as a changed coordinate, not as a silently missed violation.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use sdoh_lint::rules::RuleId;
+use sdoh_lint::{check_source, find_workspace_root, rules_for, vocabulary_from_source};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_vocab() -> BTreeSet<String> {
+    ["sdoh_fixture_known_total".to_string()]
+        .into_iter()
+        .collect()
+}
+
+/// Lint one fixture with every rule enabled and return `(rule, line, col)`
+/// triples in the engine's sorted order.
+fn lint_fixture(name: &str) -> Vec<(&'static str, usize, usize)> {
+    let path = fixture_dir().join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    check_source(name, &source, &RuleId::ALL, &fixture_vocab())
+        .into_iter()
+        .map(|d| (d.rule, d.line, d.col))
+        .collect()
+}
+
+#[test]
+fn no_panic_fixture_flags_each_construct_once() {
+    assert_eq!(
+        lint_fixture("no_panic.rs"),
+        vec![
+            ("no-panic", 4, 7),  // v.unwrap()
+            ("no-panic", 8, 7),  // v.expect("present")
+            ("no-panic", 12, 5), // panic!("boom")
+            ("no-panic", 16, 7), // xs[0]
+        ],
+        "trailing and standalone allows must suppress their sites, and the \
+         #[cfg(test)] module must be exempt"
+    );
+}
+
+#[test]
+fn no_narrowing_cast_fixture_exempts_wide_targets() {
+    assert_eq!(
+        lint_fixture("no_narrowing_cast.rs"),
+        vec![("no-narrowing-cast", 4, 7)], // x as u8
+        "f64 and u128 targets are exempt, the masked cast is allowlisted"
+    );
+}
+
+#[test]
+fn hot_path_purity_fixture_flags_locks_and_allocation() {
+    assert_eq!(
+        lint_fixture("hot_path_purity.rs"),
+        vec![
+            ("hot-path-purity", 4, 12), // mutex.lock()
+            ("hot-path-purity", 8, 5),  // Vec::new()
+            ("hot-path-purity", 12, 5), // format!
+        ],
+        "the standalone allow must cover the whole cold-path function"
+    );
+}
+
+#[test]
+fn determinism_fixture_flags_ambient_clocks() {
+    assert_eq!(
+        lint_fixture("determinism.rs"),
+        vec![("determinism", 4, 16), ("determinism", 8, 16)],
+        "the allowlisted host-clock boundary must not be flagged"
+    );
+}
+
+#[test]
+fn metrics_vocabulary_fixture_flags_only_unknown_names() {
+    assert_eq!(
+        lint_fixture("metrics_vocabulary.rs"),
+        vec![("metrics-vocabulary", 5, 5)], // "sdoh_made_up_metric_total"
+        "vocabulary names and allowlisted scratch names must pass"
+    );
+}
+
+#[test]
+fn unused_allow_is_itself_a_diagnostic() {
+    assert_eq!(
+        lint_fixture("unused_allow.rs"),
+        vec![("unused-allow", 4, 11)],
+        "an allow that suppresses nothing must be reported at the directive"
+    );
+}
+
+#[test]
+fn standalone_allow_scope_survives_commas_in_generic_return_types() {
+    // Regression: `item_end` once treated the depth-0 comma inside
+    // `Result<Option<(u32, usize)>, String>` as the end of the allow's
+    // scope, stranding the directive as unused and leaving the body's
+    // indexing unsuppressed.
+    assert_eq!(
+        lint_fixture("generic_return_scope.rs"),
+        vec![],
+        "the allow must scope over the whole declaration despite the comma \
+         in its return-type generics"
+    );
+}
+
+#[test]
+fn sdoh_lint_is_clean_on_its_own_sources() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let vocab_source = std::fs::read_to_string(root.join(sdoh_lint::workspace::VOCABULARY_PATH))
+        .expect("vocabulary module readable");
+    let vocab = vocabulary_from_source(&vocab_source);
+    assert!(!vocab.is_empty(), "vocabulary must not be empty");
+
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&src_dir).expect("src dir readable") {
+        let path = entry.expect("dir entry readable").path();
+        if path.extension().map(|e| e == "rs") != Some(true) {
+            continue;
+        }
+        let rel = format!(
+            "crates/lint/src/{}",
+            path.file_name().expect("file name").to_string_lossy()
+        );
+        let source = std::fs::read_to_string(&path).expect("source readable");
+        let diagnostics = check_source(&rel, &source, &rules_for(&rel), &vocab);
+        assert!(
+            diagnostics.is_empty(),
+            "sdoh-lint must hold itself to its own rules; found in {rel}: {diagnostics:?}"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 7,
+        "expected to self-check every module, got {checked}"
+    );
+}

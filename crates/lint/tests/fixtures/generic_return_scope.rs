@@ -1,0 +1,16 @@
+//! Regression fixture: a standalone allow above a declaration whose
+//! return type carries a depth-0 comma inside generics. The scope must
+//! extend through the whole function body, not stop at the comma in
+//! `Result<Option<(u32, usize)>, String>`.
+
+// sdoh-lint: allow(no-panic, "every index is guarded by the length check on entry")
+pub fn decode(data: &[u8]) -> Result<Option<(u32, usize)>, String> {
+    if data.len() < 4 {
+        return Ok(None);
+    }
+    let value = u32::from(data[0]) << 24
+        | u32::from(data[1]) << 16
+        | u32::from(data[2]) << 8
+        | u32::from(data[3]);
+    Ok(Some((value, 4)))
+}

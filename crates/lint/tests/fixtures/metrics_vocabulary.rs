@@ -1,0 +1,14 @@
+//! Fixture: `metrics-vocabulary` — names outside the vocabulary are
+//! flagged, names inside it (and allowlisted scratch names) are not.
+
+pub fn bad_unknown_name() -> &'static str {
+    "sdoh_made_up_metric_total"
+}
+
+pub fn good_known_name() -> &'static str {
+    "sdoh_fixture_known_total"
+}
+
+pub fn allowed_scratch_name() -> &'static str {
+    "sdoh_scratch_gauge" // sdoh-lint: allow(metrics-vocabulary, "negative-test name that must stay out of the vocabulary")
+}

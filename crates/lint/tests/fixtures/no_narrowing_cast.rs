@@ -1,0 +1,17 @@
+//! Fixture: `no-narrowing-cast` violations, exemptions and allows.
+
+pub fn bad_narrow(x: u32) -> u8 {
+    x as u8
+}
+
+pub fn widening_is_exempt(x: u32) -> f64 {
+    x as f64
+}
+
+pub fn u128_is_exempt(x: u64) -> u128 {
+    x as u128
+}
+
+pub fn allowed_masked(x: u32) -> u8 {
+    (x & 0xFF) as u8 // sdoh-lint: allow(no-narrowing-cast, "masked to 8 bits before the cast")
+}

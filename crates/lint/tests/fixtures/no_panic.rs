@@ -1,0 +1,35 @@
+//! Fixture: `no-panic` violations and their allowlisted twins.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_index(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn allowed_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // sdoh-lint: allow(no-panic, "the caller checked is_some")
+}
+
+// sdoh-lint: allow(no-panic, "every index is below LEN by construction")
+pub fn allowed_standalone(xs: &[u32]) -> u32 {
+    xs[0] + xs[1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

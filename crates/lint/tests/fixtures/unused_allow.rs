@@ -1,0 +1,5 @@
+//! Fixture: an allow that suppresses nothing is itself a diagnostic.
+
+pub fn nothing_to_suppress(a: u32, b: u32) -> u32 {
+    a + b // sdoh-lint: allow(no-panic, "stale: the unwrap this covered was removed")
+}

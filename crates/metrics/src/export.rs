@@ -229,15 +229,17 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ParseError> {
                 })
                 .collect();
             let le = le.ok_or_else(|| error(number, "_bucket series without le label"))?;
-            let cumulative = value as u64;
+            let cumulative = as_count(value);
             let partial = histograms.entry((family, rest)).or_default();
             let index = bucket_index_for_le(&le)
                 .ok_or_else(|| error(number, &format!("unknown bucket bound le={le:?}")))?;
-            partial.cumulative[index] = Some(cumulative);
+            if let Some(slot) = partial.cumulative.get_mut(index) {
+                *slot = Some(cumulative);
+            }
         } else if let Some(family) = family_of("_sum") {
             histograms.entry((family, labels)).or_default().sum_seconds = value;
         } else if let Some(family) = family_of("_count") {
-            histograms.entry((family, labels)).or_default().count = Some(value as u64);
+            histograms.entry((family, labels)).or_default().count = Some(as_count(value));
         } else {
             let kind = kinds.get(&series).copied().unwrap_or(MetricKind::Gauge);
             scalars.push(Sample {
@@ -245,7 +247,7 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ParseError> {
                 name: series,
                 labels,
                 value: match kind {
-                    MetricKind::Counter => SampleValue::Counter(value as u64),
+                    MetricKind::Counter => SampleValue::Counter(as_count(value)),
                     _ => SampleValue::Gauge(value),
                 },
             });
@@ -268,6 +270,13 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ParseError> {
     Ok(samples)
 }
 
+/// A counter value parsed from exposition text. Float-to-int `as` casts
+/// saturate at the integer range and map NaN to zero, so any parsed value
+/// converts without surprises.
+fn as_count(value: f64) -> u64 {
+    value as u64 // sdoh-lint: allow(no-narrowing-cast, "float-to-int as-casts saturate and map NaN to zero")
+}
+
 fn error(line_number: usize, detail: &str) -> ParseError {
     ParseError {
         detail: format!("line {}: {detail}", line_number + 1),
@@ -287,9 +296,12 @@ impl PartialHistogram {
         let mut previous = 0u64;
         for (index, slot) in self.cumulative.iter().enumerate() {
             let cumulative = slot.ok_or_else(|| format!("missing bucket {index}"))?;
-            buckets[index] = cumulative
+            let delta = cumulative
                 .checked_sub(previous)
                 .ok_or_else(|| format!("non-cumulative bucket {index}"))?;
+            if let Some(bucket) = buckets.get_mut(index) {
+                *bucket = delta;
+            }
             previous = cumulative;
         }
         if let Some(count) = self.count {
@@ -299,7 +311,7 @@ impl PartialHistogram {
         }
         Ok(HistogramSnapshot {
             buckets,
-            sum_nanos: (self.sum_seconds * 1e9).round().max(0.0) as u64,
+            sum_nanos: as_count((self.sum_seconds * 1e9).round()),
         })
     }
 }
@@ -435,7 +447,7 @@ fn json_string(value: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }

@@ -33,7 +33,7 @@ pub fn bucket_index(value: Duration) -> usize {
     if micros <= 1 {
         return 0;
     }
-    let index = (64 - (micros - 1).leading_zeros()) as usize;
+    let index = (64 - (micros - 1).leading_zeros()) as usize; // sdoh-lint: allow(no-narrowing-cast, "64 minus leading_zeros is at most 64, far inside usize")
     index.min(FINITE_BUCKETS) // past the last finite bound: overflow
 }
 
@@ -70,7 +70,7 @@ impl Histogram {
     /// Records one latency observation: two relaxed `fetch_add`s and an
     /// integer log2 — no allocation, no lock, no float.
     pub fn record(&self, value: Duration) {
-        self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // sdoh-lint: allow(no-panic, "bucket_index clamps to the overflow bucket, always below BUCKETS")
         self.inner.sum_nanos.fetch_add(
             u64::try_from(value.as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
@@ -126,7 +126,7 @@ impl HistogramSnapshot {
 
     /// Observations that fell beyond the largest finite bound.
     pub fn overflow(&self) -> u64 {
-        self.buckets[BUCKETS - 1]
+        self.buckets.last().copied().unwrap_or(0)
     }
 
     /// Mean recorded latency (`None` when empty).
@@ -156,7 +156,7 @@ impl HistogramSnapshot {
         if count == 0 {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count); // sdoh-lint: allow(no-narrowing-cast, "q is clamped to [0, 1], so the ceiling is at most count")
         let mut cumulative = 0u64;
         for (index, bucket) in self.buckets.iter().enumerate() {
             cumulative += bucket;
@@ -167,7 +167,10 @@ impl HistogramSnapshot {
                 });
             }
         }
-        unreachable!("rank is clamped to the total count")
+        // Unreachable in practice — rank is clamped to the total count, so
+        // the loop always crosses it; the overflow bound is the defensive
+        // answer.
+        Some(Duration::from_micros(bound_micros(FINITE_BUCKETS)))
     }
 
     /// The p50 / p99 / p999 triple every latency surface reports.

@@ -77,8 +77,7 @@ impl StatsServer {
         let stop_flag = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
             .name("sdoh-stats".to_string())
-            .spawn(move || accept_loop(listener, handler, stop_flag))
-            .expect("spawn stats accept thread");
+            .spawn(move || accept_loop(listener, handler, stop_flag))?;
         Ok(StatsServer {
             addr,
             stop,
@@ -141,7 +140,7 @@ fn handle_connection(mut stream: TcpStream, handler: &Handler) -> std::io::Resul
         if n == 0 {
             break;
         }
-        request.extend_from_slice(&buf[..n]);
+        request.extend_from_slice(buf.get(..n).unwrap_or(&[]));
         if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() > 16 * 1024 {
             break;
         }

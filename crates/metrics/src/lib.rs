@@ -52,4 +52,6 @@ pub use histogram::{
 };
 pub use http::{http_get, Handler, HttpBody, HttpResponse, StatsServer};
 pub use metric::{Counter, Gauge};
-pub use registry::{Collector, MetricKind, Registry, Sample, SampleValue};
+pub use registry::{
+    find_sample, Collector, MetricKind, Registry, Sample, SampleMissing, SampleValue,
+};

@@ -163,7 +163,7 @@ impl BirthdaySpoofer {
         if !port_predicted {
             bits += 16;
         }
-        bits.min(255) as u8
+        u8::try_from(bits.min(255)).unwrap_or(u8::MAX)
     }
 }
 

@@ -92,7 +92,7 @@ impl LinkConfig {
         if self.jitter.is_zero() {
             return self.latency;
         }
-        let extra = rng.range_u64(0, self.jitter.as_nanos() as u64);
+        let extra = rng.range_u64(0, u64::try_from(self.jitter.as_nanos()).unwrap_or(u64::MAX));
         self.latency + Duration::from_nanos(extra)
     }
 
@@ -119,7 +119,10 @@ impl LinkConfig {
         if self.reorder_window.is_zero() {
             return Some(Duration::ZERO);
         }
-        let extra = rng.range_u64(0, self.reorder_window.as_nanos() as u64);
+        let extra = rng.range_u64(
+            0,
+            u64::try_from(self.reorder_window.as_nanos()).unwrap_or(u64::MAX),
+        );
         Some(Duration::from_nanos(extra))
     }
 }

@@ -51,10 +51,10 @@ impl ClientPopulation {
         let host = i % SPREAD_HOSTS;
         SimAddr::v4(
             100,
-            64 + (host / (250 * 250)) as u8,
-            (host / 250 % 250) as u8,
-            (host % 250 + 1) as u8,
-            40_000 + ((i / SPREAD_HOSTS) % 20_000) as u16,
+            64 + (host / (250 * 250)) as u8, // sdoh-lint: allow(no-narrowing-cast, "host is below 250^3, so the quotient is below 250")
+            (host / 250 % 250) as u8, // sdoh-lint: allow(no-narrowing-cast, "the modulo keeps the octet below 250")
+            (host % 250 + 1) as u8, // sdoh-lint: allow(no-narrowing-cast, "the modulo keeps the octet below 251")
+            40_000 + ((i / SPREAD_HOSTS) % 20_000) as u16, // sdoh-lint: allow(no-narrowing-cast, "the modulo keeps the port offset below 20000")
         )
     }
 
@@ -213,7 +213,9 @@ impl<'a> LoadDriver<'a> {
                 for outcome in outcomes {
                     let latency = outcome.completed_at.saturating_duration_since(departed);
                     stats.record(latency, outcome.result.is_ok());
-                    on_response(round, senders[outcome.index], &outcome.result);
+                    if let Some(&sender) = senders.get(outcome.index) {
+                        on_response(round, sender, &outcome.result);
+                    }
                 }
             }
             between_rounds(round);

@@ -342,7 +342,7 @@ impl SimNet {
         {
             let mut state = self.state.borrow_mut();
             state.metrics.requests += 1;
-            state.metrics.bytes_sent += payload.len() as u64;
+            state.metrics.bytes_sent += payload.len() as u64; // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets")
             match channel {
                 ChannelKind::Plain => state.metrics.plain_requests += 1,
                 ChannelKind::Secure => state.metrics.secure_requests += 1,
@@ -417,7 +417,7 @@ impl SimNet {
                 let mut state = self.state.borrow_mut();
                 state.metrics.responses += 1;
                 state.metrics.forged_responses += 1;
-                state.metrics.bytes_received += forged.len() as u64;
+                state.metrics.bytes_received += forged.len() as u64; // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets")
                 return Ok(forged);
             }
         }
@@ -558,7 +558,7 @@ impl SimNet {
 
         let mut state = self.state.borrow_mut();
         state.metrics.responses += 1;
-        state.metrics.bytes_received += delivered.len() as u64;
+        state.metrics.bytes_received += delivered.len() as u64; // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets")
         Ok(delivered)
     }
 }

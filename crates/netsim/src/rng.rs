@@ -30,7 +30,7 @@ impl SimRng {
         for (i, b) in label.bytes().enumerate() {
             seed = seed
                 .rotate_left(7)
-                .wrapping_add((b as u64) << (i % 8 * 8).min(56));
+                .wrapping_add(u64::from(b) << (i % 8 * 8).min(56));
         }
         SimRng::seed_from_u64(seed)
     }

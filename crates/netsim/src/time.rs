@@ -42,7 +42,9 @@ impl SimInstant {
     /// The instant `duration` after `self`, saturating on overflow.
     pub fn saturating_add(self, duration: Duration) -> SimInstant {
         SimInstant {
-            nanos: self.nanos.saturating_add(duration.as_nanos() as u64),
+            nanos: self
+                .nanos
+                .saturating_add(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)),
         }
     }
 
@@ -105,7 +107,7 @@ impl SimClock {
             // A drifting time source stretches (or compresses) every
             // elapsed interval; the rate is clamped so time never reverses.
             let scale = (1.0 + state.drift_rate).max(0.0);
-            Duration::from_nanos((duration.as_nanos() as f64 * scale) as u64)
+            Duration::from_nanos((duration.as_nanos() as f64 * scale) as u64) // sdoh-lint: allow(no-narrowing-cast, "float-to-int as-casts saturate and map NaN to zero")
         };
         state.now = state.now.saturating_add(effective);
     }

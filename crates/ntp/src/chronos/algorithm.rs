@@ -124,7 +124,10 @@ impl ChronosClient {
     ) -> NtpResult<Option<(f64, usize)>> {
         let m = self.config.sample_size.min(pool.len());
         let indices = self.rng.sample_indices(pool.len(), m);
-        let chosen: Vec<IpAddr> = indices.iter().map(|&i| pool[i]).collect();
+        let chosen: Vec<IpAddr> = indices
+            .iter()
+            .filter_map(|&i| pool.get(i).copied())
+            .collect();
         let samples = self.ntp.sample_pool(net, clock, &chosen);
         // Trimming `d` from each end only discards the extremes when at
         // least `surviving_samples() + 2d` servers responded. With fewer
@@ -135,10 +138,15 @@ impl ChronosClient {
             return Ok(None);
         }
         let mut offsets: Vec<f64> = samples.iter().map(|(_, s)| s.offset).collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
+        offsets.sort_by(f64::total_cmp);
         let trim = self.config.trim;
-        let survivors = &offsets[trim..offsets.len() - trim];
-        let spread = survivors[survivors.len() - 1] - survivors[0];
+        let Some(survivors) = offsets.get(trim..offsets.len().saturating_sub(trim)) else {
+            return Ok(None);
+        };
+        let (Some(&lowest), Some(&highest)) = (survivors.first(), survivors.last()) else {
+            return Ok(None);
+        };
+        let spread = highest - lowest;
         let average = survivors.iter().sum::<f64>() / survivors.len() as f64;
         // Condition 1: agreement within w. Condition 2: not too far from the
         // local clock (drift bound) — a large jump is suspicious unless the
@@ -159,13 +167,13 @@ impl ChronosClient {
     ) -> NtpResult<(f64, usize)> {
         let samples = self.ntp.sample_pool(net, clock, pool);
         let mut offsets: Vec<f64> = samples.iter().map(|(_, s)| s.offset).collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
-        let trim = ((offsets.len() as f64) * self.config.panic_trim_fraction).floor() as usize;
-        // Panic mode must rest on at least as many survivors as a normal
-        // round: applying the "trimmed average" of one or two stragglers
-        // would hand a lone malicious responder the clock when the rest of
-        // the pool is unresponsive. (panic_trim_fraction < 1/2 is enforced
-        // at construction, so 2 * trim < len whenever len > 0.)
+        offsets.sort_by(f64::total_cmp);
+        let trim = ((offsets.len() as f64) * self.config.panic_trim_fraction).floor() as usize; // sdoh-lint: allow(no-narrowing-cast, "the floored fraction of a sample count always fits usize")
+                                                                                                // Panic mode must rest on at least as many survivors as a normal
+                                                                                                // round: applying the "trimmed average" of one or two stragglers
+                                                                                                // would hand a lone malicious responder the clock when the rest of
+                                                                                                // the pool is unresponsive. (panic_trim_fraction < 1/2 is enforced
+                                                                                                // at construction, so 2 * trim < len whenever len > 0.)
         let survivor_count = offsets.len() - 2 * trim;
         if survivor_count < self.config.surviving_samples() {
             return Err(NtpError::NotEnoughSamples {
@@ -173,7 +181,12 @@ impl ChronosClient {
                 needed: self.min_panic_responses(),
             });
         }
-        let survivors = &offsets[trim..offsets.len() - trim];
+        let Some(survivors) = offsets.get(trim..offsets.len().saturating_sub(trim)) else {
+            return Err(NtpError::NotEnoughSamples {
+                got: samples.len(),
+                needed: self.min_panic_responses(),
+            });
+        };
         let average = survivors.iter().sum::<f64>() / survivors.len() as f64;
         Ok((average, survivors.len()))
     }
@@ -187,10 +200,10 @@ impl ChronosClient {
     fn min_panic_responses(&self) -> usize {
         let target = self.config.surviving_samples();
         let fraction = self.config.panic_trim_fraction;
-        let survivors = |n: usize| n - 2 * ((n as f64 * fraction).floor() as usize);
-        // At and beyond this bound the floored trim can never dip the
-        // survivor count below target again.
-        let mut needed = ((target as f64) / (1.0 - 2.0 * fraction)).ceil() as usize;
+        let survivors = |n: usize| n - 2 * ((n as f64 * fraction).floor() as usize); // sdoh-lint: allow(no-narrowing-cast, "the floored fraction of a sample count always fits usize")
+                                                                                     // At and beyond this bound the floored trim can never dip the
+                                                                                     // survivor count below target again.
+        let mut needed = ((target as f64) / (1.0 - 2.0 * fraction)).ceil() as usize; // sdoh-lint: allow(no-narrowing-cast, "the ceiling of a small positive ratio always fits usize")
         while needed > target && survivors(needed - 1) >= target {
             needed -= 1;
         }

@@ -124,6 +124,7 @@ impl NtpPacket {
     }
 
     /// Encodes the packet into its 48-octet wire representation.
+    // sdoh-lint: allow(no-narrowing-cast, "two's-complement reinterpretation of the signed poll/precision fields is the NTP wire format")
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(PACKET_LEN);
         out.push((self.leap_indicator & 0x3) << 6 | (self.version & 0x7) << 3 | self.mode.code());
@@ -146,6 +147,8 @@ impl NtpPacket {
     ///
     /// Returns [`NtpError::MalformedPacket`] when the input is shorter than
     /// 48 octets.
+    // sdoh-lint: allow(no-panic, "every offset is below PACKET_LEN, which is checked on entry")
+    // sdoh-lint: allow(no-narrowing-cast, "two's-complement reinterpretation of the signed poll/precision fields is the NTP wire format")
     pub fn decode(data: &[u8]) -> NtpResult<Self> {
         if data.len() < PACKET_LEN {
             return Err(NtpError::MalformedPacket("packet shorter than 48 octets"));

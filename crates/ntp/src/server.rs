@@ -152,7 +152,7 @@ pub fn register_pool(
         };
         net.register(
             addr,
-            NtpServerService::new(config, net.clock(), seed.wrapping_add(i as u64)),
+            NtpServerService::new(config, net.clock(), seed.wrapping_add(i as u64)), // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets")
         );
     }
     addresses.len()

@@ -23,17 +23,17 @@ impl NtpTimestamp {
 
     /// Builds a timestamp from whole seconds and a fraction in `[0, 1)`.
     pub fn from_parts(seconds: u32, fraction: u32) -> Self {
-        NtpTimestamp(((seconds as u64) << 32) | fraction as u64)
+        NtpTimestamp((u64::from(seconds) << 32) | u64::from(fraction))
     }
 
     /// The whole-seconds part.
     pub fn seconds(self) -> u32 {
-        (self.0 >> 32) as u32
+        (self.0 >> 32) as u32 // sdoh-lint: allow(no-narrowing-cast, "the 32-bit shift leaves exactly the seconds word")
     }
 
     /// The fractional part.
     pub fn fraction(self) -> u32 {
-        self.0 as u32
+        self.0 as u32 // sdoh-lint: allow(no-narrowing-cast, "intentionally truncates to the low fraction word of the fixed-point format")
     }
 
     /// Converts simulation time plus a floating-point offset (in seconds)
@@ -48,8 +48,8 @@ impl NtpTimestamp {
     pub fn from_seconds_f64(seconds: f64) -> Self {
         let clamped = seconds.max(0.0);
         let whole = clamped.floor();
-        let fraction = ((clamped - whole) * 4_294_967_296.0) as u64;
-        NtpTimestamp(((whole as u64) << 32) | (fraction & 0xFFFF_FFFF))
+        let fraction = ((clamped - whole) * 4_294_967_296.0) as u64; // sdoh-lint: allow(no-narrowing-cast, "float-to-int as-casts saturate and map NaN to zero")
+        NtpTimestamp(((whole as u64) << 32) | (fraction & 0xFFFF_FFFF)) // sdoh-lint: allow(no-narrowing-cast, "float-to-int as-casts saturate and map NaN to zero")
     }
 
     /// The timestamp as absolute NTP seconds.

@@ -279,22 +279,11 @@ impl SecureTimeClient {
     /// registry rejects duplicate series).
     pub fn register_metrics(&mut self, registry: &sdoh_metrics::Registry) {
         let labels = [("source", self.source.source_name())];
+        let counter = |(name, help): (&str, &str)| registry.counter_with(name, help, &labels);
         self.metrics = Some(TimeSyncCounters {
-            syncs: registry.counter_with(
-                "sdoh_timesync_syncs_total",
-                "Successful time synchronizations (Chronos accepted an update).",
-                &labels,
-            ),
-            failures: registry.counter_with(
-                "sdoh_timesync_failures_total",
-                "Failed time synchronizations (pool fetch, empty pool or Chronos rejection).",
-                &labels,
-            ),
-            refreshes: registry.counter_with(
-                "sdoh_timesync_pool_refreshes_total",
-                "NTP server pool re-pulls after a TTL window elapsed.",
-                &labels,
-            ),
+            syncs: counter(sdoh_core::METRIC_TIMESYNC_SYNCS),
+            failures: counter(sdoh_core::METRIC_TIMESYNC_FAILURES),
+            refreshes: counter(sdoh_core::METRIC_TIMESYNC_POOL_REFRESHES),
         });
     }
 

@@ -244,7 +244,7 @@ impl Exchanger for BackendExchanger {
         x ^= x >> 7;
         x ^= x << 17;
         self.id_state = x;
-        (x >> 24) as u16
+        (x >> 24) as u16 // sdoh-lint: allow(no-narrowing-cast, "intentionally takes 16 bits of the mixed xorshift state")
     }
 
     fn now(&self) -> SimInstant {
@@ -301,7 +301,7 @@ impl Exchanger for BackendExchanger {
                 .collect();
             handles
                 .into_iter()
-                .map(|handle| handle.join().expect("exchange thread panicked"))
+                .map(|handle| handle.join().expect("exchange thread panicked")) // sdoh-lint: allow(no-panic, "re-raising a worker thread panic is the only sound response")
                 .collect::<Vec<_>>()
         });
         outcomes.sort_by_key(|outcome| outcome.completed_at);

@@ -86,7 +86,7 @@ impl RuntimeClient {
             if peer != self.server {
                 continue;
             }
-            let response = match Message::decode(&buf[..len]) {
+            let response = match Message::decode(buf.get(..len).unwrap_or(&[])) {
                 Ok(response) => response,
                 Err(_) => continue,
             };
@@ -138,7 +138,7 @@ impl RuntimeClient {
         stream.write_all(wire)?;
         let mut len_buf = [0u8; 2];
         stream.read_exact(&mut len_buf)?;
-        let mut response_wire = vec![0u8; u16::from_be_bytes(len_buf) as usize];
+        let mut response_wire = vec![0u8; usize::from(u16::from_be_bytes(len_buf))];
         stream.read_exact(&mut response_wire)?;
         let response = Message::decode(&response_wire).map_err(invalid)?;
         if !response.answers_query(query) {

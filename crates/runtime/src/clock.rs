@@ -33,7 +33,7 @@ impl RuntimeClock {
     /// Nanoseconds of host time elapsed since the epoch, as an instant the
     /// sans-IO layers (cache TTLs, refresh deadlines) understand.
     pub fn now(&self) -> SimInstant {
-        SimInstant::from_nanos(self.start.elapsed().as_nanos() as u64)
+        SimInstant::from_nanos(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
 }
 

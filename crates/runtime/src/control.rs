@@ -368,8 +368,8 @@ impl ControlHandle {
             // survivors on the new epoch and have the retirees hand every
             // entry to its surviving owner. The retirees linger to serve
             // stray in-flight queries and exit on queue disconnect.
-            let survivors = old_senders[..shards].to_vec();
-            let survivor_acked = old_acked[..shards].to_vec();
+            let survivors = old_senders.get(..shards).unwrap_or(&old_senders).to_vec();
+            let survivor_acked = old_acked.get(..shards).unwrap_or(&old_acked).to_vec();
             let ring = Arc::new(survivors.clone());
             self.inner.routes.publish(RouteTable {
                 senders: survivors.clone(),
@@ -382,7 +382,7 @@ impl ControlHandle {
                 });
             }
             let (done_tx, done_rx) = mpsc::channel();
-            for sender in &old_senders[shards..] {
+            for sender in old_senders.get(shards..).unwrap_or(&[]) {
                 let _ = sender.send(WorkItem::Retire {
                     table: ring.clone(),
                     shards,
@@ -499,5 +499,5 @@ pub(crate) fn owner_of(key: &PoolKey, shards: usize) -> usize {
         hasher.write_u8(b'.');
     }
     hasher.write_u16(key.family.rtype().code());
-    (hasher.finish() % shards as u64) as usize
+    (hasher.finish() % shards as u64) as usize // sdoh-lint: allow(no-narrowing-cast, "usize to u64 never loses value on supported targets, and the modulo result is below shards")
 }

@@ -86,18 +86,18 @@ impl LoopbackFleet {
                 } else {
                     format!("pool{}.ntpns.org", i + 1)
                 };
-                label.parse().expect("valid name")
+                label.parse().expect("valid name") // sdoh-lint: allow(no-panic, "the generated pool labels are statically well-formed host names")
             })
             .collect();
         let per_domain = config.addresses_per_domain.clamp(1, 254);
         let benign: Vec<IpAddr> = (1..=per_domain)
-            .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(203, 0, 113, i as u8)))
+            .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(203, 0, 113, i as u8))) // sdoh-lint: allow(no-narrowing-cast, "per_domain is clamped to at most 254, so i fits u8")
             .collect();
         let attacker: Vec<IpAddr> = (1..=per_domain)
-            .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(198, 18, 0, i as u8)))
+            .map(|i| IpAddr::V4(std::net::Ipv4Addr::new(198, 18, 0, i as u8))) // sdoh-lint: allow(no-narrowing-cast, "per_domain is clamped to at most 254, so i fits u8")
             .collect();
 
-        let mut zone = Zone::new("ntpns.org".parse().expect("valid"));
+        let mut zone = Zone::new("ntpns.org".parse().expect("valid")); // sdoh-lint: allow(no-panic, "the zone apex is a statically well-formed host name")
         for domain in &domains {
             for &addr in &benign {
                 zone.add_address(domain.clone(), addr);
@@ -167,8 +167,8 @@ impl LoopbackFleet {
                 let exchanger = self.backends.exchanger(SimAddr::v4(
                     10,
                     1,
-                    (i / 256) as u8,
-                    (i % 256) as u8,
+                    (i / 256) as u8, // sdoh-lint: allow(no-narrowing-cast, "shard counts stay far below 64k, so the high octet fits u8")
+                    (i % 256) as u8, // sdoh-lint: allow(no-narrowing-cast, "the modulo keeps the low octet below 256")
                     40000,
                 ));
                 Ok(Shard::new(

@@ -231,24 +231,12 @@ pub(crate) struct FrontCounters {
 
 impl FrontCounters {
     fn register(registry: &Registry) -> FrontCounters {
+        let counter = |(name, help): (&str, &str)| registry.counter(name, help);
         FrontCounters {
-            udp_received: registry.counter(
-                "sdoh_udp_queries_total",
-                "Datagrams accepted by the UDP dispatcher.",
-            ),
-            tcp_received: registry.counter(
-                "sdoh_tcp_queries_total",
-                "Queries accepted over the TCP fallback listener.",
-            ),
-            truncated: registry.counter(
-                "sdoh_truncated_responses_total",
-                "UDP responses truncated to TC=1 because they exceeded the payload limit.",
-            ),
-            dropped: registry.counter(
-                "sdoh_dropped_queries_total",
-                "Accepted queries that could not be handed to a shard worker \
-                 (zero during normal operation, including rescales).",
-            ),
+            udp_received: counter(sdoh_core::METRIC_UDP_QUERIES),
+            tcp_received: counter(sdoh_core::METRIC_TCP_QUERIES),
+            truncated: counter(sdoh_core::METRIC_TRUNCATED_RESPONSES),
+            dropped: counter(sdoh_core::METRIC_DROPPED_QUERIES),
         }
     }
 }
@@ -290,6 +278,7 @@ impl RuntimeStats {
     /// Renders the stats as a JSON document (stable hand-rolled schema:
     /// `total`, `per_shard` with `null` for unresponsive shards, and the
     /// front-door counters).
+    // sdoh-lint: allow(hot-path-purity, "stats rendering runs at scrape cadence, not per query")
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
@@ -322,6 +311,7 @@ impl RuntimeStats {
 
 /// One [`ServeSnapshot`] as a JSON object (helper of
 /// [`RuntimeStats::to_json`]).
+// sdoh-lint: allow(hot-path-purity, "stats rendering runs at scrape cadence, not per query")
 fn snapshot_json(snapshot: &ServeSnapshot) -> String {
     format!(
         "{{\"queries\": {}, \"hits\": {}, \"stale_serves\": {}, \"negative_hits\": {}, \
@@ -455,6 +445,7 @@ pub(crate) struct WorkerContext {
 }
 
 impl WorkerContext {
+    // sdoh-lint: allow(hot-path-purity, "runs once per shard at spawn/rescale, not per query")
     fn latency_for(&self, index: usize) -> Option<Histogram> {
         if !self.record_latency {
             return None;
@@ -464,12 +455,9 @@ impl WorkerContext {
             cache
                 .entry(index)
                 .or_insert_with(|| {
-                    self.registry.histogram_with(
-                        "sdoh_serve_latency_seconds",
-                        "Wall-clock latency of serving one query on the shard worker, \
-                         from dequeue to response bytes ready.",
-                        &[("shard", &index.to_string())],
-                    )
+                    let (name, help) = sdoh_core::METRIC_SERVE_LATENCY;
+                    self.registry
+                        .histogram_with(name, help, &[("shard", &index.to_string())])
                 })
                 .clone(),
         )
@@ -478,6 +466,7 @@ impl WorkerContext {
 
 /// Spawns one shard worker thread. `index` is the shard's position in the
 /// route table.
+// sdoh-lint: allow(hot-path-purity, "thread naming happens once at spawn time")
 pub(crate) fn spawn_worker(
     ctx: &WorkerContext,
     index: usize,
@@ -521,12 +510,17 @@ impl PoolRuntime {
     /// shards configured with a stale window — they would queue
     /// background refreshes nothing ever runs.
     pub fn start(config: RuntimeConfig, shards: Vec<Shard>) -> std::io::Result<PoolRuntime> {
-        if shards.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "a runtime needs at least one shard",
-            ));
-        }
+        // The runtime-level config epoch starts from the first shard's
+        // cache knobs (shards are normally built homogeneous); epoch 0.
+        let first_cache_config = match shards.first() {
+            Some(shard) => *shard.resolver.cache().config(),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "a runtime needs at least one shard",
+                ))
+            }
+        };
         let invalid = |err: ConfigError| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, err.to_string())
         };
@@ -560,9 +554,7 @@ impl PoolRuntime {
         let latest: Arc<Mutex<Option<RuntimeStats>>> = Arc::new(Mutex::new(None));
         let clock = crate::clock::RuntimeClock::new();
 
-        // The runtime-level config epoch starts from the first shard's
-        // cache knobs (shards are normally built homogeneous); epoch 0.
-        let initial = Arc::new(ServeConfig::initial(*shards[0].resolver.cache().config()));
+        let initial = Arc::new(ServeConfig::initial(first_cache_config));
 
         let ctx = WorkerContext {
             socket: Arc::clone(&udp),
@@ -573,9 +565,10 @@ impl PoolRuntime {
             latency: Mutex::new(HashMap::new()),
         };
 
-        let mut senders = Vec::new();
-        let mut acked = Vec::new();
-        let mut worker_handles = Vec::new();
+        let shard_count = shards.len();
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut acked = Vec::with_capacity(shard_count);
+        let mut worker_handles = Vec::with_capacity(shard_count);
         for (index, shard) in shards.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<WorkItem>();
             worker_handles.push(spawn_worker(&ctx, index, shard, rx)?);
@@ -594,6 +587,7 @@ impl PoolRuntime {
         {
             let routes = Arc::clone(&routes);
             let epoch = Arc::clone(&control.inner.epoch);
+            // sdoh-lint: allow(hot-path-purity, "scrape-time collector: runs per /metrics pull, not per query")
             registry.register_collector(Box::new(move || {
                 let (senders, acked) = {
                     let table = routes.table.lock();
@@ -605,34 +599,35 @@ impl PoolRuntime {
                 for snapshot in per_shard.iter().flatten() {
                     total.absorb(snapshot);
                 }
+                let gauge =
+                    |(name, help): (&str, &str), labels: Vec<(String, String)>, v: f64| Sample {
+                        name: name.to_string(),
+                        help: help.to_string(),
+                        labels,
+                        value: SampleValue::Gauge(v),
+                    };
                 let mut samples = snapshot_samples(&total, &[]);
-                samples.push(Sample {
-                    name: "sdoh_shards".to_string(),
-                    help: "Serving shards (worker threads) of this instance.".to_string(),
-                    labels: Vec::new(),
-                    value: SampleValue::Gauge(senders.len() as f64),
-                });
-                samples.push(Sample {
-                    name: "sdoh_unresponsive_shards".to_string(),
-                    help: "Shards that missed the latest snapshot deadline (wedged workers)."
-                        .to_string(),
-                    labels: Vec::new(),
-                    value: SampleValue::Gauge(unresponsive as f64),
-                });
-                samples.push(Sample {
-                    name: "sdoh_config_epoch".to_string(),
-                    help: "The config epoch most recently published by the control plane."
-                        .to_string(),
-                    labels: Vec::new(),
-                    value: SampleValue::Gauge(epoch.load(Ordering::Acquire) as f64),
-                });
+                samples.push(gauge(
+                    sdoh_core::METRIC_SHARDS,
+                    Vec::new(),
+                    senders.len() as f64,
+                ));
+                samples.push(gauge(
+                    sdoh_core::METRIC_UNRESPONSIVE_SHARDS,
+                    Vec::new(),
+                    unresponsive as f64,
+                ));
+                samples.push(gauge(
+                    sdoh_core::METRIC_CONFIG_EPOCH,
+                    Vec::new(),
+                    epoch.load(Ordering::Acquire) as f64,
+                ));
                 for (index, slot) in acked.iter().enumerate() {
-                    samples.push(Sample {
-                        name: "sdoh_shard_acked_epoch".to_string(),
-                        help: "The config epoch this shard last acknowledged.".to_string(),
-                        labels: vec![("shard".to_string(), index.to_string())],
-                        value: SampleValue::Gauge(slot.load(Ordering::Acquire) as f64),
-                    });
+                    samples.push(gauge(
+                        sdoh_core::METRIC_SHARD_ACKED_EPOCH,
+                        vec![("shard".to_string(), index.to_string())],
+                        slot.load(Ordering::Acquire) as f64,
+                    ));
                 }
                 samples
             }));
@@ -659,7 +654,8 @@ impl PoolRuntime {
             None => None,
         };
 
-        let mut service_handles = Vec::new();
+        // Dispatcher + TCP + refresh + stats: at most four service threads.
+        let mut service_handles = Vec::with_capacity(4);
         {
             let socket = Arc::clone(&udp);
             let routes = Arc::clone(&routes);
@@ -718,7 +714,7 @@ impl PoolRuntime {
                                 epoch.load(Ordering::Acquire),
                                 clock.now(),
                             );
-                            *latest.lock() = Some(stats);
+                            *latest.lock() = Some(stats); // sdoh-lint: allow(hot-path-purity, "stats-thread tick, scrape cadence")
                         })
                     })?,
             );
@@ -782,7 +778,7 @@ impl PoolRuntime {
                          cache mainly feeds dashboards that tolerate stats_interval staleness"
     )]
     pub fn latest_stats(&self) -> Option<RuntimeStats> {
-        self.latest.lock().clone()
+        self.latest.lock().clone() // sdoh-lint: allow(hot-path-purity, "operator accessor, never on the query path")
     }
 
     /// **The** statistics accessor: takes an on-demand aggregate right
@@ -804,6 +800,7 @@ impl PoolRuntime {
     /// take the final aggregate and join every thread — including workers
     /// still lingering in retired mode from a shrink. Returns the final
     /// statistics; [`RuntimeStats::config_epoch`] is the final epoch.
+    // sdoh-lint: allow(hot-path-purity, "shutdown path: serving has already stopped")
     pub fn shutdown(mut self) -> RuntimeStats {
         // 1. Stop the socket/tick threads (and the stats listener, so no
         //    scrape races the drain); no new work enters the queues.
@@ -881,6 +878,7 @@ fn tick_loop(stop: Arc<AtomicBool>, interval: Duration, poll: Duration, mut tick
 /// Asks every shard for a snapshot over its work queue. Shards that do
 /// not answer within `timeout` — wedged in a generation, or already shut
 /// down — come back as `None`, never as silently-zero defaults.
+// sdoh-lint: allow(hot-path-purity, "snapshot fan-out buffers; runs at scrape/health cadence")
 fn take_shard_snapshots(
     workers: &[mpsc::Sender<WorkItem>],
     timeout: Duration,
@@ -898,7 +896,11 @@ fn take_shard_snapshots(
     for _ in 0..requested {
         let remaining = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(remaining) {
-            Ok((index, snapshot)) => per_shard[index] = Some(snapshot),
+            Ok((index, snapshot)) => {
+                if let Some(slot) = per_shard.get_mut(index) {
+                    *slot = Some(snapshot);
+                }
+            }
             Err(_) => break,
         }
     }
@@ -933,6 +935,7 @@ fn take_stats(
 /// reports shard liveness plus the pool-guarantee state — generation
 /// failures mean some queries were answered from negatively-cached
 /// failures rather than fresh secure generations.
+// sdoh-lint: allow(hot-path-purity, "health probe renders at probe cadence, not per query")
 fn healthz(routes: &RouteState) -> HttpResponse {
     let per_shard = take_shard_snapshots(&routes.senders(), HEALTH_TIMEOUT);
     let unresponsive = per_shard.iter().filter(|s| s.is_none()).count();
@@ -963,7 +966,8 @@ fn healthz(routes: &RouteState) -> HttpResponse {
 /// shard 0, which produces the proper error response.
 fn shard_for(wire: &[u8], shards: usize) -> usize {
     match question_hash(wire) {
-        Some(hash) => (hash % shards as u64) as usize,
+        // sdoh-lint: allow(no-narrowing-cast, "hash % shards < shards <= usize::MAX, so both conversions are lossless")
+        Some(hash) => (hash % shards.max(1) as u64) as usize,
         None => 0,
     }
 }
@@ -974,14 +978,14 @@ fn question_hash(wire: &[u8]) -> Option<u64> {
     if wire.len() < 12 {
         return None;
     }
-    let qdcount = u16::from_be_bytes([wire[4], wire[5]]);
+    let qdcount = u16::from_be_bytes([*wire.get(4)?, *wire.get(5)?]);
     if qdcount == 0 {
         return None;
     }
     let mut hasher = DefaultHasher::new();
     let mut i = 12usize;
     loop {
-        let len = *wire.get(i)? as usize;
+        let len = usize::from(*wire.get(i)?);
         if len == 0 {
             i += 1;
             break;
@@ -1029,15 +1033,22 @@ fn dispatcher_loop(
                     counters.dropped.inc();
                     continue;
                 }
-                let wire = buf[..len].to_vec();
+                // recv_from wrote `len <= buf.len()` bytes; the owned copy
+                // is the queue hand-off, one allocation per datagram.
+                // sdoh-lint: allow(hot-path-purity, "the owned copy is the mpsc hand-off; one alloc per datagram is the design")
+                let Some(wire) = buf.get(..len).map(|datagram| datagram.to_vec()) else {
+                    continue;
+                };
                 let shard = shard_for(&wire, senders.len());
-                if senders[shard]
-                    .send(WorkItem::Query {
-                        wire,
-                        reply: ReplyPath::Udp(peer),
-                    })
-                    .is_err()
-                {
+                let delivered = senders.get(shard).is_some_and(|sender| {
+                    sender
+                        .send(WorkItem::Query {
+                            wire,
+                            reply: ReplyPath::Udp(peer),
+                        })
+                        .is_ok()
+                });
+                if !delivered {
                     counters.dropped.inc();
                 }
             }
@@ -1079,6 +1090,7 @@ fn tcp_loop(
 /// Serves RFC 1035 4.2.2 length-prefixed queries until the peer closes
 /// (or a read times out). The (cold) TCP path re-reads the route table per
 /// query, so it always follows the latest published ring.
+// sdoh-lint: allow(hot-path-purity, "the TCP fallback is the cold path by design; see the doc comment")
 fn serve_tcp_connection(
     mut stream: TcpStream,
     routes: &RouteState,
@@ -1091,7 +1103,7 @@ fn serve_tcp_connection(
         if stream.read_exact(&mut len_buf).is_err() {
             return Ok(()); // EOF or idle: connection done.
         }
-        let len = u16::from_be_bytes(len_buf) as usize;
+        let len = usize::from(u16::from_be_bytes(len_buf));
         let mut wire = vec![0u8; len];
         stream.read_exact(&mut wire)?;
         counters.tcp_received.inc();
@@ -1102,13 +1114,15 @@ fn serve_tcp_connection(
         }
         let shard = shard_for(&wire, senders.len());
         let (tx, rx) = mpsc::channel();
-        if senders[shard]
-            .send(WorkItem::Query {
-                wire: wire.clone(),
-                reply: ReplyPath::Tcp(tx),
-            })
-            .is_err()
-        {
+        let delivered = senders.get(shard).is_some_and(|sender| {
+            sender
+                .send(WorkItem::Query {
+                    wire: wire.clone(),
+                    reply: ReplyPath::Tcp(tx),
+                })
+                .is_ok()
+        });
+        if !delivered {
             counters.dropped.inc();
             return Ok(());
         }
@@ -1130,7 +1144,9 @@ fn serve_tcp_connection(
                 return Ok(());
             }
         }
-        let len = response.len() as u16;
+        let Ok(len) = u16::try_from(response.len()) else {
+            return Ok(()); // A SERVFAIL over 64 KiB cannot happen.
+        };
         stream.write_all(&len.to_be_bytes())?;
         stream.write_all(&response)?;
     }
@@ -1249,7 +1265,9 @@ fn forward_entries(
     let moved = resolver.extract_entries(|key| Some(owner_of(key, shards)) != keep);
     for (key, cached) in moved {
         let owner = owner_of(&key, shards);
-        let _ = ring[owner].send(WorkItem::Install { key, cached });
+        if let Some(sender) = ring.get(owner) {
+            let _ = sender.send(WorkItem::Install { key, cached });
+        }
     }
 }
 
@@ -1269,7 +1287,7 @@ fn serve_wire(
 /// standard "retry over TCP" signal.
 fn truncate_for_udp(query_wire: &[u8]) -> Vec<u8> {
     let Ok(query) = Message::decode(query_wire) else {
-        return Vec::new();
+        return Vec::new(); // sdoh-lint: allow(hot-path-purity, "an empty Vec::new never allocates")
     };
     let mut tc = Message::response_to(&query);
     tc.header.truncated = true;

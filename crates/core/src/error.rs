@@ -28,6 +28,12 @@ pub enum PoolError {
     /// A driver misused the sans-IO session API (responded to an unknown or
     /// completed transaction, or finished with exchanges outstanding).
     Session(String),
+    /// A driver responded to a transaction id the session does not know.
+    UnknownTransaction(usize),
+    /// A serve-batch route pointed at a flight that does not exist.
+    UnknownFlight(usize),
+    /// A driver responded to a transaction that is not in flight.
+    TransactionNotInFlight(usize),
 }
 
 impl fmt::Display for PoolError {
@@ -41,6 +47,15 @@ impl fmt::Display for PoolError {
             PoolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PoolError::Generation(msg) => write!(f, "pool generation failed: {msg}"),
             PoolError::Session(msg) => write!(f, "session misuse: {msg}"),
+            PoolError::UnknownTransaction(id) => {
+                write!(f, "session misuse: unknown transaction {id}")
+            }
+            PoolError::UnknownFlight(flight) => {
+                write!(f, "session misuse: route to unknown flight {flight}")
+            }
+            PoolError::TransactionNotInFlight(id) => {
+                write!(f, "session misuse: transaction {id} is not in flight")
+            }
         }
     }
 }
@@ -65,7 +80,10 @@ mod tests {
             PoolError::EmptyPool,
             PoolError::InvalidConfig("x out of range".into()),
             PoolError::Generation("upstreams unreachable".into()),
-            PoolError::Session("unknown transaction".into()),
+            PoolError::Session("finished with exchanges outstanding".into()),
+            PoolError::UnknownTransaction(7),
+            PoolError::UnknownFlight(2),
+            PoolError::TransactionNotInFlight(7),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

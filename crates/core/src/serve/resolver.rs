@@ -327,6 +327,7 @@ impl CachingPoolResolver {
 
     /// Probes every cache entry at instant `now` (see [`PoolCache::probe`]):
     /// the per-entry age/liveness surface invariant monitors check.
+    // sdoh-lint: allow(transitive-hot-path-purity, "control-plane probe: runs only for WorkItem::Probe maintenance items, never per query")
     pub fn probe_entries(&self, now: SimInstant) -> Vec<super::cache::CacheEntryProbe> {
         self.cache.probe(now)
     }
@@ -496,6 +497,7 @@ impl CachingPoolResolver {
     /// cache (failures become negative entries) and the metrics. Returns
     /// the per-key outcomes in batch order.
     // sdoh-lint: allow(hot-path-purity, "generation is the miss path: the source fan-out dwarfs these per-batch buffers")
+    // sdoh-lint: allow(transitive-hot-path-purity, "coalesced miss path: at most one generation per (question, TTL window) enters here and cache hits never do; E16 moves generation onto its own event loop")
     fn generate_batch(
         &mut self,
         exchanger: &mut dyn Exchanger,

@@ -167,23 +167,22 @@ impl<'a> ServeSession<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`PoolError::Session`] when `id` is unknown or its exchange
-    /// already completed.
+    /// Returns [`PoolError::UnknownTransaction`] when `id` is unknown,
+    /// [`PoolError::UnknownFlight`] when its route is stale, and the inner
+    /// session's error when the exchange already completed.
     pub fn handle_response(
         &mut self,
         id: ServeTransactionId,
         outcome: NetResult<Vec<u8>>,
     ) -> PoolResult<()> {
-        // sdoh-lint: allow(hot-path-purity, "error formatting happens on the failure path only")
         let &(flight, inner) = self
             .routes
             .get(id.0)
-            .ok_or_else(|| PoolError::Session(format!("unknown serve transaction {}", id.0)))?;
-        // sdoh-lint: allow(hot-path-purity, "error formatting happens on the failure path only")
+            .ok_or(PoolError::UnknownTransaction(id.0))?;
         let entry = self
             .flights
             .get_mut(flight)
-            .ok_or_else(|| PoolError::Session(format!("serve route to unknown flight {flight}")))?;
+            .ok_or(PoolError::UnknownFlight(flight))?;
         entry.session.handle_response(inner, outcome)
     }
 
@@ -448,6 +447,6 @@ mod tests {
         let err = session
             .handle_response(ServeTransactionId(99), Ok(Vec::new()))
             .unwrap_err();
-        assert!(matches!(err, PoolError::Session(_)));
+        assert_eq!(err, PoolError::UnknownTransaction(99));
     }
 }

@@ -278,8 +278,8 @@ impl<'a> PoolSession<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`PoolError::Session`] when `id` is unknown or was already
-    /// completed.
+    /// Returns [`PoolError::UnknownTransaction`] when `id` is unknown and
+    /// [`PoolError::TransactionNotInFlight`] when it was already completed.
     pub fn handle_response(
         &mut self,
         id: TransactionId,
@@ -288,12 +288,9 @@ impl<'a> PoolSession<'a> {
         let tx = self
             .transactions
             .get_mut(id.0)
-            .ok_or_else(|| PoolError::Session(format!("unknown transaction {}", id.0)))?;
+            .ok_or(PoolError::UnknownTransaction(id.0))?;
         if !matches!(tx.state, TxState::InFlight { .. }) {
-            return Err(PoolError::Session(format!(
-                "transaction {} is not in flight",
-                id.0
-            )));
+            return Err(PoolError::TransactionNotInFlight(id.0));
         }
         let state = mem::replace(&mut tx.state, TxState::Poisoned);
         let TxState::InFlight { pending, .. } = state else {
@@ -817,12 +814,12 @@ mod tests {
         let err = session
             .handle_response(TransactionId(99), Ok(Vec::new()))
             .unwrap_err();
-        assert!(matches!(err, PoolError::Session(_)));
+        assert_eq!(err, PoolError::UnknownTransaction(99));
         // Static transactions are already completed: responding is misuse.
         let err = session
             .handle_response(TransactionId(0), Ok(Vec::new()))
             .unwrap_err();
-        assert!(matches!(err, PoolError::Session(_)));
+        assert_eq!(err, PoolError::TransactionNotInFlight(0));
     }
 
     #[test]

@@ -149,6 +149,7 @@ impl Message {
     ///
     /// Returns [`WireError::MessageTooLong`] when the encoded message exceeds
     /// 65535 octets, or any underlying encoding error.
+    // sdoh-lint: allow(transitive-hot-path-purity, "wire build allocates the response buffer: one encode per query is the accepted v0 wire contract until E16's buffer-pool rework")
     pub fn encode(&self) -> WireResult<Vec<u8>> {
         let mut msg = self.clone();
         msg.normalize_counts();
@@ -177,6 +178,7 @@ impl Message {
     ///
     /// Returns an error for truncated or malformed messages. Trailing bytes
     /// after the declared sections are rejected.
+    // sdoh-lint: allow(transitive-hot-path-purity, "wire parse allocates per-section Vecs: one decode per query is the accepted v0 wire contract until E16's buffer-pool rework")
     pub fn decode(data: &[u8]) -> WireResult<Self> {
         let mut r = WireReader::new(data);
         let header = Header::decode(&mut r)?;

@@ -17,6 +17,8 @@ pub enum H2Error {
     UnsupportedFrame(u8),
     /// A HPACK header block could not be decoded.
     Hpack(String),
+    /// A HPACK indexed field referenced an index outside the static table.
+    HpackIndex(u64),
     /// A frame violated stream or connection state rules.
     Protocol(String),
     /// The peer closed the connection with a GOAWAY carrying this error code.
@@ -31,6 +33,12 @@ impl fmt::Display for H2Error {
             H2Error::FrameTooLarge(len) => write!(f, "frame of {len} octets exceeds maximum"),
             H2Error::UnsupportedFrame(t) => write!(f, "unsupported frame type {t}"),
             H2Error::Hpack(msg) => write!(f, "hpack decoding error: {msg}"),
+            H2Error::HpackIndex(index) => {
+                write!(
+                    f,
+                    "hpack decoding error: index {index} outside the static table"
+                )
+            }
             H2Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             H2Error::GoAway(code) => write!(f, "connection closed by peer (error code {code})"),
         }
@@ -62,7 +70,8 @@ mod tests {
             H2Error::Truncated,
             H2Error::FrameTooLarge(1 << 20),
             H2Error::UnsupportedFrame(0xFA),
-            H2Error::Hpack("bad index".into()),
+            H2Error::Hpack("bad huffman padding".into()),
+            H2Error::HpackIndex(62),
             H2Error::Protocol("headers after end of stream".into()),
             H2Error::GoAway(error_code::PROTOCOL_ERROR),
         ];

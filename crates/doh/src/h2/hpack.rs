@@ -156,7 +156,7 @@ fn static_entry(index: u64) -> Result<(&'static str, &'static str), H2Error> {
         .and_then(|i| i.checked_sub(1))
         .and_then(|i| STATIC_TABLE.get(i))
         .copied()
-        .ok_or_else(|| H2Error::Hpack(format!("index {index} outside the static table")))
+        .ok_or(H2Error::HpackIndex(index))
 }
 
 // sdoh-lint: allow(no-narrowing-cast, "each cast operand is reduced below 256 by the prefix mask or the modulo")

@@ -20,6 +20,7 @@
 use std::collections::BTreeSet;
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{self, FileItems};
 use crate::report::Diagnostic;
 use crate::rules::{self, RuleId};
 
@@ -209,16 +210,16 @@ impl<'a> FileView<'a> {
 }
 
 /// A parsed allow directive awaiting use.
-struct Allow {
-    rule: RuleId,
-    reason: String,
+pub(crate) struct Allow {
+    pub(crate) rule: RuleId,
+    pub(crate) reason: String,
     /// First and last source line the directive suppresses.
-    from_line: usize,
-    to_line: usize,
+    pub(crate) from_line: usize,
+    pub(crate) to_line: usize,
     /// Position of the directive comment itself.
-    line: usize,
-    col: usize,
-    used: bool,
+    pub(crate) line: usize,
+    pub(crate) col: usize,
+    pub(crate) used: bool,
 }
 
 /// Outcome of trying to read one comment as a directive.
@@ -278,54 +279,156 @@ fn parse_directive(comment: &str) -> DirectiveParse {
     }
 }
 
-/// Check one source file against `enabled` rules, applying and validating
-/// allow directives. `vocab` is the shared metric-name vocabulary for the
-/// `metrics-vocabulary` rule.
-pub fn check_source(
+/// A rule finding before allow directives are applied. `also` lists
+/// additional rule names whose allow directives may suppress this
+/// diagnostic — a transitive diagnostic accepts the allow of its
+/// file-local twin so already-annotated sites need no second directive.
+pub(crate) struct RawDiag {
+    pub(crate) diag: Diagnostic,
+    pub(crate) also: &'static [&'static str],
+}
+
+/// One analyzed file: raw findings, allow directives, and the parsed
+/// items the call-graph rules consume. Produced by [`analyze_source`],
+/// consumed by `finalize`.
+pub struct FileAnalysis {
+    pub(crate) file: String,
+    /// Findings still subject to allow directives.
+    pub(crate) raw: Vec<RawDiag>,
+    /// Findings that bypass allows (`bad-directive`).
+    pub(crate) direct: Vec<Diagnostic>,
+    pub(crate) allows: Vec<Allow>,
+    /// Parsed functions and imports for the call-graph rules.
+    pub items: FileItems,
+}
+
+impl FileAnalysis {
+    /// Marks (and reports) a *boundary* allow: a directive for one of
+    /// `rule_names` whose scope covers a whole function span
+    /// `[def_line, end_line]`. The graph traversal prunes at such
+    /// functions, so the directive counts as used.
+    pub(crate) fn mark_boundary_allow(
+        &mut self,
+        rule_names: &[&'static str],
+        def_line: usize,
+        end_line: usize,
+    ) -> bool {
+        let mut hit = false;
+        for allow in &mut self.allows {
+            if rule_names.contains(&allow.rule.name())
+                && allow.from_line <= def_line
+                && end_line <= allow.to_line
+            {
+                allow.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Phase 1: lex, parse and run the file-local rules over one source file.
+/// Allow directives are collected but not yet applied — graph rules may
+/// still add findings to this file (see `finalize`).
+pub fn analyze_source(
     file: &str,
     source: &str,
     enabled: &[RuleId],
     vocab: &BTreeSet<String>,
-) -> Vec<Diagnostic> {
+) -> FileAnalysis {
     let view = FileView::new(source);
-    let mut diagnostics: Vec<Diagnostic> = Vec::new();
-    let mut allows = collect_allows(file, source, &view, &mut diagnostics);
+    let mut direct: Vec<Diagnostic> = Vec::new();
+    let allows = collect_allows(file, source, &view, &mut direct);
 
-    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut findings: Vec<Diagnostic> = Vec::new();
     for rule in enabled {
-        rules::run_rule(*rule, file, &view, vocab, &mut raw);
+        rules::run_rule(*rule, file, &view, vocab, &mut findings);
     }
+    let raw = findings
+        .into_iter()
+        .map(|diag| RawDiag { diag, also: &[] })
+        .collect();
 
-    for diag in raw {
-        let suppressed = allows.iter_mut().find(|a| {
-            a.rule.name() == diag.rule && a.from_line <= diag.line && diag.line <= a.to_line
-        });
-        match suppressed {
-            Some(allow) => allow.used = true,
-            None => diagnostics.push(diag),
-        }
+    FileAnalysis {
+        file: file.to_string(),
+        raw,
+        direct,
+        allows,
+        items: parser::parse_file(file, &view),
     }
+}
 
-    for allow in &allows {
-        if !allow.used {
-            diagnostics.push(Diagnostic {
-                file: file.to_string(),
-                line: allow.line,
-                col: allow.col,
-                rule: "unused-allow",
-                message: format!(
-                    "allow({}, \"{}\") suppressed nothing on lines {}-{} — remove it or fix its scope",
-                    allow.rule.name(),
-                    allow.reason,
-                    allow.from_line,
-                    allow.to_line
-                ),
+/// Phase 3: apply allow directives, collapse file-local/transitive twins,
+/// report unused allows, and sort. `analyses` carries the per-file raw
+/// findings; graph-rule findings must already be appended to their file's
+/// `raw` list (see `crate::graph`). `audited` is the run's enabled rule
+/// set: an allow for a rule outside it is left alone rather than reported
+/// as `unused-allow`, since a rule that never ran can suppress nothing.
+pub(crate) fn finalize(analyses: Vec<FileAnalysis>, audited: &[RuleId]) -> Vec<Diagnostic> {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for mut analysis in analyses {
+        diagnostics.append(&mut analysis.direct);
+
+        // Diagnostic dedup: a line matched by both a file-local rule and
+        // its transitive counterpart collapses to the transitive
+        // diagnostic, which carries the call chain. The twin pairing is
+        // the transitive diagnostic's `also` list.
+        let shadowed: Vec<bool> = analysis
+            .raw
+            .iter()
+            .map(|raw| {
+                raw.also.is_empty()
+                    && analysis
+                        .raw
+                        .iter()
+                        .any(|t| t.also.contains(&raw.diag.rule) && t.diag.line == raw.diag.line)
+            })
+            .collect();
+        let deduped: Vec<RawDiag> = analysis
+            .raw
+            .iter()
+            .zip(&shadowed)
+            .filter(|(_, &s)| !s)
+            .map(|(raw, _)| RawDiag {
+                diag: raw.diag.clone(),
+                also: raw.also,
+            })
+            .collect();
+
+        for raw in deduped {
+            let suppressed = analysis.allows.iter_mut().find(|a| {
+                (a.rule.name() == raw.diag.rule || raw.also.contains(&a.rule.name()))
+                    && a.from_line <= raw.diag.line
+                    && raw.diag.line <= a.to_line
             });
+            match suppressed {
+                Some(allow) => allow.used = true,
+                None => diagnostics.push(raw.diag),
+            }
+        }
+
+        for allow in &analysis.allows {
+            if !allow.used && audited.contains(&allow.rule) {
+                diagnostics.push(Diagnostic {
+                    file: analysis.file.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    rule: "unused-allow",
+                    message: format!(
+                        "allow({}, \"{}\") suppressed nothing on lines {}-{} — remove it or fix its scope",
+                        allow.rule.name(),
+                        allow.reason,
+                        allow.from_line,
+                        allow.to_line
+                    ),
+                });
+            }
         }
     }
 
     diagnostics.sort_by(|a, b| {
-        (a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+        (a.file.as_str(), a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
             b.line,
             b.col,
             b.rule,
@@ -333,6 +436,19 @@ pub fn check_source(
         ))
     });
     diagnostics
+}
+
+/// Check one source file against `enabled` rules, applying and validating
+/// allow directives. `vocab` is the shared metric-name vocabulary for the
+/// `metrics-vocabulary` rule. This is the single-file entry point; the
+/// graph rules need the whole workspace and never fire here.
+pub fn check_source(
+    file: &str,
+    source: &str,
+    enabled: &[RuleId],
+    vocab: &BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    finalize(vec![analyze_source(file, source, enabled, vocab)], enabled)
 }
 
 /// Extract allow directives from comment tokens, computing each one's

@@ -7,10 +7,14 @@
 //! `.lock()` or `Instant::now()` in the wrong crate would sail through CI.
 //! This crate is the mechanical enforcement: a zero-dependency binary with
 //! a small hand-written Rust lexer (comments, strings, raw strings,
-//! lifetime-versus-char-literal disambiguation) and five token-pattern
-//! rules, run over every workspace `src/` tree in the CI `lint` job.
+//! lifetime-versus-char-literal disambiguation), five token-pattern
+//! rules, and three call-graph rules built on an item-level parser that
+//! extracts per-function facts and resolves calls across crates. It runs
+//! over every workspace `src/` tree in the CI `lint` job. The full
+//! catalogue — motivation, allow scoping and known false-negative limits
+//! per rule — lives in `crates/lint/RULES.md`.
 //!
-//! # Rules
+//! # File-local rules
 //!
 //! | rule | scope | what it bans |
 //! |------|-------|--------------|
@@ -19,6 +23,32 @@
 //! | `no-panic` | all library code | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `[i]` indexing — library code returns errors; a panic in a shard worker wedges the shard |
 //! | `no-narrowing-cast` | all library code | bare `as` to `u8`/`u16`/`u32`/`u64`/`usize`/`i8`/`i16`/`i32`/`i64`/`isize`/`f32` — the family behind two real bugs: the `as u32` divisor truncation in `ResolverMetrics::average_generation_latency` (fixed in PR 2) and the `attempts as i32` wrap in `SpoofStrategy::success_probability` (fixed in PR 4). `f64`/`u128`/`i128` targets are exempt: nothing in the workspace is wider |
 //! | `metrics-vocabulary` | everywhere except the vocabulary itself | `sdoh_*` metric-name string literals that are not in the shared vocabulary tables in `crates/core/src/serve/samples.rs` — so exporters, the registry, experiments and docs cannot drift apart on names |
+//!
+//! # Call-graph rules
+//!
+//! The three transitive rules share one whole-workspace call graph:
+//! every file is parsed into per-function facts (locks, allocations,
+//! panic sites, clock/entropy reads, lock-acquisition events) and call
+//! sites, resolved through `use` imports, `self`/typed-parameter/
+//! `let`-bound receivers, and a conservative by-name pass scoped to the
+//! caller's crate and imports. Unresolvable calls land in a counted
+//! *unknown bucket*, dumped with `--emit-callgraph` — never silently
+//! dropped.
+//!
+//! | rule | what it bans |
+//! |------|--------------|
+//! | `transitive-hot-path-purity` | any lock, allocation or panic site *reachable* from the serving entry points (`dispatcher_loop`, `worker_loop`, `serve_wire`, `CachingPoolResolver::{handle_query, serve_batch}`); the diagnostic carries the full call chain |
+//! | `transitive-determinism` | ambient clock/entropy reads reachable from any public function of the sim-facing crates |
+//! | `lock-order` | cycles in the ordered lock-acquisition graph of the control plane — each cycle is reported once, with every conflicting ordering and both witnesses |
+//!
+//! A standalone allow directive for a transitive rule above a function is
+//! a *pruning boundary*: the traversal stops there, so one directive
+//! documents a whole cold-path cone (the coalesced miss path, control
+//! probes, the v0 wire codec). An allow for a file-local twin rule also
+//! covers the transitive finding at the same site, and when both rules
+//! fire on one line only the transitive diagnostic (with the chain) is
+//! reported. A configured entry point that matches no function is itself
+//! a diagnostic, so a rename cannot make a rule vacuously pass.
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]`/`#[bench]`/`#[should_panic]`
 //! functions) is exempt from every rule except the directive checks:
@@ -50,21 +80,39 @@
 //! # Running it
 //!
 //! ```text
-//! cargo run -p sdoh-lint                      # human output, exit 1 on findings
-//! cargo run -p sdoh-lint -- --format json     # JSON report on stdout
-//! cargo run -p sdoh-lint -- --out lint.json   # human output + JSON report file
+//! cargo run -p sdoh-lint                          # human output, exit 1 on findings
+//! cargo run -p sdoh-lint -- --format json         # JSON report on stdout
+//! cargo run -p sdoh-lint -- --out lint.json       # human output + JSON report file
+//! cargo run -p sdoh-lint -- --rule lock-order     # one rule only (repeatable)
+//! cargo run -p sdoh-lint -- --list-rules          # the rule catalogue
+//! cargo run -p sdoh-lint -- --emit-callgraph g.json  # dump the resolved call graph
 //! ```
 //!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` internal error.
+//! Scanning fans out over a scoped thread pool; the report is sorted by
+//! `(file, line, col, rule)`, so output is deterministic regardless of
+//! thread scheduling.
+//!
 //! The CI `lint` job runs the binary on every push and uploads the JSON
-//! report as a workflow artifact.
+//! report and the call-graph dump as workflow artifacts; a separate
+//! nightly-toolchain `tsan` job runs the `sdoh-runtime` and `sdoh-core`
+//! test suites under ThreadSanitizer (`-Zsanitizer=thread` with
+//! `-Zbuild-std`), so the locks the `lock-order` rule reasons about are
+//! also dynamically race-checked.
 
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
-pub use engine::check_source;
+pub use engine::{analyze_source, check_source};
+pub use graph::{check_sources, Entry, GraphConfig};
 pub use report::{render_human, render_json, Diagnostic, Report};
 pub use rules::RuleId;
-pub use workspace::{find_workspace_root, lint_workspace, rules_for, vocabulary_from_source};
+pub use workspace::{
+    find_workspace_root, graph_config, lint_workspace, lint_workspace_with, rules_for,
+    vocabulary_from_source, LintOptions,
+};

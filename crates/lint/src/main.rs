@@ -1,27 +1,43 @@
 //! The `sdoh-lint` binary: lint the workspace, print a report, exit
 //! nonzero on findings. See the crate docs for the rule catalogue.
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` internal error
+//! (unreadable workspace, bad arguments, unwritable output file).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sdoh_lint::{find_workspace_root, lint_workspace, render_human, render_json};
+use sdoh_lint::{
+    find_workspace_root, lint_workspace_with, render_human, render_json, LintOptions, RuleId,
+};
 
 struct Options {
     root: Option<PathBuf>,
     json: bool,
     out: Option<PathBuf>,
+    rules: Vec<RuleId>,
+    callgraph: Option<PathBuf>,
+    list_rules: bool,
 }
 
-const USAGE: &str = "usage: sdoh-lint [--root <dir>] [--format human|json] [--out <file>]\n\
-  --root <dir>         workspace root (default: nearest ancestor with [workspace])\n\
-  --format human|json  report format on stdout (default: human)\n\
-  --out <file>         additionally write the JSON report to <file>";
+const USAGE: &str = "usage: sdoh-lint [--root <dir>] [--format human|json] [--out <file>] [--rule <name>]... [--emit-callgraph <file>] [--list-rules]\n\
+  --root <dir>            workspace root (default: nearest ancestor with [workspace])\n\
+  --format human|json     report format on stdout (default: human)\n\
+  --out <file>            additionally write the JSON report to <file>\n\
+  --rule <name>           run only this rule (repeatable; default: all rules)\n\
+  --emit-callgraph <file> write the workspace call graph as JSON to <file>\n\
+  --list-rules            print the rule catalogue and exit\n\
+\n\
+exit codes: 0 clean, 1 diagnostics found, 2 internal error";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         root: None,
         json: false,
         out: None,
+        rules: Vec::new(),
+        callgraph: None,
+        list_rules: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +55,21 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--out needs a value")?;
                 options.out = Some(PathBuf::from(value));
             }
+            "--rule" => {
+                let value = args.next().ok_or("--rule needs a rule name")?;
+                let rule = RuleId::from_name(&value).ok_or_else(|| {
+                    format!(
+                        "unknown rule `{value}` (known rules: {})",
+                        RuleId::ALL.map(|r| r.name()).join(", ")
+                    )
+                })?;
+                options.rules.push(rule);
+            }
+            "--emit-callgraph" => {
+                let value = args.next().ok_or("--emit-callgraph needs a value")?;
+                options.callgraph = Some(PathBuf::from(value));
+            }
+            "--list-rules" => options.list_rules = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -48,6 +79,12 @@ fn parse_args() -> Result<Options, String> {
 
 fn run() -> Result<bool, String> {
     let options = parse_args()?;
+    if options.list_rules {
+        for rule in RuleId::ALL {
+            println!("{:<28} {}", rule.name(), rule.describe());
+        }
+        return Ok(true);
+    }
     let root = match options.root {
         Some(root) => root,
         None => {
@@ -56,7 +93,11 @@ fn run() -> Result<bool, String> {
                 .ok_or("no [workspace] Cargo.toml found above the current directory")?
         }
     };
-    let report = lint_workspace(&root)?;
+    let lint_options = LintOptions {
+        rule_filter: (!options.rules.is_empty()).then(|| options.rules.clone()),
+        emit_callgraph: options.callgraph.is_some(),
+    };
+    let report = lint_workspace_with(&root, &lint_options)?;
     if options.json {
         print!("{}", render_json(&report));
     } else {
@@ -65,6 +106,10 @@ fn run() -> Result<bool, String> {
     if let Some(out_path) = options.out {
         std::fs::write(&out_path, render_json(&report))
             .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    }
+    if let (Some(path), Some(callgraph)) = (options.callgraph, &report.callgraph) {
+        std::fs::write(&path, callgraph)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
     Ok(report.is_clean())
 }

@@ -22,6 +22,9 @@ pub struct Diagnostic {
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub files_scanned: usize,
+    /// The serialized call graph, when the run asked for it
+    /// (`--emit-callgraph`). Not part of the JSON diagnostics report.
+    pub callgraph: Option<String>,
 }
 
 impl Report {
@@ -81,7 +84,7 @@ pub fn render_json(report: &Report) -> String {
 }
 
 /// Escape a string for JSON output.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -120,6 +123,7 @@ mod tests {
                 message: "don't".to_string(),
             }],
             files_scanned: 1,
+            callgraph: None,
         };
         let json = render_json(&report);
         assert!(json.contains("\"files_scanned\": 1"));

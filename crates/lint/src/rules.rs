@@ -24,16 +24,47 @@ pub enum RuleId {
     NoNarrowingCast,
     /// Every `sdoh_*` metric-name literal must be in the shared vocabulary.
     MetricsVocabulary,
+    /// Nothing reachable from the serving entry points may lock, allocate
+    /// or panic (whole-workspace call-graph rule, see [`crate::graph`]).
+    TransitiveHotPathPurity,
+    /// No ambient wall clock or OS entropy reachable from the sim-facing
+    /// crates' public entry points (call-graph rule).
+    TransitiveDeterminism,
+    /// The control-plane lock-acquisition graph must be acyclic
+    /// (call-graph rule).
+    LockOrder,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 8] = [
+        RuleId::HotPathPurity,
+        RuleId::Determinism,
+        RuleId::NoPanic,
+        RuleId::NoNarrowingCast,
+        RuleId::MetricsVocabulary,
+        RuleId::TransitiveHotPathPurity,
+        RuleId::TransitiveDeterminism,
+        RuleId::LockOrder,
+    ];
+
+    /// The rules that run per file over token patterns. The remaining
+    /// rules need the whole-workspace call graph and run once per sweep.
+    pub const FILE_LOCAL: [RuleId; 5] = [
         RuleId::HotPathPurity,
         RuleId::Determinism,
         RuleId::NoPanic,
         RuleId::NoNarrowingCast,
         RuleId::MetricsVocabulary,
     ];
+
+    /// Whether this rule runs on the workspace call graph rather than on
+    /// one file's token stream.
+    pub fn is_graph_rule(self) -> bool {
+        matches!(
+            self,
+            RuleId::TransitiveHotPathPurity | RuleId::TransitiveDeterminism | RuleId::LockOrder
+        )
+    }
 
     /// The kebab-case rule id used in diagnostics and allow directives.
     pub fn name(self) -> &'static str {
@@ -43,6 +74,37 @@ impl RuleId {
             RuleId::NoPanic => "no-panic",
             RuleId::NoNarrowingCast => "no-narrowing-cast",
             RuleId::MetricsVocabulary => "metrics-vocabulary",
+            RuleId::TransitiveHotPathPurity => "transitive-hot-path-purity",
+            RuleId::TransitiveDeterminism => "transitive-determinism",
+            RuleId::LockOrder => "lock-order",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::HotPathPurity => {
+                "no locks or allocations in the configured serving-path modules (file-local)"
+            }
+            RuleId::Determinism => {
+                "no ambient wall clock or OS entropy in sim-facing crates (file-local)"
+            }
+            RuleId::NoPanic => "no panicking constructs in non-test library code (file-local)",
+            RuleId::NoNarrowingCast => {
+                "no bare `as` casts to numeric types that can lose value (file-local)"
+            }
+            RuleId::MetricsVocabulary => {
+                "every sdoh_* metric-name literal must be in the shared vocabulary (file-local)"
+            }
+            RuleId::TransitiveHotPathPurity => {
+                "nothing reachable from the serving entry points may lock, allocate or panic (call graph)"
+            }
+            RuleId::TransitiveDeterminism => {
+                "no wall clock or OS entropy reachable from sim-facing public entry points (call graph)"
+            }
+            RuleId::LockOrder => {
+                "the control-plane lock-acquisition graph must be acyclic (call graph)"
+            }
         }
     }
 
@@ -70,6 +132,9 @@ pub fn run_rule(
         RuleId::NoPanic => no_panic(file, view, out),
         RuleId::NoNarrowingCast => no_narrowing_cast(file, view, out),
         RuleId::MetricsVocabulary => metrics_vocabulary(file, view, vocab, out),
+        // Graph rules run once per sweep over the workspace call graph,
+        // not per file — see `crate::graph`.
+        RuleId::TransitiveHotPathPurity | RuleId::TransitiveDeterminism | RuleId::LockOrder => {}
     }
 }
 
@@ -201,7 +266,7 @@ fn no_panic(file: &str, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
 /// keyword), a closing `)`/`]`, or the `?` operator. Attributes (`#[...]`),
 /// macro brackets (`vec![...]`), array types (`: [u8; 4]`) and array
 /// literals (`= [1, 2]`) are all preceded by other tokens and are skipped.
-fn is_indexing_bracket(view: &FileView<'_>, si: usize) -> bool {
+pub(crate) fn is_indexing_bracket(view: &FileView<'_>, si: usize) -> bool {
     let Some(prev) = si.checked_sub(1) else {
         return false;
     };

@@ -21,8 +21,11 @@
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use crate::engine::check_source;
+use crate::engine::{self, FileAnalysis};
+use crate::graph::{self, Entry, GraphConfig};
 use crate::lexer::{lex, TokenKind};
 use crate::report::{Diagnostic, Report};
 use crate::rules::{string_literal_inner, RuleId};
@@ -140,8 +143,52 @@ fn relative_label(root: &Path, path: &Path) -> String {
     label
 }
 
-/// Lint the whole workspace rooted at `root`.
+/// The call-graph configuration for *this* workspace: where the serving
+/// path starts, which crates must stay deterministic, and which crates'
+/// locks feed the lock-order analysis.
+pub fn graph_config() -> GraphConfig {
+    GraphConfig {
+        // The shard serving path: the dispatcher that routes wire queries
+        // to shards, the per-shard worker loop, the wire-level serve
+        // helper, and the resolver entry points they dispatch into
+        // (`handle_query` is reached through `dyn QueryHandler`, which
+        // call resolution deliberately does not follow — so the concrete
+        // implementation is an entry point of its own).
+        purity_entries: vec![
+            Entry::free("runtime", "dispatcher_loop"),
+            Entry::free("runtime", "worker_loop"),
+            Entry::free("runtime", "serve_wire"),
+            Entry::method("core", "CachingPoolResolver", "handle_query"),
+            Entry::method("core", "CachingPoolResolver", "serve_batch"),
+        ],
+        determinism_crates: DETERMINISM_CRATES.iter().map(|c| c.to_string()).collect(),
+        lock_crates: vec!["runtime".to_string()],
+    }
+}
+
+/// Options for a workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintOptions {
+    /// Run only these rules (all eight when `None`). The directive
+    /// pseudo-rules (`unused-allow`, `bad-directive`) always run.
+    pub rule_filter: Option<Vec<RuleId>>,
+    /// Also serialize the call graph (returned in [`Report::callgraph`]).
+    pub emit_callgraph: bool,
+}
+
+/// Lint the whole workspace rooted at `root` with all rules enabled.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_with(root, &LintOptions::default())
+}
+
+/// Lint the whole workspace rooted at `root`.
+///
+/// Three phases: (1) scan every file on a scoped thread pool, running the
+/// file-local rules and the item parser; (2) build the call graph and run
+/// the transitive rules; (3) apply allow directives, collapse file-local/
+/// transitive twins, and sort by `(file, line, col, rule)` so output is
+/// deterministic regardless of walk order or thread interleaving.
+pub fn lint_workspace_with(root: &Path, options: &LintOptions) -> Result<Report, String> {
     let vocab_path = root.join(VOCABULARY_PATH);
     let vocab_source = fs::read_to_string(&vocab_path)
         .map_err(|e| format!("cannot read vocabulary {}: {e}", vocab_path.display()))?;
@@ -160,26 +207,77 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         }
     }
 
+    let enabled: Vec<RuleId> = match &options.rule_filter {
+        Some(filter) => filter.clone(),
+        None => RuleId::ALL.to_vec(),
+    };
+
+    // Phase 1: parallel per-file analysis. Results carry their file index
+    // so the merged order is the sorted file order, not thread order.
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Result<FileAnalysis, Diagnostic>)>> =
+        Mutex::new(Vec::with_capacity(files.len()));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(files.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(path) = files.get(i) else { break };
+                let rel = relative_label(root, path);
+                let item = match fs::read_to_string(path) {
+                    Ok(source) => {
+                        let rules: Vec<RuleId> = rules_for(&rel)
+                            .into_iter()
+                            .filter(|r| enabled.contains(r))
+                            .collect();
+                        Ok(engine::analyze_source(&rel, &source, &rules, &vocab))
+                    }
+                    Err(e) => Err(Diagnostic {
+                        file: rel,
+                        line: 0,
+                        col: 0,
+                        rule: "io-error",
+                        message: format!("cannot read file: {e}"),
+                    }),
+                };
+                // A poisoned mutex only means another worker panicked while
+                // pushing; the vector itself is still usable.
+                let mut slot = results.lock().unwrap_or_else(|p| p.into_inner());
+                slot.push((i, item));
+            });
+        }
+    });
+    let mut collected = results.into_inner().unwrap_or_else(|p| p.into_inner());
+    collected.sort_by_key(|(i, _)| *i);
+
     let mut report = Report::default();
-    for path in &files {
-        let rel = relative_label(root, path);
-        match fs::read_to_string(path) {
-            Ok(source) => {
-                let rules = rules_for(&rel);
-                report
-                    .diagnostics
-                    .extend(check_source(&rel, &source, &rules, &vocab));
+    let mut analyses: Vec<FileAnalysis> = Vec::with_capacity(collected.len());
+    for (_, item) in collected {
+        match item {
+            Ok(analysis) => {
+                analyses.push(analysis);
                 report.files_scanned += 1;
             }
-            Err(e) => report.diagnostics.push(Diagnostic {
-                file: rel,
-                line: 0,
-                col: 0,
-                rule: "io-error",
-                message: format!("cannot read file: {e}"),
-            }),
+            Err(diag) => report.diagnostics.push(diag),
         }
     }
+
+    // Phase 2: the whole-workspace call-graph rules.
+    report.callgraph = graph::run_graph_rules(
+        &mut analyses,
+        &graph_config(),
+        &enabled,
+        options.emit_callgraph,
+    );
+
+    // Phase 3: allows, dedup, deterministic sort.
+    report
+        .diagnostics
+        .extend(engine::finalize(analyses, &enabled));
     report.diagnostics.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });

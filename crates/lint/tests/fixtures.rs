@@ -7,7 +7,10 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use sdoh_lint::rules::RuleId;
-use sdoh_lint::{check_source, find_workspace_root, rules_for, vocabulary_from_source};
+use sdoh_lint::{
+    check_source, check_sources, find_workspace_root, rules_for, vocabulary_from_source,
+    Diagnostic, Entry, GraphConfig,
+};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -27,6 +30,37 @@ fn lint_fixture(name: &str) -> Vec<(&'static str, usize, usize)> {
         .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
     check_source(name, &source, &RuleId::ALL, &fixture_vocab())
         .into_iter()
+        .map(|d| (d.rule, d.line, d.col))
+        .collect()
+}
+
+/// Lint a set of fixtures as a synthetic multi-crate workspace: each entry
+/// pairs the pretend workspace-relative path (which determines the crate)
+/// with the fixture file holding the source.
+fn lint_graph_fixtures(
+    files: &[(&str, &str)],
+    enabled: &[RuleId],
+    config: &GraphConfig,
+) -> Vec<Diagnostic> {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(rel, name)| {
+            let path = fixture_dir().join(name);
+            let source = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+            (rel.to_string(), source)
+        })
+        .collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(rel, source)| (rel.as_str(), source.as_str()))
+        .collect();
+    check_sources(&refs, enabled, &fixture_vocab(), config)
+}
+
+fn triples(diagnostics: &[Diagnostic]) -> Vec<(&'static str, usize, usize)> {
+    diagnostics
+        .iter()
         .map(|d| (d.rule, d.line, d.col))
         .collect()
 }
@@ -96,6 +130,27 @@ fn unused_allow_is_itself_a_diagnostic() {
 }
 
 #[test]
+fn an_allow_for_a_rule_outside_the_enabled_set_is_not_reported_unused() {
+    // Regression: under `--rule <name>` filtering, every allow for a rule
+    // that was not run used to be reported as unused-allow — a filtered
+    // run would flag hundreds of perfectly valid directives. An allow is
+    // only audited when its rule was actually enabled.
+    let path = fixture_dir().join("unused_allow.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let diagnostics = check_source(
+        "unused_allow.rs",
+        &source,
+        &[RuleId::Determinism],
+        &fixture_vocab(),
+    );
+    assert_eq!(
+        diagnostics,
+        vec![],
+        "the stale allow(no-panic) must only be audited when no-panic runs"
+    );
+}
+
+#[test]
 fn standalone_allow_scope_survives_commas_in_generic_return_types() {
     // Regression: `item_end` once treated the depth-0 comma inside
     // `Result<Option<(u32, usize)>, String>` as the end of the allow's
@@ -106,6 +161,217 @@ fn standalone_allow_scope_survives_commas_in_generic_return_types() {
         vec![],
         "the allow must scope over the whole declaration despite the comma \
          in its return-type generics"
+    );
+}
+
+#[test]
+fn transitive_purity_fixture_reports_the_full_call_chain() {
+    let config = GraphConfig {
+        purity_entries: vec![Entry::free("palpha", "serve_loop")],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[("crates/palpha/src/lib.rs", "transitive_purity.rs")],
+        &[RuleId::TransitiveHotPathPurity],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![("transitive-hot-path-purity", 13, 18)], // Vec::new in helper
+        "the allocation two hops down must be reported at its own site"
+    );
+    assert!(
+        diagnostics[0]
+            .message
+            .contains("palpha::serve_loop → palpha::step → palpha::helper"),
+        "the diagnostic must carry the full call chain, got: {}",
+        diagnostics[0].message
+    );
+}
+
+#[test]
+fn transitive_purity_boundary_allow_prunes_and_counts_as_used() {
+    let config = GraphConfig {
+        purity_entries: vec![Entry::free("palpha", "serve_loop")],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[("crates/palpha/src/lib.rs", "transitive_purity_allowed.rs")],
+        &[RuleId::TransitiveHotPathPurity],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![],
+        "a standalone allow over the helper must prune the traversal \
+         without tripping unused-allow"
+    );
+}
+
+#[test]
+fn cross_crate_edge_resolves_through_the_use_import() {
+    let config = GraphConfig {
+        purity_entries: vec![Entry::free("xalpha", "serve_loop")],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[
+            ("crates/xalpha/src/lib.rs", "cross_crate_entry.rs"),
+            ("crates/xbeta/src/lib.rs", "cross_crate_callee.rs"),
+        ],
+        &[RuleId::TransitiveHotPathPurity],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![("transitive-hot-path-purity", 4, 17)], // format! in render
+        "the `use sdoh_xbeta::render` import must resolve the bare call \
+         into the sibling crate"
+    );
+    assert_eq!(diagnostics[0].file, "crates/xbeta/src/lib.rs");
+    assert!(
+        diagnostics[0]
+            .message
+            .contains("xalpha::serve_loop → xbeta::render"),
+        "the chain must cross the crate boundary, got: {}",
+        diagnostics[0].message
+    );
+}
+
+#[test]
+fn lock_cycle_fixture_reports_one_cycle_with_every_ordering() {
+    let config = GraphConfig {
+        lock_crates: vec!["lockdemo".to_string()],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[("crates/lockdemo/src/lib.rs", "lock_cycle.rs")],
+        &[RuleId::LockOrder],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![("lock-order", 10, 27)], // beta acquired while alpha is held
+        "a three-lock ring must collapse to one cycle diagnostic"
+    );
+    let message = &diagnostics[0].message;
+    for ordering in ["`alpha` → `beta`", "`beta` → `gamma`", "`gamma` → `alpha`"] {
+        assert!(
+            message.contains(ordering),
+            "cycle message must list the ordering {ordering}, got: {message}"
+        );
+    }
+}
+
+#[test]
+fn lock_cycle_boundary_allow_breaks_the_ring() {
+    let config = GraphConfig {
+        lock_crates: vec!["lockdemo".to_string()],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[("crates/lockdemo/src/lib.rs", "lock_cycle_allowed.rs")],
+        &[RuleId::LockOrder],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![],
+        "pruning one participant must leave the remaining orderings acyclic"
+    );
+}
+
+#[test]
+fn transitive_determinism_fixture_flags_the_reachable_clock() {
+    let config = GraphConfig {
+        determinism_crates: vec!["gsim".to_string()],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[("crates/gsim/src/lib.rs", "transitive_determinism.rs")],
+        &[RuleId::TransitiveDeterminism],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![("transitive-determinism", 10, 15)], // Instant::now in stamp
+        "the clock read below the public API must be reported at its site"
+    );
+    assert!(
+        diagnostics[0].message.contains("gsim::tick → gsim::stamp"),
+        "the diagnostic must carry the chain from the public entry, got: {}",
+        diagnostics[0].message
+    );
+}
+
+#[test]
+fn transitive_determinism_boundary_allow_covers_the_entry() {
+    let config = GraphConfig {
+        determinism_crates: vec!["gsim".to_string()],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[(
+            "crates/gsim/src/lib.rs",
+            "transitive_determinism_allowed.rs",
+        )],
+        &[RuleId::TransitiveDeterminism],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![],
+        "an allow over the public entry must make the whole cone a \
+         documented host-clock boundary"
+    );
+}
+
+#[test]
+fn file_local_and_transitive_findings_on_one_line_collapse_to_transitive() {
+    let config = GraphConfig {
+        purity_entries: vec![Entry::free("dedup", "serve_loop")],
+        ..GraphConfig::default()
+    };
+    let diagnostics = lint_graph_fixtures(
+        &[("crates/dedup/src/lib.rs", "dedup.rs")],
+        &[RuleId::HotPathPurity, RuleId::TransitiveHotPathPurity],
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![("transitive-hot-path-purity", 10, 18)], // Vec::new in helper
+        "the same-line file-local finding must be shadowed by the \
+         transitive diagnostic, not reported twice"
+    );
+    assert!(
+        diagnostics[0].message.contains("call chain:"),
+        "the surviving diagnostic must be the one with the chain, got: {}",
+        diagnostics[0].message
+    );
+}
+
+#[test]
+fn a_configured_entry_matching_no_function_fails_loudly() {
+    let config = GraphConfig {
+        purity_entries: vec![Entry::free("solo", "missing_entry")],
+        ..GraphConfig::default()
+    };
+    let diagnostics = check_sources(
+        &[("crates/solo/src/lib.rs", "pub fn nothing() {}\n")],
+        &[RuleId::TransitiveHotPathPurity],
+        &fixture_vocab(),
+        &config,
+    );
+    assert_eq!(
+        triples(&diagnostics),
+        vec![("transitive-hot-path-purity", 0, 0)],
+        "a renamed entry point must not make the rule vacuously pass"
+    );
+    assert_eq!(diagnostics[0].file, "<graph-config>");
+    assert!(
+        diagnostics[0].message.contains("solo::missing_entry"),
+        "the failure must name the stale entry, got: {}",
+        diagnostics[0].message
     );
 }
 
@@ -138,7 +404,7 @@ fn sdoh_lint_is_clean_on_its_own_sources() {
         checked += 1;
     }
     assert!(
-        checked >= 7,
-        "expected to self-check every module, got {checked}"
+        checked >= 9,
+        "expected to self-check every module (including parser and graph), got {checked}"
     );
 }

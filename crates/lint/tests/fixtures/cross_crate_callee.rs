@@ -1,0 +1,6 @@
+//! Cross-crate fixture, callee half: the allocation the entry reaches.
+
+pub fn render() {
+    let label = format!("shard {}", 7);
+    drop(label);
+}

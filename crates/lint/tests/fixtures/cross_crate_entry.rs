@@ -1,0 +1,8 @@
+//! Cross-crate fixture, caller half: the entry point reaches the callee
+//! crate through a `use sdoh_xbeta` import.
+
+use sdoh_xbeta::render;
+
+pub fn serve_loop() {
+    render();
+}

@@ -1,0 +1,12 @@
+//! Dedup regression: a file-local and a transitive finding on the same
+//! line must collapse to the transitive diagnostic, which carries the
+//! call chain.
+
+pub fn serve_loop() {
+    helper();
+}
+
+fn helper() {
+    let buffer = Vec::new();
+    drop(buffer);
+}

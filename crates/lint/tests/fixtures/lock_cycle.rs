@@ -1,0 +1,25 @@
+//! Three methods acquiring three mutexes in a ring: alpha → beta →
+//! gamma → alpha. The cycle is one lock-order diagnostic listing all
+//! three conflicting orderings.
+
+pub struct State;
+
+impl State {
+    pub fn first(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop((a, b));
+    }
+
+    pub fn second(&self) {
+        let b = self.beta.lock();
+        let c = self.gamma.lock();
+        drop((b, c));
+    }
+
+    pub fn third(&self) {
+        let c = self.gamma.lock();
+        let a = self.alpha.lock();
+        drop((c, a));
+    }
+}

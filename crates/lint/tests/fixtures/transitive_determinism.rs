@@ -1,0 +1,12 @@
+//! Bad twin: the ambient clock two hops below a public sim-facing API.
+
+use std::time::Instant;
+
+pub fn tick() -> u64 {
+    stamp()
+}
+
+fn stamp() -> u64 {
+    let now = Instant::now();
+    now.elapsed().as_secs()
+}

@@ -1,0 +1,13 @@
+//! Allowed twin: the entry point is a documented host-clock boundary.
+
+use std::time::Instant;
+
+// sdoh-lint: allow(transitive-determinism, "host harness boundary: wall-clock telemetry only, never simulation state")
+pub fn tick() -> u64 {
+    stamp()
+}
+
+fn stamp() -> u64 {
+    let now = Instant::now();
+    now.elapsed().as_secs()
+}

@@ -1,0 +1,15 @@
+//! Bad twin: an allocation two hops below the serving entry point is a
+//! transitive-hot-path-purity diagnostic with the full call chain.
+
+pub fn serve_loop() {
+    step();
+}
+
+fn step() {
+    helper();
+}
+
+fn helper() {
+    let buffer = Vec::new();
+    drop(buffer);
+}

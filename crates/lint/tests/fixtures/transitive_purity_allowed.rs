@@ -1,0 +1,16 @@
+//! Allowed twin: a standalone allow above the helper is a pruning
+//! boundary — the traversal stops there and the directive counts as used.
+
+pub fn serve_loop() {
+    step();
+}
+
+fn step() {
+    helper();
+}
+
+// sdoh-lint: allow(transitive-hot-path-purity, "cold path: scratch buffer built once per rescale, never per query")
+fn helper() {
+    let buffer = Vec::new();
+    drop(buffer);
+}

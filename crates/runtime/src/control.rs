@@ -405,6 +405,7 @@ impl ControlHandle {
     /// `(shard index, probes)` for each shard that answered within
     /// `timeout`. Invariant checks use this to assert that no key is
     /// cached by two shards at once after a rescale.
+    // sdoh-lint: allow(transitive-hot-path-purity, "operator-facing control op: probes shards over the control channel on demand, never on the query path")
     pub fn probe_entries(&self, timeout: Duration) -> Vec<(usize, Vec<CacheEntryProbe>)> {
         let senders = self.inner.routes.senders();
         let (tx, rx) = mpsc::channel();
